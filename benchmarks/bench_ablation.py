@@ -1,0 +1,162 @@
+"""Ablation studies of the parallel front-end's design choices.
+
+Section 3.2 frames fragment buffers as one end of a spectrum ("a very
+small trace cache ... with a powerful parallel fill mechanism") whose
+other end is a large trace cache with a slow sequential fill; this bench
+walks that spectrum by varying the number of fragment buffers.  It also
+quantifies the worth of functional warming (cold vs steady state) and of
+the fragment-length heuristic.
+"""
+
+import dataclasses
+import os
+
+from conftest import register_table
+
+from repro.config import FragmentConfig, frontend_config
+from repro.core.simulation import run_simulation
+from repro.stats import format_table
+
+BENCH = os.environ.get("REPRO_ABLATION_BENCHMARK", "gzip")
+
+
+def _length() -> int:
+    return int(os.environ.get("REPRO_SIM_INSTRUCTIONS", "30000"))
+
+
+def run_buffer_spectrum():
+    rows = []
+    for buffers in (4, 8, 16, 32, 64):
+        config = frontend_config("pf-2x8w")
+        config = config.replace(frontend=dataclasses.replace(
+            config.frontend, num_fragment_buffers=buffers))
+        result = run_simulation(config, BENCH, max_instructions=_length(),
+                                config_name=f"pf-2x8w/{buffers}buf")
+        rows.append([buffers, result.ipc, result.fetch_rate,
+                     result.fragment_reuse_rate,
+                     result.preconstructed_fraction])
+    return rows
+
+
+def test_fragment_buffer_spectrum(benchmark):
+    rows = benchmark.pedantic(run_buffer_spectrum, rounds=1, iterations=1)
+    register_table("ablation_buffer_spectrum", (
+        f"Ablation: fragment-buffer count (PF-2x8w, {BENCH})\n"
+        + format_table(["buffers", "IPC", "fetch/cyc", "reuse",
+                        "preconstructed"], rows)))
+    by_count = {row[0]: row for row in rows}
+    # More buffers -> deeper fetch-ahead (higher raw fetch rate) ...
+    assert by_count[64][2] > by_count[4][2]
+    # ... while the reuse *fraction* is highest with few buffers, whose
+    # window tracks only the hottest recurring fragments.
+    assert by_count[4][3] >= by_count[64][3]
+    # Starving the front-end of buffers must not help performance.
+    assert by_count[16][1] >= by_count[4][1] * 0.95
+
+
+def run_fragment_length_ablation():
+    rows = []
+    for max_length, limit in ((8, 4), (16, 8), (32, 16)):
+        config = frontend_config("pf-2x8w")
+        config = config.replace(
+            fragment=FragmentConfig(max_length=max_length,
+                                    cond_branch_limit=limit),
+            frontend=dataclasses.replace(
+                config.frontend, fragment_buffer_size=max_length))
+        result = run_simulation(config, BENCH, max_instructions=_length(),
+                                config_name=f"pf-2x8w/frag{max_length}")
+        rows.append([f"{max_length}/{limit}", result.ipc,
+                     result.fetch_rate,
+                     result.counter("commit.trained_fragments")])
+    return rows
+
+
+def test_fragment_length_heuristic(benchmark):
+    rows = benchmark.pedantic(run_fragment_length_ablation, rounds=1,
+                              iterations=1)
+    register_table("ablation_fragment_length", (
+        f"Ablation: fragment selection heuristics (PF-2x8w, {BENCH})\n"
+        + format_table(["max/cond-limit", "IPC", "fetch/cyc",
+                        "fragments"], rows)))
+    assert all(row[1] > 0 for row in rows)
+
+
+def run_warming_ablation():
+    rows = []
+    for config_name in ("w16", "tc", "pr-2x8w"):
+        cold = run_simulation(config_name, BENCH,
+                              max_instructions=_length(), warm=False)
+        hot = run_simulation(config_name, BENCH,
+                             max_instructions=_length(), warm=True)
+        rows.append([config_name, cold.ipc, hot.ipc, hot.ipc / cold.ipc])
+    return rows
+
+
+def test_warming_ablation(benchmark):
+    rows = benchmark.pedantic(run_warming_ablation, rounds=1, iterations=1)
+    register_table("ablation_warming", (
+        f"Ablation: cold start vs functional warming ({BENCH})\n"
+        + format_table(["front-end", "cold IPC", "warm IPC", "ratio"],
+                       rows)))
+    # Steady state must outperform cold start everywhere.
+    assert all(row[3] > 1.0 for row in rows)
+
+
+def run_rename_solutions():
+    """Section 4's two parallel-rename solutions, head to head."""
+    rows = []
+    for config_name, label in (("pf-2x8w", "monolithic (serialised)"),
+                               ("pd-2x8w", "solution 1: delay"),
+                               ("pr-2x8w", "solution 2: live-out pred."),
+                               ("pd-4x4w", "solution 1: delay 4x4w"),
+                               ("pr-4x4w", "solution 2: live-outs 4x4w")):
+        result = run_simulation(config_name, BENCH,
+                                max_instructions=_length())
+        rows.append([label, result.ipc, result.rename_rate,
+                     100 * result.renamed_before_source_fraction])
+    return rows
+
+
+def test_rename_solutions(benchmark):
+    rows = benchmark.pedantic(run_rename_solutions, rounds=1, iterations=1)
+    register_table("ablation_rename_solutions", (
+        f"Ablation: Section 4's rename solutions ({BENCH})\n"
+        + format_table(["mechanism", "IPC", "rename/cyc",
+                        "renamed-before-source %"], rows)))
+    by_label = {row[0]: row for row in rows}
+    # The delay scheme postpones more consumers than live-out prediction.
+    assert by_label["solution 1: delay"][3] >= \
+        by_label["solution 2: live-out pred."][3]
+
+
+def run_liveout_recovery():
+    """Section 4.3: squash vs selective re-execution on mispredictions."""
+    import dataclasses
+
+    from repro.config import frontend_config
+
+    rows = []
+    for recovery in ("squash", "reexecute"):
+        config = frontend_config("pr-4x4w")
+        config = config.replace(frontend=dataclasses.replace(
+            config.frontend, liveout_recovery=recovery))
+        result = run_simulation(config, BENCH, max_instructions=_length(),
+                                config_name=f"pr-4x4w/{recovery}")
+        rows.append([recovery, result.ipc,
+                     result.counter("rename.liveout_mispredicts"),
+                     result.counter("rename.liveout_squashes"),
+                     result.counter("rename.reexecuted_uops")])
+    return rows
+
+
+def test_liveout_recovery_policy(benchmark):
+    rows = benchmark.pedantic(run_liveout_recovery, rounds=1, iterations=1)
+    register_table("ablation_liveout_recovery", (
+        f"Ablation: live-out misprediction recovery (PR-4x4w, {BENCH}) — "
+        "Section 4.3's two policies\n"
+        + format_table(["policy", "IPC", "mispredicts", "squashes",
+                        "re-executed uops"], rows)))
+    by_policy = {row[0]: row for row in rows}
+    # Re-execution must not squash, and vice versa.
+    assert by_policy["reexecute"][3] == 0
+    assert by_policy["squash"][4] == 0

@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the substrate components (real pytest-benchmark
+timing loops, unlike the single-shot figure harnesses)."""
+
+from repro.config import FragmentConfig, TracePredictorConfig
+from repro.emulator.machine import Machine
+from repro.frontend.fragments import carve_stream, walk_fragment
+from repro.predictors.trace_predictor import TracePredictor
+from repro.workloads.kernels import hash_kernel
+from repro.workloads.suite import get_benchmark, oracle_stream
+
+
+def test_bench_emulator_throughput(benchmark):
+    program = hash_kernel(64, 32)
+
+    def run():
+        return Machine(program).run(10_000).instructions_executed
+
+    executed = benchmark(run)
+    assert executed > 5000
+
+
+def test_bench_fragment_carving(benchmark):
+    stream = oracle_stream("gzip", 10_000).stream
+    config = FragmentConfig()
+
+    def carve():
+        return sum(1 for _ in carve_stream(stream, config))
+
+    fragments = benchmark(carve)
+    assert fragments > 100
+
+
+def test_bench_static_walk(benchmark):
+    program = get_benchmark("gzip")
+    stream = oracle_stream("gzip", 5_000).stream
+    config = FragmentConfig()
+    keys = [f.key for f in carve_stream(stream, config)][:200]
+
+    def walk_all():
+        return sum(walk_fragment(program, k.start_pc, k.directions,
+                                 config).length for k in keys)
+
+    total = benchmark(walk_all)
+    assert total > 0
+
+
+def test_bench_trace_predictor(benchmark):
+    stream = oracle_stream("gzip", 10_000).stream
+    keys = [f.key for f in carve_stream(stream, FragmentConfig())]
+
+    def train_and_predict():
+        predictor = TracePredictor(TracePredictorConfig())
+        hits = 0
+        for key in keys:
+            if predictor.predict() == key:
+                hits += 1
+            predictor.push_history(key)
+            predictor.train(key)
+        return hits
+
+    hits = benchmark(train_and_predict)
+    assert hits > 0
+
+
+def test_bench_timing_simulator(benchmark):
+    from repro import run_simulation
+
+    def simulate():
+        return run_simulation("pr-2x8w", "gzip", max_instructions=3000)
+
+    result = benchmark.pedantic(simulate, rounds=2, iterations=1)
+    assert result.committed > 0

@@ -1,0 +1,64 @@
+"""Extension experiment: longer fragments (the paper's future work).
+
+The conclusion of the paper argues that fragments — unlike trace-cache
+traces — "can be longer and can have a larger variance in size without
+affecting cache storage efficiency", because fragment buffers hold only
+the small in-flight window rather than the whole working set.  This bench
+explores that claim: the parallel front-end is run with progressively
+longer fragment-selection limits (the trace cache cannot follow — its
+line size pins traces at 16 instructions).
+"""
+
+import dataclasses
+import os
+
+from conftest import register_table
+
+from repro.config import FragmentConfig, frontend_config
+from repro.core.simulation import run_simulation
+from repro.stats import format_table
+
+BENCH = os.environ.get("REPRO_ABLATION_BENCHMARK", "gzip")
+
+
+def _length() -> int:
+    return int(os.environ.get("REPRO_SIM_INSTRUCTIONS", "30000"))
+
+
+def run_long_fragments():
+    rows = []
+    for max_length, cond_limit in ((16, 8), (24, 12), (32, 16)):
+        config = frontend_config("pr-2x8w")
+        config = config.replace(
+            fragment=FragmentConfig(max_length=max_length,
+                                    cond_branch_limit=cond_limit),
+            frontend=dataclasses.replace(
+                config.frontend, fragment_buffer_size=max_length))
+        result = run_simulation(
+            config, BENCH, max_instructions=_length(),
+            config_name=f"pr-2x8w/frag{max_length}")
+        rows.append([
+            max_length, result.ipc, result.fetch_rate,
+            result.counter("commit.insts")
+            / max(1.0, result.counter("commit.trained_fragments")),
+            1000 * result.counter("frontend.control_mispredicts")
+            / max(1, result.committed),
+        ])
+    tc = run_simulation("tc", BENCH, max_instructions=_length())
+    rows.append(["TC(16)", tc.ipc, tc.fetch_rate, 0.0, 0.0])
+    return rows
+
+
+def test_extension_long_fragments(benchmark):
+    rows = benchmark.pedantic(run_long_fragments, rounds=1, iterations=1)
+    register_table("extension_long_fragments", (
+        f"Extension: longer fragments for PR-2x8w ({BENCH}) — the paper's "
+        "future-work direction\n"
+        + format_table(["max frag len", "IPC", "fetch/cyc",
+                        "avg committed frag", "mispr/1k"], rows)))
+    by_len = {row[0]: row for row in rows}
+    # Longer selection limits must actually lengthen committed fragments.
+    assert by_len[32][3] > by_len[16][3]
+    # And must not collapse performance (they may help or mildly hurt via
+    # deeper speculation per prediction).
+    assert by_len[32][1] > 0.7 * by_len[16][1]

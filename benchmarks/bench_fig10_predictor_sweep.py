@@ -1,0 +1,14 @@
+"""Figure 10: sensitivity to trace/fragment predictor size."""
+
+from conftest import register_table
+
+from repro.experiments import figure10, format_figure10
+
+
+def test_fig10_predictor_size_sensitivity(benchmark):
+    data = benchmark.pedantic(figure10, rounds=1, iterations=1)
+    register_table("fig10_predictor_sweep", format_figure10(data))
+    speedup = data["speedup"]
+    # Larger predictors never hurt appreciably for the parallel front-end.
+    series = speedup["pr-2x8w"]
+    assert series[-1] >= series[0] - 0.02

@@ -1,0 +1,15 @@
+"""Figure 4: fetch-slot utilization of each fetch mechanism."""
+
+from conftest import register_table
+
+from repro.experiments import figure4, format_figure4
+
+
+def test_fig4_slot_utilization(benchmark):
+    data = benchmark.pedantic(figure4, rounds=1, iterations=1)
+    register_table("fig4_slot_utilization", format_figure4(data))
+    means = data["hmean"]
+    # The paper's ordering: W16 < TC < PF-2x8w < PF-4x4w.
+    assert means["w16"] < means["tc"]
+    assert means["tc"] < means["pf-4x4w"]
+    assert means["pf-2x8w"] < means["pf-4x4w"]

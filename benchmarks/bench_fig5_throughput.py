@@ -1,0 +1,18 @@
+"""Figure 5: instructions fetched and renamed per cycle."""
+
+from conftest import register_table
+
+from repro.experiments import figure5, format_figure5
+
+
+def test_fig5_fetch_and_rename_rates(benchmark):
+    data = benchmark.pedantic(figure5, rounds=1, iterations=1)
+    register_table("fig5_throughput", format_figure5(data))
+    fetch, rename = data["fetch_rate"], data["rename_rate"]
+    # Parallel fetch beats W16 outright and is competitive with or
+    # better than the equal-storage trace cache.
+    assert fetch["pf-2x8w"] > fetch["w16"]
+    assert fetch["pf-2x8w"] > 0.85 * fetch["tc"]
+    # Fetch outruns rename everywhere; parallel rename narrows the gap.
+    assert all(fetch[c] >= rename[c] for c in fetch)
+    assert rename["pr-4x4w"] > rename["pf-4x4w"]

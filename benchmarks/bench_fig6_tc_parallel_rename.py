@@ -1,0 +1,18 @@
+"""Figure 6: parallel renaming behind a trace cache (penalty vs
+monolithic), plus the Section 5.2 renamed-before-source statistic."""
+
+from conftest import register_table
+
+from repro.experiments import figure6, format_figure6
+
+
+def test_fig6_parallel_rename_penalty(benchmark):
+    data = benchmark.pedantic(figure6, rounds=1, iterations=1)
+    register_table("fig6_tc_parallel_rename", format_figure6(data))
+    penalties = data["penalty_percent"]
+    # Paper: 2x8w within ~1%, 4x4w ~3.5%; shape check: both small, and
+    # the narrower renamers cost at least as much.
+    assert penalties["tc+pr-2x8w"] < 6.0
+    assert penalties["tc+pr-4x4w"] < 10.0
+    before = data["renamed_before_source"]
+    assert before["tc+pr-4x4w"] > before["tc+pr-2x8w"]

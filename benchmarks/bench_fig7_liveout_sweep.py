@@ -1,0 +1,17 @@
+"""Figure 7: live-out predictor accuracy vs size and associativity."""
+
+from conftest import register_table
+
+from repro.experiments import figure7, format_figure7
+
+
+def test_fig7_liveout_predictor_sweep(benchmark):
+    data = benchmark.pedantic(figure7, rounds=1, iterations=1)
+    register_table("fig7_liveout_sweep", format_figure7(data))
+    accuracy = data["accuracy"]
+    entries = data["entries"]
+    # Space-limited: accuracy must grow with table size (2-way).
+    two_way = [accuracy[2][e] for e in entries]
+    assert two_way == sorted(two_way)
+    # 2-way beats direct-mapped at the smallest size.
+    assert accuracy[2][entries[0]] >= accuracy[1][entries[0]]

@@ -1,0 +1,19 @@
+"""Figure 8: overall performance (percent speedup over W16)."""
+
+from conftest import register_table
+
+from repro.experiments import experiment_length, figure8, format_figure8
+
+
+def test_fig8_overall_performance(benchmark):
+    data = benchmark.pedantic(figure8, rounds=1, iterations=1)
+    register_table("fig8_performance", format_figure8(data))
+    means = data["mean"]
+    # Paper headline shape: the parallel front-end beats W16 by a clear
+    # margin.
+    assert means["pr-2x8w"] > 0.0
+    if experiment_length() >= 20_000:
+        # At full scale: PR beats equal-storage TC and lands in TC2x's
+        # neighbourhood with half the instruction storage.
+        assert means["pr-2x8w"] > means["tc"]
+        assert abs(means["pr-2x8w"] - means["tc2x"]) < 20.0

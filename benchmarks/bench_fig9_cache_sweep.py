@@ -1,0 +1,22 @@
+"""Figure 9: sensitivity to total L1 instruction storage."""
+
+from conftest import register_table
+
+from repro.experiments import figure9, format_figure9
+
+
+def test_fig9_cache_size_sensitivity(benchmark):
+    data = benchmark.pedantic(figure9, rounds=1, iterations=1)
+    register_table("fig9_cache_sweep", format_figure9(data))
+    speedup = data["speedup"]
+
+    def loss(config):
+        small, large = speedup[config][0], speedup[config][-1]
+        return 1.0 - small / large
+
+    # Paper shape: the parallel front-end is far more robust to shrinking
+    # caches than both sequential mechanisms, and the trace cache has the
+    # steepest curve of all.
+    assert loss("pr-2x8w") < loss("w16")
+    assert loss("pr-2x8w") < loss("tc")
+    assert loss("tc") >= loss("w16") - 0.05

@@ -1,0 +1,12 @@
+"""Table 1: simulation parameters (rendered from the live configuration)."""
+
+from conftest import register_table
+
+from repro.experiments import table1
+
+
+def test_table1_parameters(benchmark):
+    text = benchmark.pedantic(table1, rounds=1, iterations=1)
+    register_table("table1_parameters", text)
+    assert "256-entry instruction window" in text
+    assert "DOLC 9-4-7-9" in text

@@ -1,0 +1,15 @@
+"""Table 2: benchmark characteristics (average fragment size)."""
+
+from conftest import register_table
+
+from repro.experiments import format_table2, table2
+
+
+def test_table2_fragment_sizes(benchmark):
+    rows = benchmark.pedantic(table2, rounds=1, iterations=1)
+    register_table("table2_fragments", format_table2(rows))
+    # The paper's band is 9.04 (mcf) to 12.79 (bzip2); the synthetic suite
+    # must land in a comparable band with mcf shortest.
+    lengths = {name: row["avg_fragment_length"] for name, row in rows.items()}
+    assert min(lengths, key=lengths.get) == "mcf"
+    assert all(8.0 <= value <= 14.5 for value in lengths.values())

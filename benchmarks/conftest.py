@@ -1,0 +1,44 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one of the paper's tables or figures.  The
+rendered tables are registered here and echoed to the terminal after the
+run (pytest captures per-test stdout, so ordinary prints would be hidden);
+they are also written to ``benchmarks/results/`` for later inspection.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_tables: Dict[str, str] = {}
+
+
+def register_table(name: str, text: str) -> None:
+    """Record a rendered experiment table for the end-of-run summary."""
+    _tables[name] = text
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _tables:
+        return
+    terminalreporter.write_sep("=", "paper tables & figures (reproduced)")
+    for name in sorted(_tables):
+        terminalreporter.write_line("")
+        for line in _tables[name].splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        f"(tables also written to {RESULTS_DIR}/)")
+
+
+def pytest_report_header(config):
+    length = os.environ.get("REPRO_SIM_INSTRUCTIONS", "30000 (default)")
+    benches = os.environ.get("REPRO_EXPERIMENT_BENCHMARKS", "full suite")
+    return (f"repro benchmarks: {length} instructions/benchmark, "
+            f"benchmarks={benches}")

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Latency tolerance under instruction-cache pressure (the Figure 9 story).
+
+Sweeps total L1 instruction storage from 8 KB to 128 KB for one benchmark
+and shows how each front-end degrades.  The paper's key result: the
+parallel front-end loses only ~6% while sequential mechanisms lose
+50-65%, because (1) sequencers keep fetching other fragments past a cache
+miss and (2) multiple misses overlap.
+
+Usage::
+
+    python examples/cache_pressure.py [benchmark] [instructions]
+"""
+
+import sys
+
+from repro import frontend_config, run_simulation
+from repro.stats import format_table
+
+KB = 1024
+STORAGES = (8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB)
+CONFIGS = ("w16", "tc", "pr-2x8w")
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gzip"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+
+    print(f"Benchmark '{benchmark}', {length} instructions.\n")
+    ipc = {name: {} for name in CONFIGS}
+    miss = {name: {} for name in CONFIGS}
+    for name in CONFIGS:
+        for storage in STORAGES:
+            config = frontend_config(name, total_l1_storage=storage)
+            result = run_simulation(config, benchmark,
+                                    max_instructions=length,
+                                    config_name=name)
+            ipc[name][storage] = result.ipc
+            miss[name][storage] = result.l1i_miss_rate
+
+    rows = []
+    for storage in STORAGES:
+        row = [storage // KB]
+        for name in CONFIGS:
+            row.append(ipc[name][storage])
+            row.append(100 * miss[name][storage])
+        rows.append(row)
+    headers = ["KB"]
+    for name in CONFIGS:
+        headers += [f"{name} IPC", f"{name} miss%"]
+    print(format_table(headers, rows, float_fmt="{:.2f}"))
+
+    print("\nPerformance retained shrinking the cache 128 KB -> 8 KB:")
+    for name in CONFIGS:
+        retained = ipc[name][STORAGES[0]] / ipc[name][STORAGES[-1]]
+        print(f"  {name:8} {100 * retained:5.1f}%  "
+              f"(paper: parallel ~94%, sequential 35-50%)")
+
+
+if __name__ == "__main__":
+    main()

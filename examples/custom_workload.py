@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Run your own code through the simulator.
+
+Two ways to bring a workload:
+
+1. write assembly directly (the repro ISA is a small RISC: see
+   ``repro.isa.assembler`` for the language) — here, a string-search
+   kernel written by hand;
+2. generate a synthetic program from a :class:`WorkloadSpec` — here, an
+   interpreter-flavoured workload with heavy indirect branching.
+
+Both are functionally executed for correctness (``out`` values checked)
+and then timed on two front-ends.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+from repro import assemble, run_simulation
+from repro.emulator import execute
+from repro.workloads import WorkloadSpec, generate_program
+
+NEEDLE_COUNT_EXPECTED = 3
+
+SEARCH_KERNEL = """
+    # Count occurrences of a needle value in an array, 4 passes.
+        .text
+    main:
+        li   s1, 4              # passes
+    pass:
+        la   t0, haystack
+        li   t1, 32             # elements
+        li   t2, 7              # needle
+        li   s0, 0              # match counter
+    scan:
+        ld   t3, 0(t0)
+        bne  t3, t2, nomatch
+        addi s0, s0, 1
+    nomatch:
+        addi t0, t0, 8
+        addi t1, t1, -1
+        bne  t1, zero, scan
+        addi s1, s1, -1
+        bne  s1, zero, pass
+        out  s0
+        halt
+
+        .data
+    haystack:
+        .word 1, 4, 7, 2, 9, 8, 3, 5, 7, 1, 0, 6, 2, 4, 8, 3
+        .word 9, 1, 5, 7, 2, 8, 4, 6, 0, 3, 1, 9, 5, 2, 8, 4
+"""
+
+
+def run_hand_written() -> None:
+    print("=== Hand-written assembly: needle search ===")
+    program = assemble(SEARCH_KERNEL, name="needle_search")
+
+    functional = execute(program)
+    print(f"functional result: {functional.outputs} "
+          f"(expected [{NEEDLE_COUNT_EXPECTED}]), "
+          f"{len(functional)} instructions")
+    assert functional.outputs == [NEEDLE_COUNT_EXPECTED]
+
+    for config in ("w16", "pf-2x8w"):
+        result = run_simulation(config, program, max_instructions=2000)
+        print(f"  {config:8} IPC={result.ipc:.2f} "
+              f"fetch={result.fetch_rate:.2f}/cyc "
+              f"cycles={result.cycles}")
+
+
+def run_generated() -> None:
+    print("\n=== Generated workload: interpreter-flavoured ===")
+    spec = WorkloadSpec(
+        name="tiny-interp", seed=7, num_functions=48, hot_functions=24,
+        segments_per_function=(2, 4), block_len=(2, 5),
+        diamond_prob=0.25, switch_prob=0.20, call_prob=0.15,
+        mem_prob=0.18, switch_cases=8, biased_branch_fraction=0.7)
+    program = generate_program(spec)
+    print(f"generated {len(program)} static instructions "
+          f"({program.text_size / 1024:.1f} KB)")
+
+    for config in ("w16", "tc", "pr-2x8w"):
+        result = run_simulation(config, program, max_instructions=10_000)
+        print(f"  {config:8} IPC={result.ipc:.2f} "
+              f"fetch={result.fetch_rate:.2f}/cyc "
+              f"util={result.slot_utilization:.2f}")
+    print("(indirect-heavy code stresses fragment prediction — compare "
+          "the spread with quickstart.py's gzip)")
+
+
+if __name__ == "__main__":
+    run_hand_written()
+    run_generated()

@@ -1,0 +1,70 @@
+"""repro — reproduction of "Parallelism in the Front-End" (ISCA 2003).
+
+A cycle-level out-of-order superscalar simulator with four front-end
+mechanisms — sequential fetch (W16), trace cache (TC), parallel fetch
+using multiple sequencers (PF), and parallel fetch with parallel rename
+(PR) — plus the substrates they need: a small RISC ISA with assembler and
+functional emulator, a synthetic SPECint2000-like workload suite, a banked
+cache hierarchy, the DOLC next-trace predictor and the live-out predictor.
+
+Quickstart::
+
+    from repro import run_simulation
+
+    baseline = run_simulation("w16", "gcc")
+    parallel = run_simulation("pr-2x8w", "gcc")
+    print(parallel.ipc / baseline.ipc)
+"""
+
+from repro.config import (
+    PAPER_CONFIGS,
+    BackEndConfig,
+    CacheConfig,
+    FragmentConfig,
+    FrontEndConfig,
+    LiveOutPredictorConfig,
+    MemoryConfig,
+    ProcessorConfig,
+    TraceCacheConfig,
+    TracePredictorConfig,
+    frontend_config,
+)
+from repro.core.simulation import SimulationResult, run_simulation
+from repro.errors import (
+    AssemblerError,
+    ConfigError,
+    EmulationError,
+    ReproError,
+    SimulationError,
+)
+from repro.isa import Program, assemble
+from repro.workloads import BENCHMARK_NAMES, get_benchmark, oracle_stream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run_simulation",
+    "SimulationResult",
+    "frontend_config",
+    "ProcessorConfig",
+    "FrontEndConfig",
+    "BackEndConfig",
+    "MemoryConfig",
+    "CacheConfig",
+    "TraceCacheConfig",
+    "TracePredictorConfig",
+    "LiveOutPredictorConfig",
+    "FragmentConfig",
+    "PAPER_CONFIGS",
+    "assemble",
+    "Program",
+    "BENCHMARK_NAMES",
+    "get_benchmark",
+    "oracle_stream",
+    "ReproError",
+    "AssemblerError",
+    "EmulationError",
+    "ConfigError",
+    "SimulationError",
+    "__version__",
+]

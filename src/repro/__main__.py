@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``run`` — simulate one (front-end, benchmark) pair and print metrics;
+* ``compare`` — run several front-ends on one benchmark side by side;
+* ``figure`` — regenerate one of the paper's tables/figures;
+* ``bench-info`` — show the synthetic suite's characteristics (Table 2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import PAPER_CONFIGS, run_simulation
+from repro.stats import format_table
+from repro.workloads.suite import BENCHMARK_NAMES
+
+ALL_CONFIGS = list(PAPER_CONFIGS) + ["tc+pr-2x8w", "tc+pr-4x4w"]
+
+FIGURES = {
+    "table1": lambda ex: ex.table1(),
+    "table2": lambda ex: ex.format_table2(ex.table2()),
+    "fig4": lambda ex: ex.format_figure4(ex.figure4()),
+    "fig5": lambda ex: ex.format_figure5(ex.figure5()),
+    "fig6": lambda ex: ex.format_figure6(ex.figure6()),
+    "fig7": lambda ex: ex.format_figure7(ex.figure7()),
+    "fig8": lambda ex: ex.format_figure8(ex.figure8()),
+    "fig9": lambda ex: ex.format_figure9(ex.figure9()),
+    "fig10": lambda ex: ex.format_figure10(ex.figure10()),
+    "text": lambda ex: ex.format_text_statistics(ex.text_statistics()),
+}
+
+
+def _result_row(result):
+    return [result.config_name, result.ipc, result.fetch_rate,
+            result.rename_rate, result.slot_utilization, result.cycles]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = run_simulation(args.config, args.benchmark,
+                            max_instructions=args.instructions,
+                            warm=not args.cold)
+    print(format_table(
+        ["front-end", "IPC", "fetch/cyc", "rename/cyc", "util", "cycles"],
+        [_result_row(result)]))
+    if args.counters:
+        print()
+        for name, value in sorted(result.counters.items()):
+            print(f"{name:45} {value:14.0f}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for config in args.configs:
+        result = run_simulation(config, args.benchmark,
+                                max_instructions=args.instructions,
+                                warm=not args.cold)
+        rows.append(_result_row(result))
+    print(format_table(
+        ["front-end", "IPC", "fetch/cyc", "rename/cyc", "util", "cycles"],
+        rows))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from repro import experiments
+    print(FIGURES[args.name](experiments))
+    return 0
+
+
+def cmd_bench_info(args: argparse.Namespace) -> int:
+    from repro.workloads.suite import characterize
+    rows = []
+    for name in args.benchmarks:
+        c = characterize(name, args.instructions)
+        rows.append([name, c.static_instructions, c.text_bytes / 1024,
+                     c.avg_fragment_length,
+                     100 * c.cond_branch_fraction,
+                     100 * c.indirect_fraction])
+    print(format_table(
+        ["benchmark", "static insts", "text KB", "avg frag",
+         "cond br %", "indirect %"], rows, float_fmt="{:.2f}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Parallelism in the Front-End' "
+                    "(Oberoi & Sohi, ISCA 2003)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one configuration")
+    run_p.add_argument("config", choices=ALL_CONFIGS)
+    run_p.add_argument("benchmark")
+    run_p.add_argument("-n", "--instructions", type=int, default=None)
+    run_p.add_argument("--cold", action="store_true",
+                       help="skip functional warming")
+    run_p.add_argument("--counters", action="store_true",
+                       help="dump every raw counter")
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="compare front-ends")
+    cmp_p.add_argument("benchmark")
+    cmp_p.add_argument("--configs", nargs="+", default=list(PAPER_CONFIGS),
+                       choices=ALL_CONFIGS)
+    cmp_p.add_argument("-n", "--instructions", type=int, default=None)
+    cmp_p.add_argument("--cold", action="store_true")
+    cmp_p.set_defaults(func=cmd_compare)
+
+    fig_p = sub.add_parser("figure",
+                           help="regenerate a paper table/figure")
+    fig_p.add_argument("name", choices=sorted(FIGURES))
+    fig_p.set_defaults(func=cmd_figure)
+
+    info_p = sub.add_parser("bench-info",
+                            help="synthetic suite characteristics")
+    info_p.add_argument("--benchmarks", nargs="+",
+                        default=list(BENCHMARK_NAMES),
+                        choices=BENCHMARK_NAMES)
+    info_p.add_argument("-n", "--instructions", type=int, default=10_000)
+    info_p.set_defaults(func=cmd_bench_info)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Out-of-order back-end models."""
+
+from repro.backend.core import OutOfOrderCore
+
+__all__ = ["OutOfOrderCore"]

@@ -1,0 +1,272 @@
+"""Out-of-order execution core: window, scheduler, functional units.
+
+Models the Table 1 back-end: a 256-entry instruction window fed through a
+short dispatch pipeline, an oldest-first wakeup/select scheduler over the
+functional-unit pool, a load/store path through the D-cache, and per-cycle
+issue/width limits.  Commit ordering lives in the processor (it needs
+fragment bookkeeping); the core exposes window-entry reservation and
+per-cycle completion events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+from repro.config import BackEndConfig
+from repro.core.uop import MicroOp, PlaceholderProducer, UopState
+from repro.errors import SimulationError
+from repro.isa.instructions import OpClass
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.stats import StatsCollector
+
+#: OpClass -> functional-unit pool name.
+_FU_POOL = {
+    OpClass.IALU: "ialu",
+    OpClass.IMUL: "imul",
+    OpClass.IDIV: "idiv",
+    OpClass.FADD: "fadd",
+    OpClass.FMUL: "fmul",
+    OpClass.LOAD: "mem",
+    OpClass.STORE: "mem",
+    OpClass.BRANCH: "ialu",
+    OpClass.JUMP: "ialu",
+    OpClass.CALL: "ialu",
+    OpClass.IJUMP: "ialu",
+    OpClass.ICALL: "ialu",
+    OpClass.RETURN: "ialu",
+    OpClass.HALT: "ialu",
+}
+
+#: OpClass -> latency-table key.
+_LATENCY_KEY = {
+    OpClass.IALU: "ialu",
+    OpClass.IMUL: "imul",
+    OpClass.IDIV: "idiv",
+    OpClass.FADD: "fadd",
+    OpClass.FMUL: "fmul",
+    OpClass.LOAD: "load",
+    OpClass.STORE: "store",
+    OpClass.BRANCH: "branch",
+    OpClass.JUMP: "branch",
+    OpClass.CALL: "branch",
+    OpClass.IJUMP: "branch",
+    OpClass.ICALL: "branch",
+    OpClass.RETURN: "branch",
+    OpClass.HALT: "branch",
+}
+
+_DONE_STATES = (UopState.DONE, UopState.COMMITTED)
+
+
+class OutOfOrderCore:
+    """Window + scheduler + functional units."""
+
+    def __init__(self, config: BackEndConfig, memory: MemoryHierarchy,
+                 stats: StatsCollector):
+        self.config = config
+        self.memory = memory
+        self.stats = stats
+        self._reserved = 0
+        self._reservations: Dict[int, int] = {}
+        self._dispatch: Deque[MicroOp] = deque()
+        self._ready: List[Tuple[int, MicroOp]] = []
+        self._completions: Dict[int, List[MicroOp]] = {}
+
+    # -- window reservation (ROB entries, Section 4.2) -------------------
+
+    @property
+    def window_free(self) -> int:
+        return self.config.window_size - self._reserved
+
+    def reserve(self, count: int, fragment_seq: int) -> bool:
+        """Reserve *count* window entries for a fragment."""
+        if count > self.window_free:
+            return False
+        self._reserved += count
+        self._reservations[fragment_seq] = (
+            self._reservations.get(fragment_seq, 0) + count)
+        return True
+
+    def reserve_single(self, fragment_seq: int) -> bool:
+        return self.reserve(1, fragment_seq)
+
+    def release(self, fragment_seq: int, count: int = 1) -> None:
+        held = self._reservations.get(fragment_seq, 0)
+        count = min(count, held)
+        if count <= 0:
+            return
+        self._reserved -= count
+        if held == count:
+            self._reservations.pop(fragment_seq, None)
+        else:
+            self._reservations[fragment_seq] = held - count
+
+    def release_all(self, fragment_seq: int) -> None:
+        """Release every entry still held by a squashed fragment."""
+        self.release(fragment_seq, self._reservations.get(fragment_seq, 0))
+
+    def set_reservation(self, fragment_seq: int, target: int) -> None:
+        """Shrink a fragment's reservation to *target* entries (used when
+        a misprediction truncates the fragment)."""
+        held = self._reservations.get(fragment_seq, 0)
+        if held > target:
+            self.release(fragment_seq, held - target)
+
+    # -- dispatch ---------------------------------------------------------
+
+    def dispatch(self, uops: List[MicroOp], now: int) -> None:
+        """Queue renamed uops; they enter the window after the dispatch
+        pipeline latency."""
+        ready_at = now + self.config.dispatch_latency
+        for uop in uops:
+            uop.dispatch_ready_cycle = ready_at
+            self._dispatch.append(uop)
+
+    def _attach_waiter(self, source, consumer: MicroOp) -> bool:
+        """Register *consumer* to be woken when *source* completes.
+
+        Placeholder chains (cold-fragment pass-through mappings) are
+        walked to the deepest unresolved producer.  Returns True when the
+        consumer must wait, False when the source is already available.
+        """
+        while isinstance(source, PlaceholderProducer):
+            if source.done:
+                return False
+            if source.producer is None:
+                source.consumers.append(consumer)
+                return True
+            source = source.producer
+        if source.state in _DONE_STATES:
+            return False
+        source.consumers.append(consumer)
+        return True
+
+    def _insert_window(self, uop: MicroOp) -> None:
+        pending = 0
+        for source in uop.sources:
+            if self._attach_waiter(source, uop):
+                pending += 1
+        uop.pending = pending
+        if pending == 0:
+            uop.state = UopState.READY
+            heapq.heappush(self._ready, (uop.seq, uop))
+        else:
+            uop.state = UopState.WAITING
+
+    def bind_placeholder(self, placeholder: PlaceholderProducer,
+                         producer=None, ready: bool = False) -> None:
+        """Late-bind a placeholder (cold-fragment resolution).
+
+        Unlike :meth:`PlaceholderProducer.bind`, this handles producers
+        that have already completed by waking waiting consumers.
+        """
+        consumers, placeholder.consumers = placeholder.consumers, []
+        # Path compression: resolve through intermediate placeholders so
+        # pass-through chains (delay rename / cold fragments) stay short.
+        while isinstance(producer, PlaceholderProducer):
+            if producer.ready:
+                ready = True
+                producer = None
+                break
+            if producer.producer is None:
+                break
+            producer = producer.producer
+        if ready:
+            placeholder.ready = True
+        else:
+            placeholder.producer = producer
+        for consumer in consumers:
+            if consumer.state is not UopState.WAITING:
+                continue
+            if not self._attach_waiter(placeholder, consumer):
+                consumer.pending -= 1
+                if consumer.pending <= 0:
+                    consumer.state = UopState.READY
+                    heapq.heappush(self._ready, (consumer.seq, consumer))
+
+    # -- per-cycle operation ------------------------------------------------
+
+    def cycle(self, now: int) -> List[MicroOp]:
+        """One execution cycle; returns uops that completed this cycle."""
+        completed = self._complete(now)
+        self._drain_dispatch(now)
+        self._issue(now)
+        return completed
+
+    def _complete(self, now: int) -> List[MicroOp]:
+        finished = []
+        for uop in self._completions.pop(now, ()):
+            if uop.state is not UopState.EXECUTING:
+                continue  # squashed in flight
+            uop.state = UopState.DONE
+            uop.complete_cycle = now
+            self._wakeup(uop)
+            finished.append(uop)
+        return finished
+
+    def _wakeup(self, producer: MicroOp) -> None:
+        consumers, producer.consumers = producer.consumers, []
+        for consumer in consumers:
+            if consumer.state is not UopState.WAITING:
+                continue
+            consumer.pending -= 1
+            if consumer.pending <= 0:
+                consumer.state = UopState.READY
+                heapq.heappush(self._ready, (consumer.seq, consumer))
+
+    def _drain_dispatch(self, now: int) -> None:
+        while self._dispatch and self._dispatch[0].dispatch_ready_cycle <= now:
+            uop = self._dispatch.popleft()
+            if uop.state is UopState.SQUASHED:
+                continue
+            if uop.state is not UopState.RENAMED:
+                raise SimulationError(f"dispatching uop in state {uop.state}")
+            self._insert_window(uop)
+
+    def _issue(self, now: int) -> None:
+        counts = self.config.fu_counts
+        used: Dict[str, int] = {}
+        issued = 0
+        skipped: List[Tuple[int, MicroOp]] = []
+        while self._ready and issued < self.config.issue_width:
+            seq, uop = heapq.heappop(self._ready)
+            if uop.state is not UopState.READY:
+                continue  # squashed while queued
+            pool = _FU_POOL[uop.op_class]
+            if used.get(pool, 0) >= counts.get(pool, 0):
+                skipped.append((seq, uop))
+                continue
+            used[pool] = used.get(pool, 0) + 1
+            issued += 1
+            self._start_execution(uop, now)
+        for item in skipped:
+            heapq.heappush(self._ready, item)
+        if skipped:
+            self.stats.add("exec.fu_structural_stalls", len(skipped))
+        self.stats.add("exec.issued", issued)
+
+    def _start_execution(self, uop: MicroOp, now: int) -> None:
+        uop.state = UopState.EXECUTING
+        uop.issue_cycle = now
+        latency = self.config.fu_latencies[_LATENCY_KEY[uop.op_class]]
+        done_at = now + latency
+        if uop.inst.is_mem and uop.record is not None \
+                and uop.record.ea is not None:
+            data_ready = self.memory.data_access(uop.record.ea, now)
+            if uop.inst.is_load:
+                done_at = max(done_at, data_ready + 1)
+        # Wrong-path memory ops have no architectural address; they are
+        # charged the L1-hit path only.
+        self._completions.setdefault(done_at, []).append(uop)
+
+    # -- introspection ---------------------------------------------------
+
+    def in_flight_dispatch(self) -> int:
+        return len(self._dispatch)
+
+    def drop_squashed_dispatch(self) -> None:
+        """Prune squashed uops from the dispatch queue (after a squash)."""
+        self._dispatch = deque(u for u in self._dispatch
+                               if u.state is not UopState.SQUASHED)

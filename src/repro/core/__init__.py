@@ -1,0 +1,24 @@
+"""Pipeline driver, micro-ops, and the simulation entry point."""
+
+from repro.core.processor import Processor
+from repro.core.simulation import SimulationResult, run_simulation
+from repro.core.trace import (
+    UopTrace,
+    format_pipeview,
+    pipeline_summary,
+    trace_simulation,
+)
+from repro.core.uop import MicroOp, PlaceholderProducer, UopState
+
+__all__ = [
+    "Processor",
+    "SimulationResult",
+    "run_simulation",
+    "MicroOp",
+    "PlaceholderProducer",
+    "UopState",
+    "UopTrace",
+    "trace_simulation",
+    "format_pipeview",
+    "pipeline_summary",
+]

@@ -1,0 +1,595 @@
+"""The simulated processor: pipeline driver tying every model together.
+
+Per cycle, in reverse pipeline order:
+
+1. **execute/writeback** (:class:`~repro.backend.core.OutOfOrderCore`) —
+   completions may resolve control mispredictions and redirect fetch;
+2. **commit** — in-order retirement, predictor training via the
+   commit-side fragment carver;
+3. **rename** — monolithic or parallel, producing uops dispatched into
+   the window after a short dispatch pipeline;
+4. **fetch** — the fill engine advances its sequencers/trace cache, then
+   at most one new fragment is predicted and allocated a buffer.
+
+The oracle dynamic stream defines the correct path.  Fragments are tagged
+against it at creation: the first fetched instruction that diverges from
+the oracle pins the misprediction on the preceding (control) instruction,
+and when that uop executes the processor squashes younger work, restores
+front-end checkpoints and redirects fetch — so wrong-path instructions
+occupy fetch slots, buffers, rename bandwidth and window entries for
+exactly the mis-speculation window, as in an execution-driven simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.config import ProcessorConfig
+from repro.core.uop import MicroOp, PlaceholderProducer, UopState
+from repro.backend.core import OutOfOrderCore
+from repro.emulator.stream import DynamicInstruction
+from repro.errors import ConfigError, SimulationError
+from repro.frontend.buffers import FragmentBufferArray, FragmentInFlight
+from repro.frontend.control import FrontEndControl
+from repro.frontend.engines import (
+    FillEngine,
+    ParallelFillEngine,
+    SequentialFillEngine,
+    TraceCacheFillEngine,
+)
+from repro.frontend.fragments import FragmentKey, should_terminate
+from repro.frontend.trace_cache import TraceCache
+from repro.isa.program import Program
+from repro.isa.registers import ZERO_REG
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.liveout import LiveOutPredictor, compute_liveouts
+from repro.predictors.return_stack import ReturnAddressStack
+from repro.predictors.trace_predictor import TracePredictor
+from repro.rename.monolithic import MonolithicRenamer
+from repro.rename.parallel import ParallelRenamer
+from repro.stats import StatsCollector
+
+
+class Processor:
+    """One simulated processor instance (one benchmark run)."""
+
+    def __init__(self, config: ProcessorConfig, program: Program,
+                 oracle: List[DynamicInstruction]):
+        self.config = config
+        self.program = program
+        self.stats = StatsCollector()
+
+        if config.frontend.fragment_buffer_size < config.fragment.max_length:
+            raise ConfigError(
+                f"fragment buffers hold {config.frontend.fragment_buffer_size}"
+                f" instructions but fragments may reach "
+                f"{config.fragment.max_length}")
+
+        # NOPs are eliminated before they reach any pipeline statistic.
+        self._oracle = [r for r in oracle if not r.inst.is_nop]
+        if not self._oracle:
+            raise SimulationError("empty oracle stream")
+
+        self.memory = MemoryHierarchy(config.memory, self.stats)
+        self.trace_predictor = TracePredictor(config.trace_predictor,
+                                              self.stats)
+        self.liveout_predictor = LiveOutPredictor(config.liveout_predictor,
+                                                  self.stats)
+        self.ras = ReturnAddressStack()
+        self.bimodal = BimodalPredictor(stats=self.stats)
+        self.control = FrontEndControl(program, config.fragment,
+                                       self.trace_predictor, self.ras,
+                                       self.stats, self._oracle[0].pc,
+                                       direction_fallback=self.bimodal.predict)
+        self.buffers = FragmentBufferArray(
+            config.frontend.num_fragment_buffers, self.stats)
+        self.trace_cache: Optional[TraceCache] = None
+        self.engine = self._build_engine()
+        self.core = OutOfOrderCore(config.backend, self.memory, self.stats)
+        self.renamer = self._build_renamer()
+
+        #: In-flight fragments, oldest first (committed ones are removed).
+        self.fragments: List[FragmentInFlight] = []
+        self.now = 0
+        self._oracle_pos = 0
+        self._diverged = False
+        self._committed = 0
+        self._done = False
+        self._deferred_redirects: List[MicroOp] = []
+        #: Fragments awaiting selective re-execution fix-up (their rename
+        #: must finish before actual mappings are known).
+        self._pending_reexec: set = set()
+        #: When set (by tracing tools), every committed uop is appended.
+        self.uop_log: Optional[List[MicroOp]] = None
+
+        # Commit-side fragment carver (predictor training).
+        self._carve_records: List[DynamicInstruction] = []
+        self._carve_dirs: List[bool] = []
+
+    # -- construction ---------------------------------------------------------
+
+    def _build_engine(self) -> FillEngine:
+        fe = self.config.frontend
+        if fe.fetch_kind == "w16":
+            return SequentialFillEngine(self.program, self.memory,
+                                        self.stats, width=fe.width)
+        if fe.fetch_kind == "tc":
+            self.trace_cache = TraceCache(fe.trace_cache, self.stats)
+            return TraceCacheFillEngine(self.program, self.memory,
+                                        self.trace_cache, self.stats,
+                                        width=fe.width)
+        if fe.fetch_kind == "pf":
+            return ParallelFillEngine(self.program, self.memory, self.stats,
+                                      sequencers=fe.sequencers,
+                                      sequencer_width=fe.sequencer_width)
+        raise ConfigError(f"unknown fetch kind {fe.fetch_kind!r}")
+
+    def _build_renamer(self):
+        fe = self.config.frontend
+        if fe.rename_kind == "monolithic":
+            return MonolithicRenamer(fe.width, self.core, self.stats)
+        return ParallelRenamer(
+            fe.renamers, fe.renamer_width, self.core,
+            self.liveout_predictor, self.stats,
+            use_liveout_prediction=(fe.rename_kind == "parallel"))
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, max_cycles: Optional[int] = None) -> "Processor":
+        """Simulate until the oracle stream is fully committed."""
+        limit = max_cycles or (len(self._oracle) * 30 + 20_000)
+        while not self._done and self.now < limit:
+            self.step()
+        if not self._done:
+            self.stats.set("sim.timeout", 1)
+        self.stats.set("sim.cycles", self.now)
+        self.stats.set("sim.committed", self._committed)
+        return self
+
+    def step(self) -> None:
+        """Advance the processor by one cycle."""
+        self.now += 1
+        completed = self.core.cycle(self.now)
+        self._handle_completions(completed)
+        self._commit()
+        renamed = self.renamer.cycle(self.now, self.fragments,
+                                     self._make_uop)
+        if renamed:
+            wrong = sum(1 for u in renamed if u.record is None)
+            if wrong:
+                self.stats.add("rename.wrongpath_insts", wrong)
+            self.core.dispatch(renamed, self.now)
+        if self.config.frontend.liveout_recovery == "squash":
+            mispredict = getattr(self.renamer,
+                                 "pending_liveout_mispredict", None)
+            if mispredict is not None:
+                self._liveout_squash(mispredict)
+        else:
+            for mispredict in getattr(self.renamer,
+                                      "pending_liveout_mispredicts", ()):
+                self._pending_reexec.add(mispredict.seq)
+        if self._pending_reexec:
+            self._drain_pending_reexec()
+        self._release_renamed_buffers()
+        self._fetch()
+
+    # -- fetch stage -------------------------------------------------------
+
+    def _fetch(self) -> None:
+        self.engine.cycle(self.now)
+        if not self.engine.can_accept() or self.buffers.free_count() == 0:
+            self.stats.add("frontend.alloc_blocked_cycles")
+            return
+        fragment = self.control.try_next_fragment()
+        if fragment is None:
+            return
+        self._tag_fragment(fragment)
+        if not self.buffers.allocate(fragment, self.now):
+            raise SimulationError("buffer allocation failed despite check")
+        self.fragments.append(fragment)
+        if fragment.reused:
+            self.stats.add("fetch.reused_insts", fragment.static_frag.length)
+        else:
+            self.engine.accept(fragment)
+
+    # -- oracle tagging ------------------------------------------------------
+
+    def _tag_fragment(self, fragment: FragmentInFlight) -> None:
+        """Bind fragment instructions to oracle records; detect divergence."""
+        records: List[Optional[Tuple[DynamicInstruction, int]]] = []
+        oracle = self._oracle
+        for i, inst in enumerate(fragment.static_frag.instructions):
+            if (not self._diverged and self._oracle_pos < len(oracle)
+                    and oracle[self._oracle_pos].pc == inst.addr):
+                records.append((oracle[self._oracle_pos], self._oracle_pos))
+                self._oracle_pos += 1
+            else:
+                if not self._diverged:
+                    self._mark_divergence(fragment, i, records)
+                records.append(None)
+        fragment.records = records
+
+    def _mark_divergence(self, fragment: FragmentInFlight, position: int,
+                         records: List) -> None:
+        self._diverged = True
+        if self._oracle_pos >= len(self._oracle):
+            return  # end of simulated stream, not a misprediction
+        if position > 0:
+            source_frag, source_pos = fragment, position - 1
+            source_entry = records[position - 1]
+        else:
+            if not self.fragments:
+                raise SimulationError("divergence with no prior fragment")
+            source_frag = self.fragments[-1]
+            source_pos = len(source_frag.records) - 1
+            source_entry = source_frag.records[source_pos]
+            if source_entry is None:  # pragma: no cover - defensive
+                raise SimulationError("divergence source on wrong path")
+        target = source_entry[0].next_pc
+        source_frag.mispredict_position = source_pos
+        source_frag.mispredict_target = target
+        self.stats.add("frontend.control_mispredicts")
+        source_inst = source_frag.static_frag.instructions[source_pos]
+        if source_inst.is_cond_branch:
+            self.stats.add("frontend.mispredict_direction")
+        elif source_inst.is_return:
+            self.stats.add("frontend.mispredict_return")
+        elif source_inst.is_indirect:
+            self.stats.add("frontend.mispredict_indirect")
+        else:
+            self.stats.add("frontend.mispredict_other")
+        if source_pos < len(source_frag.uops):
+            uop = source_frag.uops[source_pos]
+            uop.redirect_target = target
+            if uop.state in (UopState.DONE, UopState.COMMITTED):
+                self._deferred_redirects.append(uop)
+
+    # -- rename support ---------------------------------------------------
+
+    def _make_uop(self, fragment: FragmentInFlight,
+                  position: int) -> MicroOp:
+        inst = fragment.static_frag.instructions[position]
+        entry = (fragment.records[position]
+                 if position < len(fragment.records) else None)
+        record = entry[0] if entry is not None else None
+        uop = MicroOp(seq=(fragment.seq << 8) | position, inst=inst,
+                      pc=inst.addr, fragment_seq=fragment.seq,
+                      position=position, record=record)
+        uop.renamed_cycle = self.now
+        if entry is not None:
+            uop.oracle_idx = entry[1]
+        if (fragment.mispredict_position == position
+                and fragment.mispredict_target is not None):
+            uop.redirect_target = fragment.mispredict_target
+        return uop
+
+    def _release_renamed_buffers(self) -> None:
+        for fragment in self.fragments:
+            if fragment.rename_done and fragment.buffer_index is not None:
+                self.buffers.release(fragment, self.now, retain=True)
+
+    # -- completion / misprediction handling --------------------------------
+
+    def _handle_completions(self, completed: List[MicroOp]) -> None:
+        redirect_uop: Optional[MicroOp] = None
+        for uop in self._deferred_redirects:
+            if uop.state is not UopState.SQUASHED \
+                    and uop.redirect_target is not None:
+                if redirect_uop is None or uop.seq < redirect_uop.seq:
+                    redirect_uop = uop
+        self._deferred_redirects = []
+
+        for uop in completed:
+            if uop.record is None:
+                continue  # wrong-path completion: no architectural effect
+            if uop.redirect_target is not None:
+                if redirect_uop is None or uop.seq < redirect_uop.seq:
+                    redirect_uop = uop
+            elif uop.inst.is_indirect:
+                self._maybe_resolve_indirect(uop)
+
+        if redirect_uop is not None:
+            self._recover(redirect_uop)
+
+    def _maybe_resolve_indirect(self, uop: MicroOp) -> None:
+        """A correctly-fetched indirect completed; if fetch is stalled
+        waiting for its target, supply it (no squash needed)."""
+        if not self.fragments:
+            return
+        youngest = self.fragments[-1]
+        if youngest.seq != uop.fragment_seq:
+            return
+        if uop.position != youngest.length - 1:
+            return
+        assert uop.record is not None
+        self.control.redirect(uop.record.next_pc)
+        self.stats.add("frontend.indirect_resolutions")
+
+    def _recover(self, uop: MicroOp) -> None:
+        """Control-misprediction recovery: truncate the source fragment,
+        squash everything younger, restore front-end checkpoints."""
+        fragment = self._fragment_by_seq(uop.fragment_seq)
+        if fragment is None or fragment.squashed:
+            uop.redirect_target = None
+            return
+        position = uop.position
+        target = uop.redirect_target
+        uop.redirect_target = None
+        self.stats.add("frontend.recoveries")
+
+        # Truncate the source fragment after the mispredicted instruction.
+        for younger in fragment.uops[position + 1:]:
+            younger.state = UopState.SQUASHED
+        fragment.uops = fragment.uops[:position + 1]
+        fragment.truncated_at = position + 1
+        fragment.read_count = position + 1
+        fragment.complete = True
+        if fragment.construct_cycle < 0:
+            fragment.construct_cycle = self.now
+        fragment.rename_done = True
+        fragment.internal_writers = {}
+        for survivor in fragment.uops:
+            dest = survivor.inst.dest_reg()
+            if dest is not None and dest != ZERO_REG:
+                fragment.internal_writers[dest] = survivor
+        if fragment.incoming_map is not None:
+            outgoing = dict(fragment.incoming_map)
+            outgoing.update(fragment.internal_writers)
+            fragment.outgoing_actual = outgoing
+        for placeholder in fragment.placeholders.values():
+            placeholder.invalidated = True
+        uncommitted = fragment.truncated_at - fragment.committed_count
+        self.core.set_reservation(fragment.seq, max(0, uncommitted))
+
+        # Squash all younger fragments.
+        survivors: List[FragmentInFlight] = []
+        for candidate in self.fragments:
+            if candidate.seq > fragment.seq:
+                self._squash_fragment(candidate)
+            else:
+                survivors.append(candidate)
+        self.fragments = survivors
+
+        self.engine.squash()
+        self.renamer.rebuild(self.fragments)
+        self.core.drop_squashed_dispatch()
+        self.buffers.release(fragment, self.now, retain=False)
+
+        self.control.redirect(target, fragment=fragment,
+                              valid_prefix=position + 1)
+        # Keep speculative path history aligned with the retired fragment
+        # sequence: the truncated fragment (with its *actual* direction
+        # bits) is what retire-side training will see next.
+        truncated_dirs = tuple(
+            entry[0].taken for entry in fragment.records[:position + 1]
+            if entry is not None and entry[0].inst.is_cond_branch)
+        self.trace_predictor.push_history(
+            FragmentKey(fragment.key.start_pc, truncated_dirs))
+        self._oracle_pos = uop.oracle_idx + 1
+        self._diverged = False
+        self._deferred_redirects = []
+
+    def _squash_fragment(self, fragment: FragmentInFlight) -> None:
+        fragment.squashed = True
+        for uop in fragment.uops:
+            uop.state = UopState.SQUASHED
+        for placeholder in fragment.placeholders.values():
+            placeholder.invalidated = True
+        self.core.release_all(fragment.seq)
+        self.buffers.release(fragment, self.now,
+                             retain=fragment.complete
+                             and fragment.truncated_at is None)
+        self.stats.add("frontend.fragments_squashed")
+
+    def _liveout_squash(self, fragment: FragmentInFlight) -> None:
+        """Live-out misprediction: younger fragments re-rename from their
+        buffers (Section 4.3 — "all future fragments are squashed")."""
+        self.stats.add("rename.liveout_squashes")
+        for candidate in self.fragments:
+            if candidate.seq <= fragment.seq or candidate.squashed:
+                continue
+            for uop in candidate.uops:
+                uop.state = UopState.SQUASHED
+            self.core.release_all(candidate.seq)
+            if candidate.buffer_index is None and candidate.read_count:
+                # Buffer already released; hardware would refetch.  The
+                # contents are still architecturally identical, so we model
+                # the re-rename and count the event.
+                self.stats.add("rename.liveout_squash_refetches")
+            candidate.reset_rename()
+        self.renamer.rebuild(self.fragments)
+        self.core.drop_squashed_dispatch()
+
+    # -- selective re-execution (Section 4.3's alternative) ----------------
+
+    def _drain_pending_reexec(self) -> None:
+        """Apply re-execution fix-ups for mispredicted fragments whose
+        rename has completed (their actual mappings are now known)."""
+        ready = []
+        for fragment in self.fragments:
+            if fragment.seq in self._pending_reexec and fragment.rename_done:
+                ready.append(fragment)
+        for fragment in ready:
+            self._pending_reexec.discard(fragment.seq)
+            self._liveout_reexecute(fragment)
+        # Squashed/retired fragments no longer need fix-up.
+        live = {f.seq for f in self.fragments}
+        self._pending_reexec &= live
+
+    def _liveout_reexecute(self, fragment: FragmentInFlight) -> None:
+        """Selectively repair the renames that used *fragment*'s wrong
+        live-out predictions and re-execute only the affected uops.
+
+        Replays the architecturally-correct register maps forward from the
+        fragment's actual outgoing map through every younger fragment,
+        relinking each existing uop's sources.  Any uop whose sources
+        changed — or which transitively consumes one that did — is reset
+        and re-dispatched (paying the dispatch/issue pipeline again, the
+        cost of selective re-execution).
+        """
+        self.stats.add("rename.liveout_reexec_events")
+        map_state: dict = dict(fragment.outgoing_actual or {})
+
+        # Rebind the fragment's placeholders to the true final producers
+        # so future (not-yet-renamed) consumers resolve correctly.
+        for reg, placeholder in fragment.placeholders.items():
+            actual = map_state.get(reg)
+            if actual is None:
+                self.core.bind_placeholder(placeholder, ready=True)
+            elif placeholder.producer is not actual:
+                self.core.bind_placeholder(placeholder, producer=actual)
+        fragment.liveout_mispredicted = False
+
+        dirty: set = set()
+        to_redispatch: List[MicroOp] = []
+        for younger in self.fragments:
+            if younger.seq <= fragment.seq or younger.squashed:
+                continue
+            incoming_snapshot = dict(map_state)
+            if younger.incoming_map is not None:
+                younger.incoming_map.clear()
+                younger.incoming_map.update(incoming_snapshot)
+            writers: dict = {}
+            for uop in younger.uops:
+                if uop.state is UopState.SQUASHED:
+                    continue
+                correct_sources = []
+                for src in uop.inst.src_regs():
+                    if src == ZERO_REG:
+                        continue
+                    producer = writers.get(src)
+                    if producer is None:
+                        producer = incoming_snapshot.get(src)
+                    if producer is not None:
+                        correct_sources.append(producer)
+                is_dirty = correct_sources != uop.sources or any(
+                    self._resolves_to_dirty(src, dirty)
+                    for src in correct_sources)
+                if is_dirty:
+                    dirty.add(id(uop))
+                    uop.sources = correct_sources
+                    if uop.state is not UopState.RENAMED:
+                        uop.state = UopState.RENAMED
+                        uop.pending = 0
+                        uop.consumers = []
+                        to_redispatch.append(uop)
+                dest = uop.inst.dest_reg()
+                if dest is not None and dest != ZERO_REG:
+                    writers[dest] = uop
+            # Advance the map past this fragment: its own predicted
+            # live-outs stay represented by its placeholders (they bind as
+            # it renames); everything else by its writers so far.
+            for reg, writer in writers.items():
+                if reg not in younger.placeholders:
+                    map_state[reg] = writer
+            for reg, placeholder in younger.placeholders.items():
+                if not placeholder.invalidated:
+                    map_state[reg] = placeholder
+            if younger.rename_done:
+                # outgoing_actual must reflect the corrected maps.
+                outgoing = dict(incoming_snapshot)
+                outgoing.update(younger.internal_writers)
+                younger.outgoing_actual = outgoing
+
+        if to_redispatch:
+            self.stats.add("rename.reexecuted_uops", len(to_redispatch))
+            self.core.dispatch(to_redispatch, self.now)
+
+    @staticmethod
+    def _resolves_to_dirty(source, dirty: set) -> bool:
+        node = source
+        while isinstance(node, PlaceholderProducer):
+            if node.producer is None:
+                return False
+            node = node.producer
+        return id(node) in dirty
+
+    def _fragment_by_seq(self, seq: int) -> Optional[FragmentInFlight]:
+        for fragment in self.fragments:
+            if fragment.seq == seq:
+                return fragment
+        return None
+
+    # -- commit stage ------------------------------------------------------
+
+    def _commit(self) -> None:
+        budget = self.config.backend.commit_width
+        while budget > 0 and self.fragments:
+            fragment = self.fragments[0]
+            limit = fragment.length
+            if fragment.committed_count >= limit and fragment.rename_done:
+                self._retire_fragment(fragment)
+                continue
+            position = fragment.committed_count
+            if position >= len(fragment.uops):
+                break
+            uop = fragment.uops[position]
+            if uop.state is not UopState.DONE:
+                break
+            if uop.record is None:  # pragma: no cover - invariant
+                raise SimulationError("attempted to commit wrong-path uop")
+            uop.state = UopState.COMMITTED
+            uop.commit_cycle = self.now
+            if self.uop_log is not None:
+                self.uop_log.append(uop)
+            self.core.release(fragment.seq, 1)
+            fragment.committed_count += 1
+            self._committed += 1
+            budget -= 1
+            self.stats.add("commit.insts")
+            self._carve_feed(uop.record)
+            if (fragment.truncated_at is not None
+                    and fragment.committed_count == fragment.truncated_at):
+                # A control misprediction truncated this fragment here; the
+                # fill/carve sequence restarts at the corrected PC, so the
+                # partial fragment is finalised as its own trace to keep
+                # predictor training aligned with what fetch sees.
+                self._carve_flush()
+            if self._committed >= len(self._oracle):
+                self._done = True
+                return
+
+    def _retire_fragment(self, fragment: FragmentInFlight) -> None:
+        self.fragments.pop(0)
+        self.core.set_reservation(fragment.seq, 0)
+        if isinstance(self.renamer, ParallelRenamer):
+            self.renamer.retire_fragment(fragment)
+        if fragment.buffer_index is not None:
+            self.buffers.release(fragment, self.now, retain=True)
+        self.stats.add("commit.fragments")
+
+    # -- commit-side carver (predictor training) ----------------------------
+
+    def _carve_feed(self, record: DynamicInstruction) -> None:
+        self._carve_records.append(record)
+        if record.inst.is_cond_branch:
+            self._carve_dirs.append(record.taken)
+            self.bimodal.train(record.pc, record.taken)
+        reason = should_terminate(record.inst, len(self._carve_records),
+                                  self.config.fragment)
+        if reason is not None:
+            self._carve_flush()
+
+    def _carve_flush(self) -> None:
+        """Finalise the in-progress retired fragment and train predictors."""
+        if not self._carve_records:
+            return
+        key = FragmentKey(self._carve_records[0].pc,
+                          tuple(self._carve_dirs))
+        self.trace_predictor.train(key)
+        self.liveout_predictor.train(
+            key, compute_liveouts([r.inst for r in self._carve_records]))
+        self.stats.add("commit.trained_fragments")
+        self._carve_records = []
+        self._carve_dirs = []
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._done
+
+    @property
+    def committed(self) -> int:
+        return self._committed

@@ -1,0 +1,175 @@
+"""High-level simulation entry points and result objects.
+
+This is the main public API::
+
+    from repro import run_simulation
+
+    result = run_simulation("pr-2x8w", "gcc", max_instructions=30_000)
+    print(result.ipc, result.fetch_rate, result.slot_utilization)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.config import ProcessorConfig, frontend_config
+from repro.core.processor import Processor
+from repro.core.warming import warm_processor
+from repro.emulator.machine import Machine
+from repro.isa.program import Program
+from repro.workloads import suite
+
+
+@dataclass
+class SimulationResult:
+    """Metrics of one (configuration, benchmark) simulation."""
+
+    benchmark: str
+    config_name: str
+    cycles: int
+    committed: int
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    # -- headline metrics -------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def fetch_rate(self) -> float:
+        """Instructions supplied by fetch per cycle, including wrong-path
+        and buffer-reused instructions (the Figure 5 metric)."""
+        supplied = (self.counter("fetch.insts")
+                    + self.counter("fetch.reused_insts"))
+        return supplied / self.cycles if self.cycles else 0.0
+
+    @property
+    def rename_rate(self) -> float:
+        """Instructions renamed per cycle, including wrong path (Fig. 5)."""
+        return (self.counter("rename.insts") / self.cycles
+                if self.cycles else 0.0)
+
+    @property
+    def slot_utilization(self) -> float:
+        """Fetched instructions / available fetch slots (Figure 4)."""
+        slots = self.counter("fetch.slots")
+        return self.counter("fetch.insts") / slots if slots else 0.0
+
+    @property
+    def trace_cache_hit_rate(self) -> float:
+        hits = self.counter("tc.hits")
+        total = hits + self.counter("tc.misses")
+        return hits / total if total else 0.0
+
+    @property
+    def fragment_reuse_rate(self) -> float:
+        """Fraction of allocated fragments served from retained buffers
+        (Section 3.2's 20-70% statistic)."""
+        allocations = self.counter("fragbuf.allocations")
+        return (self.counter("fragbuf.reuses") / allocations
+                if allocations else 0.0)
+
+    @property
+    def preconstructed_fraction(self) -> float:
+        """Fraction of fragments fully constructed before rename first
+        touched them (Section 3.3's 84% statistic)."""
+        started = self.counter("rename.fragments_started")
+        return (self.counter("rename.fragments_preconstructed") / started
+                if started else 0.0)
+
+    @property
+    def liveout_accuracy(self) -> float:
+        """Fraction of live-out predictions that were fully correct."""
+        lookups = self.counter("rename.liveout_lookups")
+        if not lookups:
+            return 1.0
+        wrong = (self.counter("rename.liveout_mispredicts")
+                 + self.counter("rename.liveout_cold"))
+        return max(0.0, 1.0 - wrong / lookups)
+
+    @property
+    def renamed_before_source_fraction(self) -> float:
+        """Fraction of renamed instructions renamed before a producer
+        (Section 5.2's 4-12% statistic)."""
+        renamed = self.counter("rename.insts")
+        return (self.counter("rename.before_source") / renamed
+                if renamed else 0.0)
+
+    @property
+    def l1i_miss_rate(self) -> float:
+        hits = self.counter("l1i.hits")
+        misses = self.counter("l1i.misses")
+        total = hits + misses
+        return misses / total if total else 0.0
+
+    @property
+    def timed_out(self) -> bool:
+        return bool(self.counter("sim.timeout"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SimulationResult({self.config_name}/{self.benchmark}: "
+                f"IPC={self.ipc:.2f}, fetch={self.fetch_rate:.2f}/cyc, "
+                f"{self.cycles} cycles)")
+
+
+def _resolve_config(config: Union[str, ProcessorConfig]
+                    ) -> (str, ProcessorConfig):
+    if isinstance(config, str):
+        return config, frontend_config(config)
+    return config.frontend.fetch_kind, config
+
+
+def run_simulation(config: Union[str, ProcessorConfig],
+                   benchmark: Union[str, Program],
+                   max_instructions: Optional[int] = None,
+                   max_cycles: Optional[int] = None,
+                   config_name: Optional[str] = None,
+                   warm: bool = True) -> SimulationResult:
+    """Simulate *benchmark* on the given front-end configuration.
+
+    Args:
+        config: a named paper configuration (``w16``, ``tc``, ``tc2x``,
+            ``pf-2x8w``, ``pf-4x4w``, ``pr-2x8w``, ``pr-4x4w``,
+            ``tc+pr-2x8w``, ``tc+pr-4x4w``) or a full
+            :class:`~repro.config.ProcessorConfig`.
+        benchmark: a suite benchmark name or an assembled
+            :class:`~repro.isa.program.Program`.
+        max_instructions: dynamic instructions to simulate (defaults to the
+            suite default, overridable via ``REPRO_SIM_INSTRUCTIONS``).
+        max_cycles: optional safety bound on simulated cycles.
+        warm: functionally warm predictors and caches with the stream
+            before the timed run (steady-state methodology; see
+            :mod:`repro.core.warming`).  Default True.
+
+    Returns:
+        A :class:`SimulationResult` with every counter the models emit.
+    """
+    resolved_name, processor_config = _resolve_config(config)
+    config_name = config_name or resolved_name
+    length = max_instructions or suite.default_sim_instructions()
+    if isinstance(benchmark, str):
+        program = suite.get_benchmark(benchmark)
+        oracle = suite.oracle_stream(benchmark, length).stream
+        bench_name = benchmark
+    else:
+        program = benchmark
+        oracle = Machine(program).run(length).stream
+        bench_name = program.name
+
+    processor = Processor(processor_config, program, oracle)
+    if warm:
+        warm_processor(processor, oracle)
+    processor.run(max_cycles=max_cycles)
+    return SimulationResult(
+        benchmark=bench_name,
+        config_name=config_name,
+        cycles=processor.now,
+        committed=processor.committed,
+        counters=processor.stats.as_dict(),
+    )

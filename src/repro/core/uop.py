@@ -1,0 +1,160 @@
+"""In-flight micro-operations.
+
+A :class:`MicroOp` is one dynamic instance of an instruction travelling
+through the timing pipeline.  Dataflow is modelled by linking each source
+operand to its *producer* (another MicroOp, or a
+:class:`PlaceholderProducer` created by parallel rename's phase 1 for a
+predicted live-out that has not been renamed yet).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Union
+
+from repro.emulator.stream import DynamicInstruction
+from repro.isa.instructions import Instruction, OpClass
+
+
+class UopState(enum.Enum):
+    RENAMED = "renamed"      # renamed, waiting to enter the window
+    WAITING = "waiting"      # in window, sources not ready
+    READY = "ready"          # in window, sources ready, waiting for issue
+    EXECUTING = "executing"  # issued to a functional unit
+    DONE = "done"            # result available
+    COMMITTED = "committed"
+    SQUASHED = "squashed"
+
+
+class PlaceholderProducer:
+    """Phase-1 token for a predicted live-out of a fragment.
+
+    Younger fragments rename their cross-fragment sources to these tokens
+    before the producing instruction itself has been renamed.  When the
+    producer is renamed (phase 2) the token is *bound*; the consumer then
+    tracks the real producer's completion.
+    """
+
+    __slots__ = ("arch_reg", "fragment_seq", "producer", "invalidated",
+                 "consumers", "ready")
+
+    def __init__(self, arch_reg: int, fragment_seq: int):
+        self.arch_reg = arch_reg
+        self.fragment_seq = fragment_seq
+        #: The real producer once bound: a MicroOp, or another (older)
+        #: placeholder when a cold fragment passes a mapping through.
+        self.producer: Optional[object] = None
+        self.invalidated = False
+        #: Uops waiting on this mapping before the producer is known.
+        self.consumers: List["MicroOp"] = []
+        #: True when the mapping resolved to architectural (committed)
+        #: state — the value is available immediately.
+        self.ready = False
+
+    def bind(self, producer: "MicroOp") -> None:
+        """Attach the real producer; waiting consumers follow it now.
+
+        Only valid while the producer has not completed; late bindings
+        must go through ``OutOfOrderCore.bind_placeholder`` so waiting
+        consumers are woken.
+        """
+        self.producer = producer
+        if self.consumers:
+            producer.consumers.extend(self.consumers)
+            self.consumers = []
+
+    @property
+    def done(self) -> bool:
+        """Ready only once resolved to architectural state or bound to a
+        completed producer.  Iterative: pass-through chains can span many
+        fragments for rarely-written registers."""
+        node = self
+        while isinstance(node, PlaceholderProducer):
+            if node.ready:
+                return True
+            if node.producer is None:
+                return False
+            node = node.producer
+        return node.state in (UopState.DONE, UopState.COMMITTED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "bound" if self.producer else "unbound"
+        return (f"<Placeholder r{self.arch_reg} "
+                f"frag={self.fragment_seq} {status}>")
+
+
+Producer = Union["MicroOp", PlaceholderProducer]
+
+
+class MicroOp:
+    """One in-flight dynamic instruction."""
+
+    __slots__ = (
+        "seq", "inst", "pc", "fragment_seq", "position", "record",
+        "state", "sources", "complete_cycle", "renamed_cycle",
+        "dispatch_ready_cycle", "consumers", "pending", "oracle_idx",
+        "redirect_target", "issue_cycle", "commit_cycle",
+    )
+
+    def __init__(self, seq: int, inst: Instruction, pc: int,
+                 fragment_seq: int, position: int,
+                 record: Optional[DynamicInstruction]):
+        self.seq = seq
+        self.inst = inst
+        self.pc = pc
+        self.fragment_seq = fragment_seq
+        #: Index of this uop within its fragment (0-based, non-NOP).
+        self.position = position
+        #: Oracle record when on the correct path, else None (wrong path).
+        self.record = record
+        self.state = UopState.RENAMED
+        #: Producers of each source operand (filled in by rename).
+        self.sources: List[Producer] = []
+        self.complete_cycle = -1
+        self.renamed_cycle = -1
+        self.dispatch_ready_cycle = -1
+        #: Uops whose sources include this one (window wakeup links).
+        self.consumers: List["MicroOp"] = []
+        #: Number of source producers not yet complete (window state).
+        self.pending = 0
+        #: Position in the processor's non-NOP oracle stream, or -1.
+        self.oracle_idx = -1
+        #: When set, completing this uop redirects fetch to this PC
+        #: (control misprediction resolution).
+        self.redirect_target: Optional[int] = None
+        #: Lifecycle timestamps for tracing (set by the core/commit).
+        self.issue_cycle = -1
+        self.commit_cycle = -1
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def on_correct_path(self) -> bool:
+        return self.record is not None
+
+    @property
+    def op_class(self) -> OpClass:
+        return self.inst.op_class
+
+    @property
+    def is_control(self) -> bool:
+        return self.inst.is_control
+
+    def sources_ready(self) -> bool:
+        """True when every source's producer has completed."""
+        for producer in self.sources:
+            if isinstance(producer, PlaceholderProducer):
+                if not producer.done:
+                    return False
+            elif producer.state not in (UopState.DONE, UopState.COMMITTED):
+                return False
+        return True
+
+    def actual_next_pc(self) -> Optional[int]:
+        """Architecturally-correct next PC (None on the wrong path)."""
+        return self.record.next_pc if self.record is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        path = "C" if self.on_correct_path else "W"
+        return (f"<uop#{self.seq} {self.pc:#x} {self.inst.opcode.mnemonic} "
+                f"{self.state.value} {path}>")

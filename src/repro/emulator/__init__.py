@@ -1,0 +1,13 @@
+"""Functional (architectural) emulation of repro-ISA programs."""
+
+from repro.emulator.machine import Machine, execute, to_signed, to_unsigned
+from repro.emulator.stream import DynamicInstruction, ExecutionResult
+
+__all__ = [
+    "Machine",
+    "execute",
+    "DynamicInstruction",
+    "ExecutionResult",
+    "to_signed",
+    "to_unsigned",
+]

@@ -1,0 +1,64 @@
+"""Dynamic instruction stream records.
+
+The functional emulator (:mod:`repro.emulator.machine`) produces a sequence
+of :class:`DynamicInstruction` records — the *oracle stream*.  The timing
+model consumes this stream as the definition of the correct execution path
+and uses the per-record ``next_pc`` to redirect fetch after branch
+mispredictions resolve.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.instructions import Instruction
+
+
+class DynamicInstruction:
+    """One dynamic execution of a static instruction.
+
+    Attributes:
+        index: position in the dynamic stream (0-based).
+        inst: the static :class:`Instruction` executed.
+        pc: byte address of the instruction.
+        next_pc: byte address of the dynamically-next instruction.
+        taken: for control instructions, whether control transferred away
+            from the fall-through path; ``False`` for everything else.
+        ea: effective address for loads/stores, else ``None``.
+    """
+
+    __slots__ = ("index", "inst", "pc", "next_pc", "taken", "ea")
+
+    def __init__(self, index: int, inst: Instruction, pc: int, next_pc: int,
+                 taken: bool = False, ea: Optional[int] = None):
+        self.index = index
+        self.inst = inst
+        self.pc = pc
+        self.next_pc = next_pc
+        self.taken = taken
+        self.ea = ea
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = " taken" if self.taken else ""
+        return f"<#{self.index} {self.pc:#x}: {self.inst}{flags}>"
+
+
+class ExecutionResult:
+    """Outcome of a functional-emulation run."""
+
+    __slots__ = ("stream", "outputs", "halted", "instructions_executed")
+
+    def __init__(self, stream: List[DynamicInstruction], outputs: List[int],
+                 halted: bool):
+        self.stream = stream
+        self.outputs = outputs
+        self.halted = halted
+        self.instructions_executed = len(stream)
+
+    def __len__(self) -> int:
+        return len(self.stream)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "halted" if self.halted else "truncated"
+        return (f"ExecutionResult({len(self.stream)} insts, "
+                f"{len(self.outputs)} outputs, {status})")

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AssemblerError(ReproError):
+    """Raised when assembly source cannot be assembled.
+
+    Carries the source line number (1-based) when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EmulationError(ReproError):
+    """Raised when the functional emulator encounters an illegal state
+    (bad PC, unaligned access, division by zero, runaway execution)."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid simulator configuration values."""
+
+
+class SimulationError(ReproError):
+    """Raised when the timing model reaches an inconsistent state.
+
+    This always indicates a bug in the simulator rather than a property of
+    the simulated program, so it should never be silently swallowed.
+    """

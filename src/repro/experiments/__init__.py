@@ -1,0 +1,63 @@
+"""Experiment harnesses: one entry point per paper table/figure.
+
+Each experiment returns structured data plus a ``format_*`` companion that
+renders the same rows/series the paper reports.
+"""
+
+from repro.experiments.common import (
+    clear_cache,
+    experiment_benchmarks,
+    experiment_length,
+    run_cached,
+    run_matrix,
+    sweep_length,
+)
+from repro.experiments.frontend_figs import (
+    figure4,
+    figure5,
+    figure6,
+    figure8,
+    format_figure4,
+    format_figure5,
+    format_figure6,
+    format_figure8,
+    format_text_statistics,
+    text_statistics,
+)
+from repro.experiments.sweeps import (
+    figure7,
+    figure9,
+    figure10,
+    format_figure7,
+    format_figure9,
+    format_figure10,
+)
+from repro.experiments.tables import format_table2, table1, table2
+
+__all__ = [
+    "run_cached",
+    "run_matrix",
+    "clear_cache",
+    "experiment_benchmarks",
+    "experiment_length",
+    "sweep_length",
+    "table1",
+    "table2",
+    "format_table2",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "text_statistics",
+    "format_figure4",
+    "format_figure5",
+    "format_figure6",
+    "format_figure7",
+    "format_figure8",
+    "format_figure9",
+    "format_figure10",
+    "format_text_statistics",
+]

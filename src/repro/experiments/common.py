@@ -1,0 +1,83 @@
+"""Shared infrastructure for the paper's experiments.
+
+Simulation results are memoized per (configuration, benchmark, length,
+storage, predictor-size) so experiments that share runs — Figures 4, 5
+and 8 all use the default-configuration matrix — pay for each simulation
+once per process.
+
+Environment knobs:
+
+* ``REPRO_SIM_INSTRUCTIONS`` — dynamic instructions per benchmark run
+  (default 30 000);
+* ``REPRO_SWEEP_INSTRUCTIONS`` — shorter length used by the cache-size
+  and predictor-size sweeps (default: half the above);
+* ``REPRO_EXPERIMENT_BENCHMARKS`` — comma-separated benchmark subset
+  (default: the full 12-benchmark suite).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import frontend_config
+from repro.core.simulation import SimulationResult, run_simulation
+from repro.workloads.suite import BENCHMARK_NAMES, default_sim_instructions
+
+_CacheKey = Tuple[str, str, int, Optional[int], Optional[int]]
+_result_cache: Dict[_CacheKey, SimulationResult] = {}
+
+
+def experiment_benchmarks() -> List[str]:
+    """The benchmarks experiments run over (env-overridable)."""
+    override = os.environ.get("REPRO_EXPERIMENT_BENCHMARKS")
+    if not override:
+        return list(BENCHMARK_NAMES)
+    names = [n.strip() for n in override.split(",") if n.strip()]
+    unknown = set(names) - set(BENCHMARK_NAMES)
+    if unknown:
+        raise ValueError(f"unknown benchmarks in override: {sorted(unknown)}")
+    return names
+
+
+def experiment_length() -> int:
+    return default_sim_instructions()
+
+
+def sweep_length() -> int:
+    """Shorter default for the multi-point sweeps (Figures 9 and 10)."""
+    override = os.environ.get("REPRO_SWEEP_INSTRUCTIONS")
+    if override:
+        return int(override)
+    return max(2000, experiment_length() // 2)
+
+
+def run_cached(config_name: str, benchmark: str, length: int,
+               total_l1_storage: Optional[int] = None,
+               predictor_entries: Optional[int] = None) -> SimulationResult:
+    """Memoized simulation run."""
+    key = (config_name, benchmark, length, total_l1_storage,
+           predictor_entries)
+    if key not in _result_cache:
+        config = frontend_config(config_name,
+                                 total_l1_storage=total_l1_storage)
+        if predictor_entries is not None:
+            config = config.replace(
+                trace_predictor=config.trace_predictor.scaled(
+                    predictor_entries))
+        _result_cache[key] = run_simulation(config, benchmark,
+                                            max_instructions=length,
+                                            config_name=config_name)
+    return _result_cache[key]
+
+
+def run_matrix(config_names: List[str], benchmarks: List[str],
+               length: int) -> Dict[str, Dict[str, SimulationResult]]:
+    """Run every (config, benchmark) pair, memoized."""
+    return {name: {bench: run_cached(name, bench, length)
+                   for bench in benchmarks}
+            for name in config_names}
+
+
+def clear_cache() -> None:
+    _result_cache.clear()

@@ -1,0 +1,192 @@
+"""Figures 4, 5, 6 and 8 plus the in-text front-end statistics.
+
+These all run over the same (configuration x benchmark) simulation matrix
+(shared through :mod:`repro.experiments.common`'s memoization).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.common import (
+    experiment_benchmarks,
+    experiment_length,
+    run_cached,
+    run_matrix,
+)
+from repro.stats import format_table, harmonic_mean, percent_speedup
+
+#: Mechanisms shown in Figure 4 (fetch-slot utilization).
+FIG4_CONFIGS = ["w16", "tc", "tc2x", "pf-2x8w", "pf-4x4w"]
+#: Paper's harmonic-mean utilizations (Section 5.1).
+PAPER_FIG4 = {"w16": 0.40, "tc": 0.60, "tc2x": 0.60,
+              "pf-2x8w": 0.70, "pf-4x4w": 0.80}
+
+#: Mechanisms shown in Figure 5 (fetch & rename rates).
+FIG5_CONFIGS = ["w16", "tc", "tc2x", "pf-2x8w", "pf-4x4w",
+                "pr-2x8w", "pr-4x4w"]
+
+#: Mechanisms shown in Figure 8 (percent speedup over W16).
+FIG8_CONFIGS = ["tc", "tc2x", "pf-2x8w", "pf-4x4w", "pr-2x8w", "pr-4x4w"]
+
+
+def figure4(length: Optional[int] = None,
+            benchmarks: Optional[List[str]] = None) -> Dict:
+    """Fetch-slot utilization per mechanism (harmonic mean across the
+    suite), the Figure 4 experiment."""
+    length = length or experiment_length()
+    benchmarks = benchmarks or experiment_benchmarks()
+    matrix = run_matrix(FIG4_CONFIGS, benchmarks, length)
+    per_bench = {cfg: {b: r.slot_utilization for b, r in row.items()}
+                 for cfg, row in matrix.items()}
+    means = {cfg: harmonic_mean(list(values.values()))
+             for cfg, values in per_bench.items()}
+    return {"per_benchmark": per_bench, "hmean": means,
+            "paper_hmean": PAPER_FIG4}
+
+
+def format_figure4(data: Dict) -> str:
+    rows = [[cfg, data["hmean"][cfg], data["paper_hmean"][cfg]]
+            for cfg in FIG4_CONFIGS]
+    return ("Figure 4: Fetch Slot Utilization (harmonic mean)\n"
+            + format_table(["Mechanism", "Measured", "Paper"], rows))
+
+
+def figure5(length: Optional[int] = None,
+            benchmarks: Optional[List[str]] = None) -> Dict:
+    """Average fetch and rename rates per cycle, including wrong-path
+    instructions — the Figure 5 experiment."""
+    length = length or experiment_length()
+    benchmarks = benchmarks or experiment_benchmarks()
+    matrix = run_matrix(FIG5_CONFIGS, benchmarks, length)
+    fetch = {}
+    rename = {}
+    for cfg, row in matrix.items():
+        fetch[cfg] = harmonic_mean([r.fetch_rate for r in row.values()])
+        rename[cfg] = harmonic_mean([r.rename_rate for r in row.values()])
+    return {"fetch_rate": fetch, "rename_rate": rename,
+            "per_benchmark": {
+                cfg: {b: (r.fetch_rate, r.rename_rate)
+                      for b, r in row.items()}
+                for cfg, row in matrix.items()}}
+
+
+def format_figure5(data: Dict) -> str:
+    rows = [[cfg, data["fetch_rate"][cfg], data["rename_rate"][cfg]]
+            for cfg in FIG5_CONFIGS]
+    return ("Figure 5: Instructions fetched & renamed per cycle "
+            "(incl. wrong path)\n"
+            + format_table(["Mechanism", "Fetch/cyc", "Rename/cyc"], rows))
+
+
+def figure6(length: Optional[int] = None,
+            benchmarks: Optional[List[str]] = None) -> Dict:
+    """Performance penalty of a parallel renamer behind a trace cache
+    (Figure 6), plus the renamed-before-source statistic of Section 5.2."""
+    length = length or experiment_length()
+    benchmarks = benchmarks or experiment_benchmarks()
+    matrix = run_matrix(["tc", "tc+pr-2x8w", "tc+pr-4x4w"], benchmarks,
+                        length)
+    penalties = {}
+    for cfg in ("tc+pr-2x8w", "tc+pr-4x4w"):
+        slowdowns = []
+        for bench in benchmarks:
+            base = matrix["tc"][bench].ipc
+            slowdowns.append((1.0 - matrix[cfg][bench].ipc / base) * 100.0)
+        penalties[cfg] = sum(slowdowns) / len(slowdowns)
+    before_source = {
+        cfg: harmonic_mean([
+            max(1e-9, matrix[cfg][b].renamed_before_source_fraction)
+            for b in benchmarks])
+        for cfg in ("tc+pr-2x8w", "tc+pr-4x4w")}
+    return {"penalty_percent": penalties,
+            "renamed_before_source": before_source,
+            "paper_penalty": {"tc+pr-2x8w": 1.0, "tc+pr-4x4w": 3.5}}
+
+
+def format_figure6(data: Dict) -> str:
+    rows = [[cfg, data["penalty_percent"][cfg],
+             data["paper_penalty"][cfg],
+             100 * data["renamed_before_source"][cfg]]
+            for cfg in ("tc+pr-2x8w", "tc+pr-4x4w")]
+    return ("Figure 6: Parallel renaming with a trace cache — "
+            "% slowdown vs monolithic rename\n"
+            + format_table(["Renamer", "Slowdown %", "Paper %",
+                            "Renamed-before-source %"], rows))
+
+
+def figure8(length: Optional[int] = None,
+            benchmarks: Optional[List[str]] = None) -> Dict:
+    """Per-benchmark percent speedup over W16 (Figure 8)."""
+    length = length or experiment_length()
+    benchmarks = benchmarks or experiment_benchmarks()
+    matrix = run_matrix(["w16"] + FIG8_CONFIGS, benchmarks, length)
+    speedups: Dict[str, Dict[str, float]] = {}
+    for cfg in FIG8_CONFIGS:
+        speedups[cfg] = {}
+        for bench in benchmarks:
+            base = matrix["w16"][bench].ipc
+            speedups[cfg][bench] = percent_speedup(matrix[cfg][bench].ipc,
+                                                   base)
+    means = {cfg: sum(values.values()) / len(values)
+             for cfg, values in speedups.items()}
+    return {"speedup_percent": speedups, "mean": means}
+
+
+def format_figure8(data: Dict) -> str:
+    benchmarks = sorted(next(iter(data["speedup_percent"].values())))
+    rows = []
+    for bench in benchmarks:
+        rows.append([bench] + [data["speedup_percent"][cfg][bench]
+                               for cfg in FIG8_CONFIGS])
+    rows.append(["MEAN"] + [data["mean"][cfg] for cfg in FIG8_CONFIGS])
+    return ("Figure 8: % speedup over W16\n"
+            + format_table(["Benchmark"] + FIG8_CONFIGS, rows,
+                           float_fmt="{:+.1f}"))
+
+
+def text_statistics(length: Optional[int] = None,
+                    benchmarks: Optional[List[str]] = None) -> Dict:
+    """The in-text statistics of Sections 3.2, 3.3 and 5.3: fragment-buffer
+    reuse, just-in-time fragment construction, and trace-cache hit rate."""
+    length = length or experiment_length()
+    benchmarks = benchmarks or experiment_benchmarks()
+    reuse = {}
+    precon = {}
+    tc_hit = {}
+    for bench in benchmarks:
+        pf = run_cached("pf-2x8w", bench, length)
+        tc = run_cached("tc", bench, length)
+        reuse[bench] = pf.fragment_reuse_rate
+        precon[bench] = pf.preconstructed_fraction
+        tc_hit[bench] = tc.trace_cache_hit_rate
+    return {
+        "fragment_reuse": reuse,
+        "preconstructed": precon,
+        "tc_hit_rate": tc_hit,
+        "reuse_range": (min(reuse.values()), max(reuse.values())),
+        "mean_preconstructed": sum(precon.values()) / len(precon),
+        "mean_tc_hit_rate": sum(tc_hit.values()) / len(tc_hit),
+        "paper": {"reuse_range": (0.20, 0.70), "preconstructed": 0.84,
+                  "tc_hit_rate": 0.87},
+    }
+
+
+def format_text_statistics(data: Dict) -> str:
+    rows = [[bench, data["fragment_reuse"][bench],
+             data["preconstructed"][bench], data["tc_hit_rate"][bench]]
+            for bench in sorted(data["fragment_reuse"])]
+    header = format_table(
+        ["Benchmark", "Frag reuse", "Constructed-before-rename",
+         "TC hit rate"], rows)
+    paper = data["paper"]
+    summary = (
+        f"\nreuse range: {data['reuse_range'][0]:.2f}-"
+        f"{data['reuse_range'][1]:.2f} (paper {paper['reuse_range'][0]:.2f}-"
+        f"{paper['reuse_range'][1]:.2f}); "
+        f"mean constructed-before-rename: "
+        f"{data['mean_preconstructed']:.2f} "
+        f"(paper {paper['preconstructed']:.2f}); "
+        f"mean TC hit rate: {data['mean_tc_hit_rate']:.2f} "
+        f"(paper {paper['tc_hit_rate']:.2f})")
+    return "In-text statistics (Sections 3.2/3.3/5.3)\n" + header + summary

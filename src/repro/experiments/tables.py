@@ -1,0 +1,85 @@
+"""Table 1 (simulation parameters) and Table 2 (benchmark characteristics)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import ProcessorConfig
+from repro.experiments.common import experiment_benchmarks, experiment_length
+from repro.stats import format_table
+from repro.workloads.suite import characterize
+
+#: Average fragment sizes reported in the paper's Table 2.
+PAPER_TABLE2 = {
+    "bzip2": 12.79, "crafty": 11.99, "eon": 10.98, "gap": 10.69,
+    "gcc": 11.15, "gzip": 12.06, "mcf": 9.04, "parser": 10.35,
+    "perl": 11.32, "twolf": 12.16, "vortex": 11.20, "vpr": 12.33,
+}
+
+
+def table1(config: Optional[ProcessorConfig] = None) -> str:
+    """Render the Table 1 simulation parameters from the live config."""
+    config = config or ProcessorConfig()
+    memory, backend = config.memory, config.backend
+    predictor, liveout = config.trace_predictor, config.liveout_predictor
+    fe = config.frontend
+    rows = [
+        ["Width", f"fetch/decode/commit {backend.commit_width}/cycle"],
+        ["Functional units",
+         f"{backend.fu_counts['ialu']} int adders, "
+         f"{backend.fu_counts['imul']} int multipliers, "
+         f"{backend.fu_counts['fadd']} FP adders, "
+         f"{backend.fu_counts['fmul']} FP multiplier, "
+         f"{backend.fu_counts['mem']} load/store units"],
+        ["Window", f"{backend.window_size}-entry instruction window"],
+        ["L1 caches",
+         f"{memory.l1i.size_bytes // 1024} KB, {memory.l1i.assoc}-way, "
+         f"{memory.l1i.latency}-cycle, {memory.l1i.line_bytes} B blocks "
+         f"({memory.l1i.line_bytes // 4} instructions/block)"],
+        ["L2 cache",
+         f"{memory.l2.size_bytes // 1024} KB, {memory.l2.assoc}-way, "
+         f"{memory.l2.latency}-cycle, {memory.l2.line_bytes} B blocks"],
+        ["Memory", f"{memory.memory_latency}-cycle access"],
+        ["Trace/fragment predictor",
+         f"DOLC {predictor.depth}-{predictor.older_bits}-"
+         f"{predictor.last_bits}-{predictor.current_bits}, "
+         f"{predictor.primary_entries // 1024}K primary, "
+         f"{predictor.secondary_entries // 1024}K secondary"],
+        ["Parallel fetch & rename",
+         f"{fe.num_fragment_buffers} fragment buffers x "
+         f"{fe.fragment_buffer_size} instructions; "
+         f"{liveout.assoc}-way {liveout.entries // 1024}K-entry "
+         f"live-out predictor"],
+    ]
+    return "Table 1: Simulation Parameters\n" + format_table(
+        ["Parameter", "Value"], rows)
+
+
+def table2(length: Optional[int] = None,
+           benchmarks: Optional[List[str]] = None) -> Dict[str, Dict]:
+    """Measure Table 2: benchmark characteristics of the synthetic suite."""
+    length = length or experiment_length()
+    benchmarks = benchmarks or experiment_benchmarks()
+    rows = {}
+    for name in benchmarks:
+        measured = characterize(name, length)
+        rows[name] = {
+            "avg_fragment_length": measured.avg_fragment_length,
+            "paper_avg_fragment_length": PAPER_TABLE2.get(name),
+            "static_kb": measured.text_bytes / 1024,
+            "dynamic_instructions": measured.dynamic_instructions,
+        }
+    return rows
+
+
+def format_table2(rows: Dict[str, Dict]) -> str:
+    table_rows = []
+    for name, row in rows.items():
+        table_rows.append([
+            name, "synthetic", row["avg_fragment_length"],
+            row["paper_avg_fragment_length"] or float("nan"),
+            row["static_kb"],
+        ])
+    return "Table 2: Benchmark Characteristics\n" + format_table(
+        ["Benchmark", "Input", "Avg frag size", "Paper avg", "Text KB"],
+        table_rows, float_fmt="{:.2f}")

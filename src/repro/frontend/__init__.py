@@ -1,0 +1,42 @@
+"""Front-end models: fragments, buffers, fetch engines, control."""
+
+from repro.frontend.buffers import FragmentBufferArray, FragmentInFlight
+from repro.frontend.control import FrontEndControl
+from repro.frontend.engines import (
+    FillEngine,
+    ParallelFillEngine,
+    SequentialFillEngine,
+    TraceCacheFillEngine,
+)
+from repro.frontend.fragments import (
+    DynamicFragment,
+    FragmentKey,
+    StaticFragment,
+    TerminationReason,
+    average_fragment_length,
+    carve_stream,
+    should_terminate,
+    walk_fragment,
+)
+from repro.frontend.sequencer import Sequencer
+from repro.frontend.trace_cache import TraceCache
+
+__all__ = [
+    "FragmentKey",
+    "StaticFragment",
+    "DynamicFragment",
+    "TerminationReason",
+    "walk_fragment",
+    "carve_stream",
+    "average_fragment_length",
+    "should_terminate",
+    "FragmentBufferArray",
+    "FragmentInFlight",
+    "FrontEndControl",
+    "Sequencer",
+    "TraceCache",
+    "FillEngine",
+    "SequentialFillEngine",
+    "TraceCacheFillEngine",
+    "ParallelFillEngine",
+]

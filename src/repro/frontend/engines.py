@@ -1,0 +1,231 @@
+"""Fill engines: how fragment buffers get filled.
+
+All three fetch mechanisms share the fragment-buffer/readout machinery and
+differ only in how buffers are filled:
+
+* :class:`SequentialFillEngine` (W16) — one 16-wide sequencer, one cache
+  line per cycle, fragments filled strictly in order; a cache miss stalls
+  all fetch (the sequential-fetch limitation of Section 2.1);
+* :class:`TraceCacheFillEngine` (TC) — a trace-cache probe per fragment; a
+  hit delivers the whole fragment in one cycle, a miss falls back to the
+  W16 sequencer and fills the trace cache when the fragment completes;
+* :class:`ParallelFillEngine` (PF) — N narrow sequencers over a banked
+  cache.  Sequencers are assigned to the oldest *fetchable* fragments each
+  cycle, so a sequencer whose fragment is waiting on a cache miss is
+  redeployed to another fragment while the miss is serviced (Section 2.2)
+  — the source of parallel fetch's latency tolerance.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Set
+
+from repro.frontend.buffers import FragmentInFlight
+from repro.frontend.sequencer import Sequencer
+from repro.frontend.trace_cache import TraceCache
+from repro.isa.program import Program
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.stats import StatsCollector
+
+
+class _BankGate:
+    """Per-cycle arbitration over the banked instruction cache.
+
+    Each bank serves one line per cycle; requests for a line that has
+    already been read this cycle piggyback on that read (adjacent
+    fragments frequently live in the same line, and one RAM row read can
+    feed every consumer).
+    """
+
+    def __init__(self, memory: MemoryHierarchy, max_grants: int):
+        self._memory = memory
+        self._max_grants = max_grants
+        self._line_shift = memory.config.l1i.line_bytes.bit_length() - 1
+        self._busy: Set[int] = set()
+        self._granted_lines: Set[int] = set()
+        self._grants = 0
+
+    def reset(self) -> None:
+        self._busy.clear()
+        self._granted_lines.clear()
+        self._grants = 0
+
+    def __call__(self, addr: int) -> bool:
+        line = addr >> self._line_shift
+        if line in self._granted_lines:
+            return True
+        if self._grants >= self._max_grants:
+            return False
+        bank = self._memory.ibank_of(addr)
+        if bank in self._busy:
+            return False
+        self._busy.add(bank)
+        self._granted_lines.add(line)
+        self._grants += 1
+        return True
+
+
+class FillEngine:
+    """Interface shared by all fill engines."""
+
+    def can_accept(self) -> bool:
+        """May the front-end hand this engine another fragment?"""
+        raise NotImplementedError
+
+    def accept(self, fragment: FragmentInFlight) -> None:
+        """Queue a newly-allocated fragment for filling.
+
+        Fragments satisfied by buffer reuse are already complete and are
+        never handed to the engine.
+        """
+        raise NotImplementedError
+
+    def cycle(self, now: int) -> int:
+        """Advance one cycle; returns instructions fetched."""
+        raise NotImplementedError
+
+    def squash(self) -> None:
+        """Drop any queued/active fragments that have been squashed."""
+        raise NotImplementedError
+
+
+class SequentialFillEngine(FillEngine):
+    """W16: a single full-width sequencer, single-ported cache.
+
+    Fragments fill strictly in order and a cache miss blocks everything —
+    sequential fetch has no way to work past a stall.
+    """
+
+    def __init__(self, program: Program, memory: MemoryHierarchy,
+                 stats: StatsCollector, width: int = 16):
+        self.stats = stats
+        self._queue: Deque[FragmentInFlight] = deque()
+        self._sequencer = Sequencer(0, width, program, memory, stats)
+        self._gate = _BankGate(memory, max_grants=1)
+        self._current: Optional[FragmentInFlight] = None
+
+    def can_accept(self) -> bool:
+        return len(self._queue) < 4
+
+    def accept(self, fragment: FragmentInFlight) -> None:
+        self._queue.append(fragment)
+
+    def cycle(self, now: int) -> int:
+        self._gate.reset()
+        if self._current is not None and (self._current.complete
+                                          or self._current.squashed):
+            self._current = None
+        if self._current is None:
+            while self._queue and self._queue[0].squashed:
+                self._queue.popleft()
+            if not self._queue:
+                return 0
+            self._current = self._queue.popleft()
+        return self._sequencer.fetch_fragment(self._current, now,
+                                              self._gate)
+
+    def squash(self) -> None:
+        self._queue = deque(f for f in self._queue if not f.squashed)
+        if self._current is not None and self._current.squashed:
+            self._current = None
+
+
+class TraceCacheFillEngine(FillEngine):
+    """TC: trace-cache probe, W16 fill path on misses."""
+
+    def __init__(self, program: Program, memory: MemoryHierarchy,
+                 trace_cache: TraceCache, stats: StatsCollector,
+                 width: int = 16):
+        self.stats = stats
+        self.trace_cache = trace_cache
+        self._queue: Deque[FragmentInFlight] = deque()
+        self._sequencer = Sequencer(0, width, program, memory, stats)
+        self._gate = _BankGate(memory, max_grants=1)
+        self._filling: Optional[FragmentInFlight] = None
+
+    def can_accept(self) -> bool:
+        return len(self._queue) < 4
+
+    def accept(self, fragment: FragmentInFlight) -> None:
+        self._queue.append(fragment)
+
+    def cycle(self, now: int) -> int:
+        self._gate.reset()
+        if self._filling is not None and (self._filling.squashed
+                                          or self._filling.complete):
+            self._filling = None
+
+        if self._filling is None:
+            while self._queue and self._queue[0].squashed:
+                self._queue.popleft()
+            if not self._queue:
+                return 0
+            fragment = self._queue.popleft()
+            if self.trace_cache.lookup(fragment.key):
+                # Hit: the whole trace arrives this cycle.
+                length = fragment.static_frag.length
+                fragment.fetched_count = length
+                fragment.fetch_cursor = len(
+                    fragment.static_frag.traversed_pcs)
+                fragment.complete = True
+                fragment.construct_cycle = now
+                self.stats.add("fetch.slots", 16)
+                self.stats.add("fetch.insts", length)
+                return length
+            # Miss: build the trace through the sequential path.
+            self._filling = fragment
+
+        fetched = self._sequencer.fetch_fragment(self._filling, now,
+                                                 self._gate)
+        if self._filling.complete:
+            self.trace_cache.insert(self._filling.key)
+            self._filling = None
+        return fetched
+
+    def squash(self) -> None:
+        self._queue = deque(f for f in self._queue if not f.squashed)
+        if self._filling is not None and self._filling.squashed:
+            self._filling = None
+
+
+class ParallelFillEngine(FillEngine):
+    """PF: N sequencers of width/N each over a banked cache."""
+
+    def __init__(self, program: Program, memory: MemoryHierarchy,
+                 stats: StatsCollector, sequencers: int,
+                 sequencer_width: int):
+        self.stats = stats
+        self._pending: List[FragmentInFlight] = []
+        self._sequencers: List[Sequencer] = [
+            Sequencer(i, sequencer_width, program, memory, stats)
+            for i in range(sequencers)
+        ]
+        self._gate = _BankGate(memory, max_grants=memory.num_ibanks)
+
+    def can_accept(self) -> bool:
+        # Fragment supply is bounded by buffer availability upstream.
+        return True
+
+    def accept(self, fragment: FragmentInFlight) -> None:
+        self._pending.append(fragment)
+
+    def cycle(self, now: int) -> int:
+        self._gate.reset()
+        self._pending = [f for f in self._pending
+                         if not (f.squashed or f.complete)]
+        # Oldest fetchable fragments win sequencers this cycle; fragments
+        # waiting on a miss are skipped, overlapping the miss with the
+        # fetch of younger fragments.
+        candidates = [f for f in self._pending
+                      if f.fetch_stall_until <= now]
+        fetched = 0
+        for sequencer, fragment in zip(self._sequencers, candidates):
+            fetched += sequencer.fetch_fragment(fragment, now, self._gate)
+        stalled = len(self._pending) - len(candidates)
+        if stalled:
+            self.stats.add("fetch.miss_stall_cycles", stalled)
+        return fetched
+
+    def squash(self) -> None:
+        self._pending = [f for f in self._pending if not f.squashed]

@@ -1,0 +1,256 @@
+"""Fragments: discontiguous portions of the dynamic instruction stream.
+
+A *fragment* (Section 3.1 of the paper) is identified by its start PC and
+the directions of the conditional branches inside it.  Given that key, the
+static program determines the fragment's contents: the fetch hardware
+walks static code from the start PC, following direct control transfers
+and the predicted branch directions, until a termination condition fires.
+
+Termination heuristics (identical to the paper's trace selection):
+
+* at any **indirect** control transfer (``jr``/``jalr``/``ret``),
+* at any **conditional branch after the eighth instruction**,
+* at the **sixteenth instruction**,
+* and additionally at ``halt`` (end of program).
+
+NOP instructions are eliminated early and count toward neither fragment
+length nor any fetch/rename/commit statistics, exactly as in Section 5.
+
+Two views of the same concept live here:
+
+* :func:`walk_fragment` — the *static* walk used by sequencers and the
+  trace-cache fill unit (works on predicted keys, including wrong paths);
+* :func:`carve_stream` — the *dynamic* carve of the oracle stream used to
+  train predictors and to define the correct fragment sequence.
+
+For any fragment observed dynamically, the static walk of its key
+reproduces exactly the same instructions — a property the test suite
+checks exhaustively.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.config import FragmentConfig
+from repro.emulator.stream import DynamicInstruction
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+
+#: Safety bound on static-walk steps (NOP runs make traversed length
+#: exceed fragment length, but never by more than the text segment).
+_MAX_WALK_STEPS = 4096
+
+
+class FragmentKey(NamedTuple):
+    """Identity of a fragment: start PC + conditional-branch directions."""
+
+    start_pc: int
+    directions: Tuple[bool, ...]
+
+    def hash_id(self) -> int:
+        """A well-mixed 32-bit ID used by predictor index hashing.
+
+        Both the start PC and the direction bits must influence *every*
+        bit of the ID: predictor tables index with narrow slices of it
+        (the DOLC scheme), so poor mixing aliases unrelated fragments.
+        """
+        bits = 0
+        for taken in self.directions:
+            bits = (bits << 1) | int(taken)
+        value = ((self.start_pc >> 2) * 0x9E3779B1) & 0xFFFFFFFF
+        # Fold in the direction count so (pc, "T") != (pc, "NT").
+        value ^= (bits * 0x85EBCA6B + len(self.directions)) & 0xFFFFFFFF
+        value ^= value >> 15
+        return value
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        dirs = "".join("T" if d else "N" for d in self.directions)
+        return f"{self.start_pc:#x}/{dirs or '-'}"
+
+
+class TerminationReason(enum.Enum):
+    """Why a fragment ended."""
+
+    INDIRECT = "indirect"          # indirect jump/call/return
+    COND_LIMIT = "cond_limit"      # conditional branch after the 8th inst
+    MAX_LENGTH = "max_length"      # hit the 16-instruction limit
+    HALT = "halt"                  # program end
+    STREAM_END = "stream_end"      # dynamic stream was truncated
+    WALK_LIMIT = "walk_limit"      # static walk safety bound (NOP runs)
+
+
+class StaticFragment(NamedTuple):
+    """Result of statically walking a fragment key.
+
+    Attributes:
+        key: the (possibly canonicalised) fragment key; ``directions`` is
+            trimmed to the branches actually inside the fragment.
+        instructions: the non-NOP instructions, in order.
+        traversed_pcs: every PC visited, including NOPs, in fetch order —
+            this is what the sequencer actually reads from the I-cache.
+        reason: why the fragment terminated.
+        next_pc: statically-known start of the next fragment, or ``None``
+            when the fragment ends at an indirect transfer or ``halt``.
+    """
+
+    key: FragmentKey
+    instructions: Tuple[Instruction, ...]
+    traversed_pcs: Tuple[int, ...]
+    reason: TerminationReason
+    next_pc: Optional[int]
+
+    @property
+    def length(self) -> int:
+        return len(self.instructions)
+
+
+class DynamicFragment:
+    """A fragment carved from the oracle dynamic stream."""
+
+    __slots__ = ("key", "records", "reason", "next_pc", "first_index")
+
+    def __init__(self, key: FragmentKey,
+                 records: List[DynamicInstruction],
+                 reason: TerminationReason,
+                 next_pc: Optional[int]):
+        self.key = key
+        self.records = records
+        self.reason = reason
+        self.next_pc = next_pc
+        self.first_index = records[0].index if records else -1
+
+    @property
+    def length(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DynamicFragment {self.key} len={self.length}>"
+
+
+def should_terminate(inst: Instruction, position: int,
+                     config: FragmentConfig) -> Optional[TerminationReason]:
+    """Termination check *after* placing the non-NOP *inst* at 1-based
+    *position* within the fragment."""
+    if inst.is_halt:
+        return TerminationReason.HALT
+    if inst.is_indirect:
+        return TerminationReason.INDIRECT
+    if inst.is_cond_branch and position > config.cond_branch_limit:
+        return TerminationReason.COND_LIMIT
+    if position >= config.max_length:
+        return TerminationReason.MAX_LENGTH
+    return None
+
+
+def walk_fragment(program: Program, start_pc: int,
+                  directions: Sequence[bool],
+                  config: FragmentConfig,
+                  fallback=None) -> StaticFragment:
+    """Statically construct the fragment identified by
+    ``(start_pc, directions)``.
+
+    Direction bits are consumed by conditional branches in order.  When
+    the walk encounters more conditional branches than direction bits
+    (cold fragments, start-overridden fragments), *fallback* — a callable
+    ``pc -> bool`` such as a bimodal predictor — supplies the direction;
+    with no fallback the branch defaults to not-taken.
+    """
+    instructions: List[Instruction] = []
+    traversed: List[int] = []
+    used_dirs: List[bool] = []
+    pc = start_pc
+    dir_index = 0
+    reason = TerminationReason.WALK_LIMIT
+    next_pc: Optional[int] = None
+
+    for _ in range(_MAX_WALK_STEPS):
+        if not program.contains_addr(pc):
+            # Fell off the text segment down a bogus (wrong-path) key.
+            reason = TerminationReason.HALT
+            break
+        inst = program.inst_at(pc)
+        traversed.append(pc)
+        if inst.is_nop:
+            pc += 4
+            continue
+        instructions.append(inst)
+        position = len(instructions)
+
+        taken = False
+        if inst.is_cond_branch:
+            if dir_index < len(directions):
+                taken = bool(directions[dir_index])
+            elif fallback is not None:
+                taken = bool(fallback(pc))
+            dir_index += 1
+            used_dirs.append(taken)
+        elif inst.is_control and not inst.is_indirect and not inst.is_halt:
+            taken = True  # direct jump/call
+
+        if taken and inst.target is not None:
+            following = inst.target
+        else:
+            following = pc + 4
+
+        stop = should_terminate(inst, position, config)
+        if stop is not None:
+            reason = stop
+            next_pc = None if stop in (TerminationReason.INDIRECT,
+                                       TerminationReason.HALT) else following
+            break
+        pc = following
+
+    key = FragmentKey(start_pc, tuple(used_dirs))
+    return StaticFragment(key, tuple(instructions), tuple(traversed),
+                          reason, next_pc)
+
+
+def carve_stream(stream: Sequence[DynamicInstruction],
+                 config: FragmentConfig) -> Iterator[DynamicFragment]:
+    """Carve the oracle dynamic stream into its fragment sequence.
+
+    NOP records are dropped entirely.  The final fragment may end with
+    :data:`TerminationReason.STREAM_END` when the stream is truncated.
+    """
+    records: List[DynamicInstruction] = []
+    directions: List[bool] = []
+
+    for record in stream:
+        if record.inst.is_nop:
+            continue
+        records.append(record)
+        inst = record.inst
+        if inst.is_cond_branch:
+            directions.append(record.taken)
+        reason = should_terminate(inst, len(records), config)
+        if reason is not None:
+            key = FragmentKey(records[0].pc, tuple(directions))
+            next_pc = (None if reason in (TerminationReason.INDIRECT,
+                                          TerminationReason.HALT)
+                       else record.next_pc)
+            yield DynamicFragment(key, records, reason, next_pc)
+            records, directions = [], []
+
+    if records:
+        key = FragmentKey(records[0].pc, tuple(directions))
+        yield DynamicFragment(key, records, TerminationReason.STREAM_END,
+                              records[-1].next_pc)
+
+
+def average_fragment_length(stream: Sequence[DynamicInstruction],
+                            config: FragmentConfig) -> float:
+    """Average fragment size in instructions (the Table 2 metric).
+
+    The trailing truncated fragment, if any, is excluded so short
+    simulations do not bias the average downward.
+    """
+    total = 0
+    count = 0
+    for fragment in carve_stream(stream, config):
+        if fragment.reason is TerminationReason.STREAM_END:
+            continue
+        total += fragment.length
+        count += 1
+    return total / count if count else 0.0

@@ -1,0 +1,61 @@
+"""Trace cache storage model (mechanism TC of Section 5).
+
+A 2-way set-associative cache of traces, indexed by trace start address,
+tagged by the full fragment key (start PC + branch directions) so that two
+traces from the same start with different internal paths compete for the
+ways of one set.  Each line stores up to 16 instructions; a hit supplies
+the whole trace in a single cycle.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.config import TraceCacheConfig
+from repro.frontend.fragments import FragmentKey
+from repro.stats import StatsCollector
+
+
+class TraceCache:
+    """Tag-level trace cache with true-LRU sets."""
+
+    def __init__(self, config: TraceCacheConfig,
+                 stats: Optional[StatsCollector] = None):
+        self.config = config
+        self.stats = stats if stats is not None else StatsCollector()
+        self._num_sets = max(1, config.num_sets)
+        # Each set maps FragmentKey -> None in LRU order.
+        self._sets: List[OrderedDict] = [OrderedDict()
+                                         for _ in range(self._num_sets)]
+
+    def _set_index(self, key: FragmentKey) -> int:
+        return (key.start_pc >> 2) % self._num_sets
+
+    def lookup(self, key: FragmentKey) -> bool:
+        """Probe for a trace; counts hit/miss and updates LRU."""
+        cache_set = self._sets[self._set_index(key)]
+        if key in cache_set:
+            cache_set.move_to_end(key)
+            self.stats.add("tc.hits")
+            return True
+        self.stats.add("tc.misses")
+        return False
+
+    def insert(self, key: FragmentKey) -> None:
+        """Fill a trace built by the miss path."""
+        cache_set = self._sets[self._set_index(key)]
+        if key in cache_set:
+            cache_set.move_to_end(key)
+            return
+        if len(cache_set) >= self.config.assoc:
+            cache_set.popitem(last=False)
+            self.stats.add("tc.evictions")
+        cache_set[key] = None
+        self.stats.add("tc.fills")
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.stats.get("tc.hits")
+        total = hits + self.stats.get("tc.misses")
+        return hits / total if total else 0.0

@@ -1,0 +1,78 @@
+"""The repro instruction set: definitions, programs, and the assembler."""
+
+from repro.isa.assembler import Assembler, assemble
+from repro.isa.disassembler import (
+    disassemble,
+    disassemble_program,
+    format_instruction,
+)
+from repro.isa.encoding import (
+    EncodingError,
+    decode,
+    encode,
+    load_image,
+    program_image,
+)
+from repro.isa.objectfile import (
+    ObjectFileError,
+    dumps,
+    load,
+    loads,
+    save,
+)
+from repro.isa.instructions import (
+    INSTRUCTION_BYTES,
+    Instruction,
+    OpClass,
+    Opcode,
+)
+from repro.isa.program import (
+    DATA_BASE,
+    STACK_BASE,
+    TEXT_BASE,
+    WORD_BYTES,
+    Program,
+    link,
+)
+from repro.isa.registers import (
+    LINK_REG,
+    NUM_ARCH_REGS,
+    NUM_INT_REGS,
+    ZERO_REG,
+    parse_reg,
+    reg_name,
+)
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "disassemble",
+    "disassemble_program",
+    "format_instruction",
+    "encode",
+    "decode",
+    "program_image",
+    "load_image",
+    "EncodingError",
+    "ObjectFileError",
+    "dumps",
+    "loads",
+    "save",
+    "load",
+    "Instruction",
+    "Opcode",
+    "OpClass",
+    "INSTRUCTION_BYTES",
+    "Program",
+    "link",
+    "TEXT_BASE",
+    "DATA_BASE",
+    "STACK_BASE",
+    "WORD_BYTES",
+    "LINK_REG",
+    "ZERO_REG",
+    "NUM_ARCH_REGS",
+    "NUM_INT_REGS",
+    "parse_reg",
+    "reg_name",
+]

@@ -1,0 +1,397 @@
+"""Two-pass assembler for the repro ISA.
+
+The assembly language is deliberately small but complete enough to write
+real benchmark kernels:
+
+.. code-block:: asm
+
+        .text
+    main:
+        la   t0, arr          # pseudo: load address
+        li   t1, 10           # pseudo: load immediate
+    loop:
+        ld   t2, 0(t0)
+        add  s0, s0, t2
+        addi t0, t0, 8
+        addi t1, t1, -1
+        bne  t1, zero, loop
+        halt
+
+        .data
+    arr:
+        .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10
+
+Supported directives: ``.text``, ``.data``, ``.word`` (8-byte words),
+``.space N`` (N bytes, zeroed), ``.align N`` (align to N bytes).
+Comments start with ``#`` or ``;``.
+
+Pseudo-instructions: ``li``, ``la``, ``mv``, ``call``, ``b``, ``bgt``,
+``ble``, ``ret`` and ``nop`` (the last two are real opcodes but take no
+operands).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblerError
+from repro.isa.instructions import (
+    INSTRUCTION_BYTES,
+    MNEMONIC_TO_OPCODE,
+    Instruction,
+    OpClass,
+    Opcode,
+)
+from repro.isa.program import DATA_BASE, TEXT_BASE, WORD_BYTES, Program
+from repro.isa.registers import LINK_REG, parse_reg
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_MEM_OPERAND_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+#: Signed 16-bit immediate range for I-format instructions.
+IMM_MIN, IMM_MAX = -(1 << 15), (1 << 15) - 1
+
+
+def _parse_int(text: str, line: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"bad integer literal {text!r}", line) from None
+
+
+class _Statement:
+    """One source statement after pass 1: mnemonic + operands + address."""
+
+    __slots__ = ("mnemonic", "operands", "line", "addr")
+
+    def __init__(self, mnemonic: str, operands: List[str], line: int, addr: int):
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.line = line
+        self.addr = addr
+
+
+def _pseudo_size(mnemonic: str, operands: List[str], line: int) -> int:
+    """Number of real instructions a statement expands to (pass 1)."""
+    if mnemonic == "li":
+        if len(operands) != 2:
+            raise AssemblerError("li needs 2 operands", line)
+        value = _parse_int(operands[1], line)
+        return 1 if IMM_MIN <= value <= IMM_MAX else 2
+    if mnemonic == "la":
+        return 2
+    return 1
+
+
+class Assembler:
+    """Assembles source text into a :class:`Program`."""
+
+    def __init__(self, text_base: int = TEXT_BASE, data_base: int = DATA_BASE):
+        self.text_base = text_base
+        self.data_base = data_base
+
+    # -- public API -------------------------------------------------------
+
+    def assemble(self, source: str, name: str = "program") -> Program:
+        """Assemble *source* and return the linked :class:`Program`."""
+        statements, symbols, data, data_size = self._pass1(source)
+        instructions = self._pass2(statements, symbols)
+        return Program(
+            instructions=instructions,
+            text_base=self.text_base,
+            data=data,
+            data_base=self.data_base,
+            data_size=data_size,
+            symbols=symbols,
+            name=name,
+        )
+
+    # -- pass 1: layout ----------------------------------------------------
+
+    def _pass1(self, source: str) -> Tuple[List[_Statement], Dict[str, int],
+                                           Dict[int, int], int]:
+        statements: List[_Statement] = []
+        symbols: Dict[str, int] = {}
+        data: Dict[int, int] = {}
+        # .word operands may reference labels defined later; collect the
+        # raw tokens and resolve them once all symbols are known.
+        data_tokens: List[Tuple[int, str, int]] = []
+        in_text = True
+        text_addr = self.text_base
+        data_addr = self.data_base
+
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split("#")[0].split(";")[0].strip()
+            while line:
+                match = _LABEL_RE.match(line)
+                if match:
+                    label = match.group(1)
+                    if label in symbols:
+                        raise AssemblerError(f"duplicate label {label!r}", lineno)
+                    symbols[label] = text_addr if in_text else data_addr
+                    line = line[match.end():].strip()
+                    continue
+                break
+            if not line:
+                continue
+
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            rest = parts[1] if len(parts) > 1 else ""
+            operands = [op.strip() for op in rest.split(",")] if rest else []
+
+            if mnemonic == ".text":
+                in_text = True
+            elif mnemonic == ".data":
+                in_text = False
+            elif mnemonic == ".word":
+                if in_text:
+                    raise AssemblerError(".word in text segment", lineno)
+                for op in operands:
+                    data_tokens.append((data_addr, op, lineno))
+                    data_addr += WORD_BYTES
+            elif mnemonic == ".space":
+                if in_text:
+                    raise AssemblerError(".space in text segment", lineno)
+                size = _parse_int(operands[0], lineno)
+                if size < 0:
+                    raise AssemblerError("negative .space size", lineno)
+                data_addr += size
+            elif mnemonic == ".align":
+                boundary = _parse_int(operands[0], lineno)
+                if boundary <= 0 or boundary & (boundary - 1):
+                    raise AssemblerError(".align needs a power of two", lineno)
+                if in_text:
+                    raise AssemblerError(".align in text segment", lineno)
+                data_addr = (data_addr + boundary - 1) & ~(boundary - 1)
+            elif mnemonic.startswith("."):
+                raise AssemblerError(f"unknown directive {mnemonic!r}", lineno)
+            else:
+                if not in_text:
+                    raise AssemblerError("instruction in data segment", lineno)
+                statements.append(_Statement(mnemonic, operands, lineno, text_addr))
+                text_addr += (_pseudo_size(mnemonic, operands, lineno)
+                              * INSTRUCTION_BYTES)
+
+        for addr, token, lineno in data_tokens:
+            if token in symbols:
+                data[addr] = symbols[token]
+            else:
+                data[addr] = _parse_int(token, lineno)
+        return statements, symbols, data, data_addr - self.data_base
+
+    # -- pass 2: encode ------------------------------------------------------
+
+    def _pass2(self, statements: List[_Statement],
+               symbols: Dict[str, int]) -> List[Instruction]:
+        instructions: List[Instruction] = []
+        for stmt in statements:
+            for inst in self._encode(stmt, symbols):
+                instructions.append(inst)
+        return instructions
+
+    def _resolve(self, token: str, symbols: Dict[str, int], line: int) -> int:
+        """Resolve a label or integer literal to a value."""
+        if token in symbols:
+            return symbols[token]
+        return _parse_int(token, line)
+
+    def _reg(self, token: str, line: int) -> int:
+        try:
+            return parse_reg(token)
+        except ValueError as exc:
+            raise AssemblerError(str(exc), line) from None
+
+    def _imm(self, token: str, symbols: Dict[str, int], line: int) -> int:
+        value = self._resolve(token, symbols, line)
+        if not IMM_MIN <= value <= IMM_MAX:
+            raise AssemblerError(
+                f"immediate {value} out of 16-bit range (use li/la)", line)
+        return value
+
+    def _imm_logical(self, token: str, symbols: Dict[str, int],
+                     line: int) -> int:
+        """Logical immediates (andi/ori/xori) are zero-extended 16-bit."""
+        value = self._resolve(token, symbols, line)
+        if not 0 <= value <= 0xFFFF:
+            raise AssemblerError(
+                f"logical immediate {value} out of 0..65535 range", line)
+        return value
+
+    def _encode(self, stmt: _Statement,
+                symbols: Dict[str, int]) -> List[Instruction]:
+        m, ops, line, addr = stmt.mnemonic, stmt.operands, stmt.line, stmt.addr
+        expanded = self._expand_pseudo(m, ops, symbols, line)
+        if expanded is not None:
+            placed = []
+            for i, inst in enumerate(expanded):
+                placed.append(Instruction(
+                    opcode=inst.opcode, rd=inst.rd, rs1=inst.rs1,
+                    rs2=inst.rs2, imm=inst.imm, target=inst.target,
+                    addr=addr + i * INSTRUCTION_BYTES))
+            return placed
+
+        opcode = MNEMONIC_TO_OPCODE.get(m)
+        if opcode is None:
+            raise AssemblerError(f"unknown mnemonic {m!r}", line)
+
+        def need(n: int) -> None:
+            if len(ops) != n:
+                raise AssemblerError(
+                    f"{m} needs {n} operand(s), got {len(ops)}", line)
+
+        cls = opcode.op_class
+        if opcode in (Opcode.NOP, Opcode.HALT):
+            need(0)
+            return [Instruction(opcode, addr=addr)]
+        if opcode is Opcode.RET:
+            need(0)
+            return [Instruction(opcode, rs1=LINK_REG, addr=addr)]
+        if opcode is Opcode.OUT:
+            need(1)
+            return [Instruction(opcode, rs1=self._reg(ops[0], line), addr=addr)]
+        if opcode is Opcode.LUI:
+            need(2)
+            return [Instruction(opcode, rd=self._reg(ops[0], line),
+                                imm=self._resolve(ops[1], symbols, line),
+                                addr=addr)]
+        if opcode in (Opcode.ANDI, Opcode.ORI, Opcode.XORI):
+            need(3)
+            return [Instruction(opcode, rd=self._reg(ops[0], line),
+                                rs1=self._reg(ops[1], line),
+                                imm=self._imm_logical(ops[2], symbols,
+                                                      line),
+                                addr=addr)]
+        if opcode in (Opcode.ADDI, Opcode.SLLI, Opcode.SRLI, Opcode.SLTI):
+            need(3)
+            return [Instruction(opcode, rd=self._reg(ops[0], line),
+                                rs1=self._reg(ops[1], line),
+                                imm=self._imm(ops[2], symbols, line),
+                                addr=addr)]
+        if cls in (OpClass.IALU, OpClass.IMUL, OpClass.IDIV,
+                   OpClass.FADD, OpClass.FMUL) and opcode is not Opcode.FCVT:
+            need(3)
+            return [Instruction(opcode, rd=self._reg(ops[0], line),
+                                rs1=self._reg(ops[1], line),
+                                rs2=self._reg(ops[2], line), addr=addr)]
+        if opcode is Opcode.FCVT:
+            need(2)
+            return [Instruction(opcode, rd=self._reg(ops[0], line),
+                                rs1=self._reg(ops[1], line), addr=addr)]
+        if cls is OpClass.LOAD:
+            need(2)
+            base, offset = self._mem_operand(ops[1], symbols, line)
+            return [Instruction(opcode, rd=self._reg(ops[0], line),
+                                rs1=base, imm=offset, addr=addr)]
+        if cls is OpClass.STORE:
+            need(2)
+            base, offset = self._mem_operand(ops[1], symbols, line)
+            return [Instruction(opcode, rs1=base,
+                                rs2=self._reg(ops[0], line),
+                                imm=offset, addr=addr)]
+        if cls is OpClass.BRANCH:
+            need(3)
+            return [Instruction(opcode, rs1=self._reg(ops[0], line),
+                                rs2=self._reg(ops[1], line),
+                                target=self._resolve(ops[2], symbols, line),
+                                addr=addr)]
+        if opcode is Opcode.J:
+            need(1)
+            return [Instruction(opcode,
+                                target=self._resolve(ops[0], symbols, line),
+                                addr=addr)]
+        if opcode is Opcode.JAL:
+            if len(ops) == 1:
+                return [Instruction(opcode, rd=LINK_REG,
+                                    target=self._resolve(ops[0], symbols, line),
+                                    addr=addr)]
+            need(2)
+            return [Instruction(opcode, rd=self._reg(ops[0], line),
+                                target=self._resolve(ops[1], symbols, line),
+                                addr=addr)]
+        if opcode is Opcode.JR:
+            need(1)
+            return [Instruction(opcode, rs1=self._reg(ops[0], line), addr=addr)]
+        if opcode is Opcode.JALR:
+            if len(ops) == 1:
+                return [Instruction(opcode, rd=LINK_REG,
+                                    rs1=self._reg(ops[0], line), addr=addr)]
+            need(2)
+            return [Instruction(opcode, rd=self._reg(ops[0], line),
+                                rs1=self._reg(ops[1], line), addr=addr)]
+        raise AssemblerError(f"cannot encode {m!r}", line)  # pragma: no cover
+
+    def _mem_operand(self, token: str, symbols: Dict[str, int],
+                     line: int) -> Tuple[int, int]:
+        """Parse ``imm(reg)`` memory operands."""
+        match = _MEM_OPERAND_RE.match(token.replace(" ", ""))
+        if not match:
+            raise AssemblerError(f"bad memory operand {token!r}", line)
+        offset_text, reg_text = match.groups()
+        offset = self._resolve(offset_text, symbols, line)
+        if not IMM_MIN <= offset <= IMM_MAX:
+            raise AssemblerError(f"memory offset {offset} out of range", line)
+        return self._reg(reg_text, line), offset
+
+    def _expand_pseudo(self, m: str, ops: List[str],
+                       symbols: Dict[str, int],
+                       line: int) -> Optional[List[Instruction]]:
+        """Expand pseudo-instructions; return None for real opcodes."""
+        if m == "li":
+            if len(ops) != 2:
+                raise AssemblerError("li needs 2 operands", line)
+            rd = self._reg(ops[0], line)
+            value = _parse_int(ops[1], line)
+            return self._materialise(rd, value, line)
+        if m == "la":
+            if len(ops) != 2:
+                raise AssemblerError("la needs 2 operands", line)
+            rd = self._reg(ops[0], line)
+            value = self._resolve(ops[1], symbols, line)
+            return self._materialise(rd, value, line, force_wide=True)
+        if m == "mv":
+            if len(ops) != 2:
+                raise AssemblerError("mv needs 2 operands", line)
+            return [Instruction(Opcode.ADDI, rd=self._reg(ops[0], line),
+                                rs1=self._reg(ops[1], line), imm=0)]
+        if m == "call":
+            if len(ops) != 1:
+                raise AssemblerError("call needs 1 operand", line)
+            return [Instruction(Opcode.JAL, rd=LINK_REG,
+                                target=self._resolve(ops[0], symbols, line))]
+        if m == "b":
+            if len(ops) != 1:
+                raise AssemblerError("b needs 1 operand", line)
+            return [Instruction(Opcode.J,
+                                target=self._resolve(ops[0], symbols, line))]
+        if m == "bgt":  # bgt a, b, L  ==  blt b, a, L
+            if len(ops) != 3:
+                raise AssemblerError("bgt needs 3 operands", line)
+            return [Instruction(Opcode.BLT, rs1=self._reg(ops[1], line),
+                                rs2=self._reg(ops[0], line),
+                                target=self._resolve(ops[2], symbols, line))]
+        if m == "ble":  # ble a, b, L  ==  bge b, a, L
+            if len(ops) != 3:
+                raise AssemblerError("ble needs 3 operands", line)
+            return [Instruction(Opcode.BGE, rs1=self._reg(ops[1], line),
+                                rs2=self._reg(ops[0], line),
+                                target=self._resolve(ops[2], symbols, line))]
+        return None
+
+    def _materialise(self, rd: int, value: int, line: int,
+                     force_wide: bool = False) -> List[Instruction]:
+        """Emit instructions that load *value* into *rd*."""
+        if not force_wide and IMM_MIN <= value <= IMM_MAX:
+            return [Instruction(Opcode.ADDI, rd=rd, rs1=0, imm=value)]
+        if not 0 <= value < (1 << 32):
+            raise AssemblerError(f"li/la value {value} out of 32-bit range",
+                                 line)
+        high, low = value >> 16, value & 0xFFFF
+        return [Instruction(Opcode.LUI, rd=rd, imm=high),
+                Instruction(Opcode.ORI, rd=rd, rs1=rd, imm=low)]
+
+
+def assemble(source: str, name: str = "program", **kwargs) -> Program:
+    """Convenience wrapper: assemble *source* with default bases."""
+    return Assembler(**kwargs).assemble(source, name=name)

@@ -1,0 +1,121 @@
+"""Disassembler: instructions (or binary images) back to assembly text.
+
+The output is re-assemblable: ``assemble(disassemble_program(p))``
+produces a program with identical instructions, which the test suite
+checks for every workload.  Labels are synthesised for branch/jump
+targets (``L_<hex>``) and data is emitted as ``.word``/``.space`` runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.isa.instructions import Instruction, OpClass, Opcode
+from repro.isa.program import WORD_BYTES, Program
+from repro.isa.registers import LINK_REG, reg_name
+
+
+def _collect_targets(instructions: Iterable[Instruction]) -> Set[int]:
+    targets = set()
+    for inst in instructions:
+        if inst.target is not None:
+            targets.add(inst.target)
+    return targets
+
+
+def _label(addr: int) -> str:
+    return f"L_{addr:x}"
+
+
+def format_instruction(inst: Instruction,
+                       labels: Dict[int, str] = None) -> str:
+    """One instruction as assembler-ready text (without its label)."""
+    labels = labels or {}
+    op = inst.opcode
+
+    def target_text() -> str:
+        return labels.get(inst.target, str(inst.target))
+
+    if op in (Opcode.NOP, Opcode.HALT):
+        return op.mnemonic
+    if op is Opcode.RET:
+        return "ret"
+    if op is Opcode.OUT:
+        return f"out  {reg_name(inst.rs1)}"
+    if op is Opcode.LUI:
+        return f"lui  {reg_name(inst.rd)}, {inst.imm}"
+    if op.op_class in (OpClass.LOAD,):
+        return (f"{op.mnemonic:4} {reg_name(inst.rd)}, "
+                f"{inst.imm}({reg_name(inst.rs1)})")
+    if op.op_class is OpClass.STORE:
+        return (f"{op.mnemonic:4} {reg_name(inst.rs2)}, "
+                f"{inst.imm}({reg_name(inst.rs1)})")
+    if op.op_class is OpClass.BRANCH:
+        return (f"{op.mnemonic:4} {reg_name(inst.rs1)}, "
+                f"{reg_name(inst.rs2)}, {target_text()}")
+    if op is Opcode.J:
+        return f"j    {target_text()}"
+    if op is Opcode.JAL:
+        if inst.rd == LINK_REG:
+            return f"jal  {target_text()}"
+        return f"jal  {reg_name(inst.rd)}, {target_text()}"
+    if op is Opcode.JR:
+        return f"jr   {reg_name(inst.rs1)}"
+    if op is Opcode.JALR:
+        if inst.rd == LINK_REG:
+            return f"jalr {reg_name(inst.rs1)}"
+        return f"jalr {reg_name(inst.rd)}, {reg_name(inst.rs1)}"
+    if op is Opcode.FCVT:
+        return f"fcvt {reg_name(inst.rd)}, {reg_name(inst.rs1)}"
+    if inst.rs2 is not None:
+        return (f"{op.mnemonic:4} {reg_name(inst.rd)}, "
+                f"{reg_name(inst.rs1)}, {reg_name(inst.rs2)}")
+    return (f"{op.mnemonic:4} {reg_name(inst.rd)}, "
+            f"{reg_name(inst.rs1)}, {inst.imm}")
+
+
+def disassemble(instructions: Iterable[Instruction]) -> str:
+    """Disassemble a sequence of placed instructions (text section only)."""
+    instructions = list(instructions)
+    targets = _collect_targets(instructions)
+    labels = {addr: _label(addr) for addr in sorted(targets)}
+    lines: List[str] = []
+    for inst in instructions:
+        if inst.addr in labels:
+            lines.append(f"{labels[inst.addr]}:")
+        lines.append(f"    {format_instruction(inst, labels)}")
+    return "\n".join(lines) + "\n"
+
+
+def disassemble_program(program: Program) -> str:
+    """Full re-assemblable source: text segment plus initialised data.
+
+    Control-transfer targets get synthetic labels; the entry point is
+    labelled ``main`` so re-assembly starts in the right place.  Data is
+    rendered as ``.word`` values with ``.space`` runs for gaps.
+    """
+    targets = _collect_targets(program.instructions)
+    labels = {addr: _label(addr) for addr in sorted(targets)}
+    if program.entry is not None:
+        labels[program.entry] = "main"
+
+    lines: List[str] = ["    .text"]
+    for inst in program.instructions:
+        if inst.addr in labels:
+            lines.append(f"{labels[inst.addr]}:")
+        lines.append(f"    {format_instruction(inst, labels)}")
+
+    if program.data_size or program.data:
+        lines.append("    .data")
+        cursor = program.data_base
+        for addr in sorted(program.data):
+            if addr < cursor:
+                continue
+            if addr > cursor:
+                lines.append(f"    .space {addr - cursor}")
+            lines.append(f"    .word {program.data[addr]}")
+            cursor = addr + WORD_BYTES
+        end = program.data_base + program.data_size
+        if end > cursor:
+            lines.append(f"    .space {end - cursor}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,240 @@
+"""Binary encoding and decoding of instructions.
+
+Every instruction encodes to one 32-bit word in one of four formats:
+
+* **R-format** — ``opcode(6) rd(5) rs1(5) rs2(5) unused(11)`` for
+  register-register operations;
+* **I-format** — ``opcode(6) rd(5) rs1(5) imm(16)`` for immediates and
+  loads/stores (the value register of a store travels in the ``rd``
+  field) and conditional branches (``rd`` carries ``rs2``; ``imm`` is the
+  signed word displacement);
+* **J-format** — ``opcode(6) rd(5) target(21)`` for direct jumps/calls
+  (word-addressed absolute target, so text may span 8 MiB);
+* **N-format** — ``opcode(6) unused(26)`` for ``nop``/``halt``.
+
+Register fields are 5 bits; floating-point operands encode their FP
+register *number* with the bank implied by the opcode (as real ISAs do),
+and the codec translates to/from the flat architectural index space used
+everywhere else in the package.
+
+The timing model works on decoded :class:`Instruction` objects, as all
+software simulators do; the binary codec closes the loop for
+storage-accurate tooling — :func:`program_image` produces the byte image
+whose size the cache models assume (4 bytes/instruction) — and the
+round-trip ``decode(encode(i)) == i`` is property-tested across every
+generated workload.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.errors import ReproError
+from repro.isa.instructions import INSTRUCTION_BYTES, Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import LINK_REG, NUM_INT_REGS
+
+#: Stable opcode numbering (index in this table = 6-bit opcode field).
+_OPCODE_TABLE: Tuple[Opcode, ...] = tuple(Opcode)
+_OPCODE_INDEX = {op: i for i, op in enumerate(_OPCODE_TABLE)}
+assert len(_OPCODE_TABLE) < 64, "opcode field overflow"
+
+_IMM_BITS = 16
+_IMM_MIN, _IMM_MAX = -(1 << 15), (1 << 15) - 1
+_IMM_MASK = (1 << _IMM_BITS) - 1
+_TARGET_BITS = 21
+
+_R_FORMAT = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SLL, Opcode.SRL, Opcode.SRA, Opcode.SLT, Opcode.SLTU,
+    Opcode.MUL, Opcode.DIV, Opcode.REM, Opcode.FADD, Opcode.FSUB,
+    Opcode.FMUL, Opcode.FDIV, Opcode.FCVT, Opcode.JR, Opcode.JALR,
+    Opcode.RET, Opcode.OUT,
+})
+_J_FORMAT = frozenset({Opcode.J, Opcode.JAL})
+_N_FORMAT = frozenset({Opcode.NOP, Opcode.HALT})
+_BRANCHES = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
+#: Zero-extended (logical) immediates; everything else sign-extends.
+_LOGICAL_IMM = frozenset({Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+                          Opcode.LUI})
+
+#: Per-opcode FP-bank flags for (rd, rs1, rs2).
+_FP_OPERANDS = {
+    Opcode.FADD: (True, True, True),
+    Opcode.FSUB: (True, True, True),
+    Opcode.FMUL: (True, True, True),
+    Opcode.FDIV: (True, True, True),
+    Opcode.FCVT: (True, False, False),
+    Opcode.FLD: (True, False, False),
+    Opcode.FST: (False, False, True),
+}
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded in 32 bits, or a
+    word cannot be decoded."""
+
+
+def _reg_field(arch_index, fp_bank: bool, what: str) -> int:
+    """Map an architectural register index to its 5-bit field value."""
+    if arch_index is None:
+        return 0
+    value = arch_index - NUM_INT_REGS if fp_bank else arch_index
+    if not 0 <= value < 32:
+        raise EncodingError(f"{what} register {arch_index} not encodable "
+                            f"(fp_bank={fp_bank})")
+    return value
+
+
+def _reg_unfield(value: int, fp_bank: bool) -> int:
+    return value + NUM_INT_REGS if fp_bank else value
+
+
+def _fp_banks(op: Opcode) -> Tuple[bool, bool, bool]:
+    return _FP_OPERANDS.get(op, (False, False, False))
+
+
+def encode(inst: Instruction) -> int:
+    """Encode *inst* (placed at ``inst.addr``) into a 32-bit word."""
+    op = inst.opcode
+    word = _OPCODE_INDEX[op] << 26
+    fp_rd, fp_rs1, fp_rs2 = _fp_banks(op)
+
+    if op in _N_FORMAT:
+        return word
+
+    if op in _R_FORMAT:
+        word |= _reg_field(inst.rd, fp_rd, "rd") << 21
+        word |= _reg_field(inst.rs1, fp_rs1, "rs1") << 16
+        word |= _reg_field(inst.rs2, fp_rs2, "rs2") << 11
+        return word
+
+    if op in _J_FORMAT:
+        if inst.target is None:
+            raise EncodingError(f"{op.mnemonic} without a target")
+        if inst.target % INSTRUCTION_BYTES:
+            raise EncodingError(f"unaligned target {inst.target:#x}")
+        target = inst.target // INSTRUCTION_BYTES
+        if not 0 <= target < (1 << _TARGET_BITS):
+            raise EncodingError(f"jump target {inst.target:#x} "
+                                "outside the 8 MiB encodable text region")
+        word |= _reg_field(inst.rd, False, "rd") << 21
+        return word | target
+
+    # I-format.
+    if op in _BRANCHES:
+        if inst.target is None:
+            raise EncodingError("branch without a target")
+        if inst.addr < 0:
+            raise EncodingError("cannot encode an unplaced branch "
+                                "(PC-relative displacement needs addr)")
+        displacement = (inst.target - inst.addr) // INSTRUCTION_BYTES
+        if not _IMM_MIN <= displacement <= _IMM_MAX:
+            raise EncodingError(
+                f"branch displacement {displacement} out of range")
+        word |= _reg_field(inst.rs2, False, "rs2") << 21
+        word |= _reg_field(inst.rs1, False, "rs1") << 16
+        return word | (displacement & _IMM_MASK)
+
+    imm = inst.imm
+    if op in _LOGICAL_IMM:
+        if not 0 <= imm <= _IMM_MASK:
+            raise EncodingError(f"logical immediate {imm} out of range")
+    elif not _IMM_MIN <= imm <= _IMM_MAX:
+        raise EncodingError(f"immediate {imm} out of range")
+
+    if op in (Opcode.ST, Opcode.FST):
+        word |= _reg_field(inst.rs2, fp_rs2, "rs2") << 21
+    else:
+        word |= _reg_field(inst.rd, fp_rd, "rd") << 21
+    word |= _reg_field(inst.rs1, fp_rs1, "rs1") << 16
+    return word | (imm & _IMM_MASK)
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    mask = 1 << (bits - 1)
+    return (value & (mask - 1)) - (value & mask)
+
+
+def decode(word: int, addr: int) -> Instruction:
+    """Decode a 32-bit word at byte address *addr*."""
+    if not 0 <= word < (1 << 32):
+        raise EncodingError(f"not a 32-bit word: {word:#x}")
+    index = word >> 26
+    if index >= len(_OPCODE_TABLE):
+        raise EncodingError(f"illegal opcode field {index}")
+    op = _OPCODE_TABLE[index]
+    fp_rd, fp_rs1, fp_rs2 = _fp_banks(op)
+    field_a = (word >> 21) & 0x1F     # rd (or rs2 for stores/branches)
+    field_b = (word >> 16) & 0x1F     # rs1
+    field_c = (word >> 11) & 0x1F     # rs2 (R-format)
+    imm = word & _IMM_MASK
+
+    if op in _N_FORMAT:
+        return Instruction(op, addr=addr)
+
+    if op in _R_FORMAT:
+        if op is Opcode.RET:
+            return Instruction(op, rs1=LINK_REG, addr=addr)
+        if op is Opcode.JR:
+            return Instruction(op, rs1=_reg_unfield(field_b, fp_rs1),
+                               addr=addr)
+        if op in (Opcode.OUT,):
+            return Instruction(op, rs1=_reg_unfield(field_b, fp_rs1),
+                               addr=addr)
+        if op is Opcode.JALR:
+            return Instruction(op, rd=_reg_unfield(field_a, fp_rd),
+                               rs1=_reg_unfield(field_b, fp_rs1),
+                               addr=addr)
+        if op is Opcode.FCVT:
+            return Instruction(op, rd=_reg_unfield(field_a, fp_rd),
+                               rs1=_reg_unfield(field_b, fp_rs1),
+                               addr=addr)
+        return Instruction(op, rd=_reg_unfield(field_a, fp_rd),
+                           rs1=_reg_unfield(field_b, fp_rs1),
+                           rs2=_reg_unfield(field_c, fp_rs2), addr=addr)
+
+    if op in _J_FORMAT:
+        target = (word & ((1 << _TARGET_BITS) - 1)) * INSTRUCTION_BYTES
+        rd = _reg_unfield(field_a, False) if op is Opcode.JAL else None
+        return Instruction(op, rd=rd, target=target, addr=addr)
+
+    if op in _BRANCHES:
+        displacement = _sign_extend(imm, _IMM_BITS)
+        return Instruction(op, rs1=_reg_unfield(field_b, False),
+                           rs2=_reg_unfield(field_a, False),
+                           target=addr + displacement * INSTRUCTION_BYTES,
+                           addr=addr)
+
+    value = imm if op in _LOGICAL_IMM else _sign_extend(imm, _IMM_BITS)
+    if op in (Opcode.ST, Opcode.FST):
+        return Instruction(op, rs1=_reg_unfield(field_b, fp_rs1),
+                           rs2=_reg_unfield(field_a, fp_rs2), imm=value,
+                           addr=addr)
+    if op in (Opcode.LD, Opcode.FLD):
+        return Instruction(op, rd=_reg_unfield(field_a, fp_rd),
+                           rs1=_reg_unfield(field_b, fp_rs1), imm=value,
+                           addr=addr)
+    if op is Opcode.LUI:
+        return Instruction(op, rd=_reg_unfield(field_a, False), imm=value,
+                           addr=addr)
+    return Instruction(op, rd=_reg_unfield(field_a, fp_rd),
+                       rs1=_reg_unfield(field_b, fp_rs1), imm=value,
+                       addr=addr)
+
+
+def program_image(program: Program) -> bytes:
+    """The little-endian binary image of the program's text segment."""
+    words: List[int] = [encode(inst) for inst in program.instructions]
+    return struct.pack(f"<{len(words)}I", *words)
+
+
+def load_image(image: bytes, text_base: int) -> List[Instruction]:
+    """Decode a binary text image back into instructions."""
+    if len(image) % INSTRUCTION_BYTES:
+        raise EncodingError("image length not a multiple of 4")
+    count = len(image) // INSTRUCTION_BYTES
+    words = struct.unpack(f"<{count}I", image)
+    return [decode(word, text_base + i * INSTRUCTION_BYTES)
+            for i, word in enumerate(words)]

@@ -1,0 +1,261 @@
+"""Instruction set definition.
+
+The repro ISA is a small fixed-width RISC instruction set designed to be
+easy to generate, emulate and fetch:
+
+* every instruction is ``INSTRUCTION_BYTES`` (4) bytes long;
+* 32 integer + 32 FP architectural registers (see :mod:`repro.isa.registers`);
+* loads and stores move 8-byte words;
+* control transfers carry their (absolute) target address once assembled,
+  which keeps the fetch-unit models simple without changing any timing
+  behaviour.
+
+The class taxonomy (:class:`OpClass`) mirrors the functional-unit mix in
+Table 1 of the paper: integer ALU, integer multiply, integer divide, FP
+add, FP multiply, load, store, and the various flavours of control
+transfer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.registers import LINK_REG, ZERO_REG, reg_name
+
+#: Size of every instruction in bytes.  A 64-byte cache block therefore
+#: holds 16 instructions, matching Table 1.
+INSTRUCTION_BYTES = 4
+
+
+class OpClass(enum.Enum):
+    """Functional-unit class of an instruction."""
+
+    IALU = "ialu"  # integer add/sub/logic/shift/compare
+    IMUL = "imul"  # integer multiply
+    IDIV = "idiv"  # integer divide
+    FADD = "fadd"  # FP add/sub/compare/convert
+    FMUL = "fmul"  # FP multiply/divide
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"  # conditional direct branch
+    JUMP = "jump"  # unconditional direct jump
+    CALL = "call"  # direct call (writes link register)
+    IJUMP = "ijump"  # indirect jump (jr)
+    ICALL = "icall"  # indirect call (jalr)
+    RETURN = "return"  # function return (indirect via link register)
+    NOP = "nop"
+    HALT = "halt"
+
+
+#: Classes that transfer control.
+CONTROL_CLASSES = frozenset(
+    {
+        OpClass.BRANCH,
+        OpClass.JUMP,
+        OpClass.CALL,
+        OpClass.IJUMP,
+        OpClass.ICALL,
+        OpClass.RETURN,
+        OpClass.HALT,
+    }
+)
+
+#: Control classes whose target cannot be determined from the static
+#: instruction alone.
+INDIRECT_CLASSES = frozenset({OpClass.IJUMP, OpClass.ICALL, OpClass.RETURN})
+
+
+class Opcode(enum.Enum):
+    """Every opcode in the ISA.
+
+    The value tuple is ``(mnemonic, op_class)``.
+    """
+
+    # Integer register-register.
+    ADD = ("add", OpClass.IALU)
+    SUB = ("sub", OpClass.IALU)
+    AND = ("and", OpClass.IALU)
+    OR = ("or", OpClass.IALU)
+    XOR = ("xor", OpClass.IALU)
+    SLL = ("sll", OpClass.IALU)
+    SRL = ("srl", OpClass.IALU)
+    SRA = ("sra", OpClass.IALU)
+    SLT = ("slt", OpClass.IALU)
+    SLTU = ("sltu", OpClass.IALU)
+    MUL = ("mul", OpClass.IMUL)
+    DIV = ("div", OpClass.IDIV)
+    REM = ("rem", OpClass.IDIV)
+
+    # Integer register-immediate.
+    ADDI = ("addi", OpClass.IALU)
+    ANDI = ("andi", OpClass.IALU)
+    ORI = ("ori", OpClass.IALU)
+    XORI = ("xori", OpClass.IALU)
+    SLLI = ("slli", OpClass.IALU)
+    SRLI = ("srli", OpClass.IALU)
+    SLTI = ("slti", OpClass.IALU)
+    LUI = ("lui", OpClass.IALU)
+
+    # FP arithmetic (operates on the FP register file).
+    FADD = ("fadd", OpClass.FADD)
+    FSUB = ("fsub", OpClass.FADD)
+    FCVT = ("fcvt", OpClass.FADD)  # int reg -> fp reg convert
+    FMUL = ("fmul", OpClass.FMUL)
+    FDIV = ("fdiv", OpClass.FMUL)
+
+    # Memory.
+    LD = ("ld", OpClass.LOAD)
+    ST = ("st", OpClass.STORE)
+    FLD = ("fld", OpClass.LOAD)
+    FST = ("fst", OpClass.STORE)
+
+    # Control.
+    BEQ = ("beq", OpClass.BRANCH)
+    BNE = ("bne", OpClass.BRANCH)
+    BLT = ("blt", OpClass.BRANCH)
+    BGE = ("bge", OpClass.BRANCH)
+    J = ("j", OpClass.JUMP)
+    JAL = ("jal", OpClass.CALL)
+    JR = ("jr", OpClass.IJUMP)
+    JALR = ("jalr", OpClass.ICALL)
+    RET = ("ret", OpClass.RETURN)
+
+    # Misc.
+    NOP = ("nop", OpClass.NOP)
+    HALT = ("halt", OpClass.HALT)
+    OUT = ("out", OpClass.IALU)  # debug output of rs1; behaves as an ALU op
+
+    def __init__(self, mnemonic: str, op_class: OpClass):
+        self.mnemonic = mnemonic
+        self.op_class = op_class
+
+
+#: Mnemonic -> Opcode lookup used by the assembler.
+MNEMONIC_TO_OPCODE = {op.mnemonic: op for op in Opcode}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single static instruction.
+
+    ``rd``/``rs1``/``rs2`` are architectural register indices (see
+    :mod:`repro.isa.registers`); unused fields are ``None``.  ``imm`` holds
+    the immediate operand; for direct control transfers ``target`` holds
+    the absolute byte address of the destination once the program has been
+    assembled/linked.
+    """
+
+    opcode: Opcode
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: int = 0
+    target: Optional[int] = None
+    #: Address the instruction was placed at; filled in by the assembler.
+    addr: int = field(default=-1, compare=False)
+
+    # -- classification -------------------------------------------------
+
+    @property
+    def op_class(self) -> OpClass:
+        return self.opcode.op_class
+
+    @property
+    def is_control(self) -> bool:
+        return self.opcode.op_class in CONTROL_CLASSES
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.opcode.op_class is OpClass.BRANCH
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.opcode.op_class in INDIRECT_CLASSES
+
+    @property
+    def is_call(self) -> bool:
+        return self.opcode.op_class in (OpClass.CALL, OpClass.ICALL)
+
+    @property
+    def is_return(self) -> bool:
+        return self.opcode.op_class is OpClass.RETURN
+
+    @property
+    def is_nop(self) -> bool:
+        return self.opcode is Opcode.NOP
+
+    @property
+    def is_halt(self) -> bool:
+        return self.opcode is Opcode.HALT
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode.op_class is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode.op_class is OpClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opcode.op_class in (OpClass.LOAD, OpClass.STORE)
+
+    # -- dataflow --------------------------------------------------------
+
+    def src_regs(self) -> Tuple[int, ...]:
+        """Architectural registers read by this instruction.
+
+        ``r0`` reads are included (they rename to the permanent zero
+        mapping); callers that want "real" dependences can filter it out.
+        """
+        srcs = []
+        if self.rs1 is not None:
+            srcs.append(self.rs1)
+        if self.rs2 is not None:
+            srcs.append(self.rs2)
+        if self.is_return:
+            srcs.append(LINK_REG)
+        return tuple(srcs)
+
+    def dest_reg(self) -> Optional[int]:
+        """Architectural register written, or ``None``.
+
+        Writes to ``r0`` are discarded by the emulator but still reported
+        here so that the rename stage sees the same operand pattern the
+        hardware decoder would.
+        """
+        if self.opcode.op_class in (OpClass.CALL, OpClass.ICALL):
+            return self.rd if self.rd is not None else LINK_REG
+        return self.rd
+
+    @property
+    def next_addr(self) -> int:
+        """Address of the sequentially-next instruction."""
+        return self.addr + INSTRUCTION_BYTES
+
+    # -- display ---------------------------------------------------------
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.opcode.mnemonic]
+        operands = []
+        if self.rd is not None:
+            operands.append(reg_name(self.rd))
+        if self.rs1 is not None:
+            operands.append(reg_name(self.rs1))
+        if self.rs2 is not None:
+            operands.append(reg_name(self.rs2))
+        if self.target is not None:
+            operands.append(hex(self.target))
+        elif self.imm:
+            operands.append(str(self.imm))
+        if operands:
+            parts.append(", ".join(operands))
+        return " ".join(parts)
+
+
+def writes_zero_only(inst: Instruction) -> bool:
+    """True if the instruction's only architectural effect is a write to
+    ``r0`` (i.e. it is effectively a NOP for dataflow purposes)."""
+    return inst.dest_reg() == ZERO_REG and not inst.is_control and not inst.is_mem

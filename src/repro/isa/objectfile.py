@@ -1,0 +1,116 @@
+"""A simple object-file format for assembled programs.
+
+``.rpo`` ("repro object") files package a program's binary text image
+(via :mod:`repro.isa.encoding`), its initialised data words, its symbol
+table and its entry point, so programs can be assembled once and
+distributed/loaded without the assembler:
+
+.. code-block:: text
+
+    magic   "RPO1"
+    header  little-endian u32s: text_base, text_words, data_base,
+            data_size, data_entries, symbol_count, entry, name_len
+    name    UTF-8 program name
+    text    text_words * u32 encoded instructions
+    data    data_entries * (u64 addr, i64 value)
+    symbols symbol_count * (u16 len, UTF-8 name, u64 addr)
+
+Everything is deterministic, so ``load(save(p))`` round-trips exactly —
+the test suite checks instruction-for-instruction equality and identical
+functional behaviour.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ReproError
+from repro.isa.encoding import load_image, program_image
+from repro.isa.program import Program
+
+MAGIC = b"RPO1"
+_HEADER = struct.Struct("<8I")
+_DATA_ENTRY = struct.Struct("<Qq")
+_SYMBOL_LEN = struct.Struct("<H")
+_SYMBOL_ADDR = struct.Struct("<Q")
+
+
+class ObjectFileError(ReproError):
+    """Raised for malformed object files."""
+
+
+def dumps(program: Program) -> bytes:
+    """Serialise *program* to object-file bytes."""
+    name_bytes = program.name.encode("utf-8")
+    text = program_image(program)
+    entry = program.entry if program.entry is not None else program.text_base
+    out = [MAGIC,
+           _HEADER.pack(program.text_base, len(program.instructions),
+                        program.data_base, program.data_size,
+                        len(program.data), len(program.symbols),
+                        entry, len(name_bytes)),
+           name_bytes, text]
+    for addr in sorted(program.data):
+        value = program.data[addr]
+        if isinstance(value, float):
+            raise ObjectFileError(
+                "float data words are not serialisable; initialise FP "
+                "data from integer words instead")
+        out.append(_DATA_ENTRY.pack(addr, value))
+    for symbol in sorted(program.symbols):
+        encoded = symbol.encode("utf-8")
+        out.append(_SYMBOL_LEN.pack(len(encoded)))
+        out.append(encoded)
+        out.append(_SYMBOL_ADDR.pack(program.symbols[symbol]))
+    return b"".join(out)
+
+
+def loads(blob: bytes, name: str = None) -> Program:
+    """Deserialise object-file bytes back into a :class:`Program`."""
+    if blob[:4] != MAGIC:
+        raise ObjectFileError("not a repro object file (bad magic)")
+    offset = 4
+    try:
+        (text_base, text_words, data_base, data_size, data_entries,
+         symbol_count, entry, name_len) = _HEADER.unpack_from(blob, offset)
+        offset += _HEADER.size
+        file_name = blob[offset:offset + name_len].decode("utf-8")
+        offset += name_len
+        text_bytes = text_words * 4
+        instructions = load_image(blob[offset:offset + text_bytes],
+                                  text_base)
+        offset += text_bytes
+        data = {}
+        for _ in range(data_entries):
+            addr, value = _DATA_ENTRY.unpack_from(blob, offset)
+            offset += _DATA_ENTRY.size
+            data[addr] = value
+        symbols = {}
+        for _ in range(symbol_count):
+            (length,) = _SYMBOL_LEN.unpack_from(blob, offset)
+            offset += _SYMBOL_LEN.size
+            symbol = blob[offset:offset + length].decode("utf-8")
+            offset += length
+            (addr,) = _SYMBOL_ADDR.unpack_from(blob, offset)
+            offset += _SYMBOL_ADDR.size
+            symbols[symbol] = addr
+    except struct.error as exc:
+        raise ObjectFileError(f"truncated object file: {exc}") from exc
+    if offset != len(blob):
+        raise ObjectFileError("trailing bytes after object file payload")
+    return Program(instructions=instructions, text_base=text_base,
+                   data=data, data_base=data_base, data_size=data_size,
+                   symbols=symbols, entry=entry,
+                   name=name or file_name)
+
+
+def save(program: Program, path: Union[str, Path]) -> None:
+    """Write *program* to an ``.rpo`` file."""
+    Path(path).write_bytes(dumps(program))
+
+
+def load(path: Union[str, Path]) -> Program:
+    """Read a program from an ``.rpo`` file."""
+    return loads(Path(path).read_bytes())

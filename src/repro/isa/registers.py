@@ -1,0 +1,102 @@
+"""Register file definition for the repro ISA.
+
+The ISA has 32 integer registers (``r0`` .. ``r31``) and 32 floating-point
+registers (``f0`` .. ``f31``).  ``r0`` is hardwired to zero, as in MIPS and
+Alpha.  A handful of registers have conventional software roles which the
+assembler exposes as aliases; nothing in the hardware model depends on the
+aliases.
+
+Integer and FP registers live in a single flat *architectural register
+space* of 64 names so that the rename machinery can treat them uniformly:
+architectural indices 0..31 are the integer registers and 32..63 are the FP
+registers.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Architectural index of the hardwired-zero register.
+ZERO_REG = 0
+
+#: Conventional software roles (assembler aliases).
+REG_ALIASES = {
+    "zero": 0,
+    "ra": 1,  # return address (link register for jal/call)
+    "sp": 2,  # stack pointer
+    "gp": 3,  # global pointer (base of the data segment)
+    "a0": 4,
+    "a1": 5,
+    "a2": 6,
+    "a3": 7,  # argument / result registers
+    "t0": 8,
+    "t1": 9,
+    "t2": 10,
+    "t3": 11,
+    "t4": 12,
+    "t5": 13,
+    "t6": 14,
+    "t7": 15,  # caller-saved temporaries
+    "s0": 16,
+    "s1": 17,
+    "s2": 18,
+    "s3": 19,
+    "s4": 20,
+    "s5": 21,
+    "s6": 22,
+    "s7": 23,  # callee-saved
+}
+
+#: Link register used by ``jal``/``call`` and read by ``ret``.
+LINK_REG = REG_ALIASES["ra"]
+STACK_REG = REG_ALIASES["sp"]
+GLOBAL_REG = REG_ALIASES["gp"]
+
+
+def is_int_reg(arch_index: int) -> bool:
+    """Return True if *arch_index* names an integer register."""
+    return 0 <= arch_index < NUM_INT_REGS
+
+
+def is_fp_reg(arch_index: int) -> bool:
+    """Return True if *arch_index* names a floating-point register."""
+    return NUM_INT_REGS <= arch_index < NUM_ARCH_REGS
+
+
+def fp_arch_index(fp_number: int) -> int:
+    """Map an FP register number (0..31) to its architectural index."""
+    if not 0 <= fp_number < NUM_FP_REGS:
+        raise ValueError(f"FP register number out of range: {fp_number}")
+    return NUM_INT_REGS + fp_number
+
+
+def reg_name(arch_index: int) -> str:
+    """Human-readable name for an architectural register index."""
+    if is_int_reg(arch_index):
+        return f"r{arch_index}"
+    if is_fp_reg(arch_index):
+        return f"f{arch_index - NUM_INT_REGS}"
+    raise ValueError(f"architectural register index out of range: {arch_index}")
+
+
+def parse_reg(name: str) -> int:
+    """Parse a register name (``r7``, ``f3``, or an alias) to its
+    architectural index.
+
+    Raises ``ValueError`` for anything that is not a register name.
+    """
+    name = name.strip().lower()
+    if name in REG_ALIASES:
+        return REG_ALIASES[name]
+    if len(name) >= 2 and name[0] in ("r", "f") and name[1:].isdigit():
+        num = int(name[1:])
+        if name[0] == "r":
+            if num >= NUM_INT_REGS:
+                raise ValueError(f"integer register out of range: {name}")
+            return num
+        if num >= NUM_FP_REGS:
+            raise ValueError(f"FP register out of range: {name}")
+        return fp_arch_index(num)
+    raise ValueError(f"not a register name: {name!r}")

@@ -1,0 +1,6 @@
+"""Cache and memory-hierarchy models."""
+
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryHierarchy, MemoryPort
+
+__all__ = ["Cache", "MemoryHierarchy", "MemoryPort"]

@@ -1,0 +1,100 @@
+"""Set-associative cache model with true-LRU replacement.
+
+This is a tag-array-only model: caches track which lines are resident, not
+their contents (the functional emulator owns all values).  That is exactly
+what a timing simulator needs and matches how SimpleScalar-derived models
+work.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.config import CacheConfig
+from repro.stats import StatsCollector
+
+
+class Cache:
+    """One level of set-associative cache (tags only, true LRU)."""
+
+    def __init__(self, config: CacheConfig, name: str,
+                 stats: Optional[StatsCollector] = None):
+        self.config = config
+        self.name = name
+        self.stats = stats if stats is not None else StatsCollector()
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._num_sets = config.num_sets
+        # Each set maps line-address -> None in LRU order (oldest first).
+        self._sets: List[OrderedDict] = [OrderedDict()
+                                         for _ in range(self._num_sets)]
+
+    # -- address helpers ---------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        """Line-aligned address containing byte *addr*."""
+        return addr >> self._line_shift
+
+    def set_index(self, line: int) -> int:
+        return line % self._num_sets
+
+    def bank_of(self, addr: int) -> int:
+        """Bank serving byte *addr* (lines interleave across banks)."""
+        return self.line_addr(addr) % self.config.banks
+
+    # -- operations ----------------------------------------------------------
+
+    def lookup(self, addr: int, update_lru: bool = True) -> bool:
+        """Tag check for the line containing *addr*.
+
+        Counts a hit or miss.  On a hit the line is promoted to MRU unless
+        *update_lru* is false.
+        """
+        line = self.line_addr(addr)
+        cache_set = self._sets[self.set_index(line)]
+        if line in cache_set:
+            if update_lru:
+                cache_set.move_to_end(line)
+            self.stats.add(f"{self.name}.hits")
+            return True
+        self.stats.add(f"{self.name}.misses")
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Tag check with no statistics and no LRU update."""
+        line = self.line_addr(addr)
+        return line in self._sets[self.set_index(line)]
+
+    def fill(self, addr: int) -> Optional[int]:
+        """Install the line containing *addr*; return the evicted line
+        address (or None).  Filling a resident line just promotes it."""
+        line = self.line_addr(addr)
+        cache_set = self._sets[self.set_index(line)]
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            return None
+        victim = None
+        if len(cache_set) >= self.config.assoc:
+            victim, _ = cache_set.popitem(last=False)
+            self.stats.add(f"{self.name}.evictions")
+        cache_set[line] = None
+        self.stats.add(f"{self.name}.fills")
+        return victim
+
+    def invalidate_all(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    # -- reporting --------------------------------------------------------
+
+    @property
+    def miss_rate(self) -> float:
+        hits = self.stats.get(f"{self.name}.hits")
+        misses = self.stats.get(f"{self.name}.misses")
+        total = hits + misses
+        return misses / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cfg = self.config
+        return (f"Cache({self.name}, {cfg.size_bytes // 1024}KB, "
+                f"{cfg.assoc}-way, {cfg.line_bytes}B lines)")

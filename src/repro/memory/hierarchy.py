@@ -1,0 +1,112 @@
+"""Two-level memory hierarchy with miss-status holding registers.
+
+The hierarchy is shared plumbing for both instruction fetch and data
+access.  A request returns the cycle at which the data becomes available;
+requests to a line that is already in flight merge into the existing MSHR
+and observe the same ready time, so overlapping misses to one line cost a
+single memory round trip — the behaviour the parallel fetch unit exploits
+to overlap cache misses (Section 2.2 and 5.5 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config import MemoryConfig
+from repro.memory.cache import Cache
+from repro.stats import StatsCollector
+
+
+class MemoryPort:
+    """One cache (L1) backed by a shared L2 and main memory.
+
+    The port is deliberately simple: fills happen eagerly at request time
+    (tag state updates immediately) while the *latency* of the miss is
+    reported through the returned ready cycle and enforced by the
+    requester.  MSHRs make concurrent requests to an in-flight line share
+    one ready time.
+    """
+
+    def __init__(self, l1: Cache, l2: Cache, memory_latency: int,
+                 stats: StatsCollector, name: str):
+        self.l1 = l1
+        self.l2 = l2
+        self.memory_latency = memory_latency
+        self.stats = stats
+        self.name = name
+        #: line address -> cycle at which the in-flight fill completes.
+        self._mshrs: Dict[int, int] = {}
+
+    def access(self, addr: int, now: int) -> int:
+        """Request the line containing *addr* at cycle *now*.
+
+        Returns the cycle at which the data is available.  A ready cycle
+        equal to ``now + l1.latency - 1`` means "available this cycle" for
+        1-cycle L1s.
+        """
+        self._expire_mshrs(now)
+        line = self.l1.line_addr(addr)
+        if self._mshrs.get(line, -1) > now:
+            # Merge with the in-flight miss; no new tag activity.
+            self.stats.add(f"{self.name}.mshr_merges")
+            return self._mshrs[line]
+
+        if self.l1.lookup(addr):
+            return now + self.l1.config.latency - 1
+
+        # L1 miss: probe L2, then memory.
+        latency = self.l1.config.latency
+        if self.l2.lookup(addr):
+            latency += self.l2.config.latency
+        else:
+            latency += self.l2.config.latency + self.memory_latency
+            self.l2.fill(addr)
+        self.l1.fill(addr)
+        ready = now + latency - 1
+        self._mshrs[line] = ready
+        self.stats.add(f"{self.name}.miss_requests")
+        return ready
+
+    def is_hit(self, addr: int) -> bool:
+        """Non-destructive L1 residence check (no stats, no LRU)."""
+        return self.l1.probe(addr)
+
+    def _expire_mshrs(self, now: int) -> None:
+        if len(self._mshrs) > 64:
+            self._mshrs = {line: ready for line, ready in self._mshrs.items()
+                           if ready > now}
+
+    @property
+    def l1_latency(self) -> int:
+        return self.l1.config.latency
+
+
+class MemoryHierarchy:
+    """The full Table 1 hierarchy: split L1 I/D over a unified L2."""
+
+    def __init__(self, config: MemoryConfig, stats: StatsCollector):
+        self.config = config
+        self.stats = stats
+        self.l1i = Cache(config.l1i, "l1i", stats)
+        self.l1d = Cache(config.l1d, "l1d", stats)
+        self.l2 = Cache(config.l2, "l2", stats)
+        self.iport = MemoryPort(self.l1i, self.l2, config.memory_latency,
+                                stats, "imem")
+        self.dport = MemoryPort(self.l1d, self.l2, config.memory_latency,
+                                stats, "dmem")
+
+    def ibank_of(self, addr: int) -> int:
+        """Instruction-cache bank serving byte address *addr*."""
+        return self.l1i.bank_of(addr)
+
+    @property
+    def num_ibanks(self) -> int:
+        return self.config.l1i.banks
+
+    def fetch_line(self, addr: int, now: int) -> int:
+        """Instruction fetch request; returns the ready cycle."""
+        return self.iport.access(addr, now)
+
+    def data_access(self, addr: int, now: int) -> int:
+        """Data load/store request; returns the ready cycle."""
+        return self.dport.access(addr, now)

@@ -1,0 +1,17 @@
+"""Prediction structures: next-trace/fragment, live-out, return stack."""
+
+from repro.predictors.liveout import (
+    LiveOutInfo,
+    LiveOutPredictor,
+    compute_liveouts,
+)
+from repro.predictors.return_stack import ReturnAddressStack
+from repro.predictors.trace_predictor import TracePredictor
+
+__all__ = [
+    "TracePredictor",
+    "LiveOutPredictor",
+    "LiveOutInfo",
+    "compute_liveouts",
+    "ReturnAddressStack",
+]

@@ -1,0 +1,53 @@
+"""Bimodal (2-bit saturating counter) branch direction predictor.
+
+Used by the front-end as the *fallback* direction source when a fragment
+must be walked without trace-predictor direction bits — cold fragments,
+and fragments whose start was overridden by the statically-known
+fall-through address.  Real front-ends always have an outcome predictor
+underneath the trace predictor; without one, every unpredicted fragment
+would implicitly predict not-taken everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.stats import StatsCollector
+
+#: 2-bit counter bounds; >= _TAKEN_THRESHOLD predicts taken.
+_COUNTER_MAX = 3
+_TAKEN_THRESHOLD = 2
+
+
+class BimodalPredictor:
+    """PC-indexed table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int = 16384,
+                 stats: Optional[StatsCollector] = None):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("bimodal entries must be a power of two")
+        self.entries = entries
+        self.stats = stats if stats is not None else StatsCollector()
+        self._mask = entries - 1
+        #: index -> counter; unset entries weakly predict not-taken.
+        self._counters: Dict[int, int] = {}
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the conditional branch at *pc*."""
+        return self._counters.get(self._index(pc), 1) >= _TAKEN_THRESHOLD
+
+    def train(self, pc: int, taken: bool) -> None:
+        """Update with a retired branch outcome."""
+        index = self._index(pc)
+        counter = self._counters.get(index, 1)
+        if taken:
+            if counter < _COUNTER_MAX:
+                self._counters[index] = counter + 1
+        elif counter > 0:
+            self._counters[index] = counter - 1
+
+    def __len__(self) -> int:
+        return len(self._counters)

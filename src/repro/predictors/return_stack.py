@@ -1,0 +1,47 @@
+"""Speculative return-address stack.
+
+Used by the front-end as a fallback target source when a fragment ends in
+a ``ret`` and the trace predictor has no prediction yet (cold misses).
+Snapshots are cheap immutable tuples so the front-end can checkpoint the
+stack per fragment and restore it on squashes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+RasSnapshot = Tuple[int, ...]
+
+
+class ReturnAddressStack:
+    """Fixed-depth LIFO of predicted return addresses."""
+
+    def __init__(self, depth: int = 32):
+        if depth <= 0:
+            raise ValueError("RAS depth must be positive")
+        self.depth = depth
+        self._stack: Tuple[int, ...] = ()
+
+    def push(self, return_addr: int) -> None:
+        """Record a call; oldest entry falls off when full."""
+        stack = self._stack + (return_addr,)
+        if len(stack) > self.depth:
+            stack = stack[1:]
+        self._stack = stack
+
+    def pop(self) -> Optional[int]:
+        """Predict a return target; None when empty."""
+        if not self._stack:
+            return None
+        top = self._stack[-1]
+        self._stack = self._stack[:-1]
+        return top
+
+    def snapshot(self) -> RasSnapshot:
+        return self._stack
+
+    def restore(self, snapshot: RasSnapshot) -> None:
+        self._stack = snapshot
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,152 @@
+"""Path-based next-trace predictor (Jacobson, Rotenberg & Smith, MICRO-30).
+
+The predictor maintains a history of recently-seen fragment/trace IDs and
+hashes them into a *primary* table; a *secondary* table indexed by only the
+most recent ID serves as a fallback with faster learning.  Each entry
+stores the predicted next fragment key and a 2-bit hysteresis counter.
+
+The DOLC parameters (Table 1: D=9, O=4, L=7, C=9) control how many IDs
+contribute to the primary index and how many bits each contributes:
+``depth`` older IDs at ``older_bits`` each, the previous ID at
+``last_bits``, and the newest ID at ``current_bits``.
+
+History is speculative: the front-end pushes each predicted/fetched
+fragment key as it goes and restores a snapshot on mispredictions.
+Training happens at retire time against a separate architectural history
+register, so wrong-path pollution never corrupts the tables.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.config import TracePredictorConfig
+from repro.frontend.fragments import FragmentKey
+from repro.stats import StatsCollector
+
+#: Saturating-counter ceiling (2-bit hysteresis).
+_COUNTER_MAX = 3
+
+HistorySnapshot = Tuple[int, ...]
+
+
+class _Entry:
+    """One predictor-table entry."""
+
+    __slots__ = ("key", "counter")
+
+    def __init__(self, key: FragmentKey):
+        self.key = key
+        self.counter = 1
+
+
+class TracePredictor:
+    """Predicts the next fragment key from the fragment-ID path history."""
+
+    def __init__(self, config: TracePredictorConfig,
+                 stats: Optional[StatsCollector] = None):
+        self.config = config
+        self.stats = stats if stats is not None else StatsCollector()
+        self._primary: Dict[int, _Entry] = {}
+        self._secondary: Dict[int, _Entry] = {}
+        self._primary_mask = config.primary_entries - 1
+        self._secondary_mask = config.secondary_entries - 1
+        #: Speculative history used for prediction (front-end state).
+        self._history: Deque[int] = deque(maxlen=config.depth + 1)
+        #: Architectural history used for training (retire state).
+        self._retire_history: Deque[int] = deque(maxlen=config.depth + 1)
+
+    # -- index hashing -----------------------------------------------------
+
+    def _index(self, history: HistorySnapshot) -> int:
+        """Fold a history of fragment IDs into a primary-table index."""
+        cfg = self.config
+        value = 0
+        if history:
+            value ^= history[-1] & ((1 << cfg.current_bits) - 1)
+        if len(history) >= 2:
+            value ^= (history[-2] & ((1 << cfg.last_bits) - 1)) << 2
+        older = history[:-2][-cfg.depth:]
+        for i, older_id in enumerate(older):
+            bits = older_id & ((1 << cfg.older_bits) - 1)
+            value ^= bits << ((i * cfg.older_bits + 4)
+                              % max(1, cfg.current_bits + 4))
+        return value & self._primary_mask
+
+    def _secondary_index(self, history: HistorySnapshot) -> int:
+        last = history[-1] if history else 0
+        return (last ^ (last >> 16)) & self._secondary_mask
+
+    # -- speculative history (prediction path) -----------------------------
+
+    def snapshot_history(self) -> HistorySnapshot:
+        """Capture speculative history for later recovery."""
+        return tuple(self._history)
+
+    def restore_history(self, snapshot: HistorySnapshot) -> None:
+        """Roll speculative history back after a squash."""
+        self._history = deque(snapshot, maxlen=self.config.depth + 1)
+
+    def push_history(self, key: FragmentKey) -> None:
+        """Record a fetched fragment in speculative history."""
+        self._history.append(key.hash_id())
+
+    def predict(self) -> Optional[FragmentKey]:
+        """Predict the next fragment key, or None on a cold miss."""
+        history = tuple(self._history)
+        entry = self._primary.get(self._index(history))
+        if entry is not None:
+            self.stats.add("tracepred.predictions_primary")
+            return entry.key
+        entry = self._secondary.get(self._secondary_index(history))
+        if entry is not None:
+            self.stats.add("tracepred.predictions_secondary")
+            return entry.key
+        self.stats.add("tracepred.cold_misses")
+        return None
+
+    # -- training (retire path) ------------------------------------------
+
+    def train(self, actual: FragmentKey) -> None:
+        """Tell the predictor the architecturally-next fragment was
+        *actual*; updates tables against retire history, then advances it.
+        """
+        history = tuple(self._retire_history)
+        self._train_table(self._primary, self._index(history), actual)
+        self._train_table(self._secondary, self._secondary_index(history),
+                          actual)
+        self._retire_history.append(actual.hash_id())
+
+    def _train_table(self, table: Dict[int, _Entry], index: int,
+                     actual: FragmentKey) -> None:
+        entry = table.get(index)
+        if entry is None:
+            table[index] = _Entry(actual)
+            return
+        if entry.key == actual:
+            if entry.counter < _COUNTER_MAX:
+                entry.counter += 1
+            return
+        entry.counter -= 1
+        if entry.counter < 0:
+            table[index] = _Entry(actual)
+        else:
+            self.stats.add("tracepred.hysteresis_holds")
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def primary_occupancy(self) -> int:
+        return len(self._primary)
+
+    @property
+    def secondary_occupancy(self) -> int:
+        return len(self._secondary)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cfg = self.config
+        return (f"TracePredictor(primary={cfg.primary_entries}, "
+                f"secondary={cfg.secondary_entries}, "
+                f"DOLC={cfg.depth}-{cfg.older_bits}-"
+                f"{cfg.last_bits}-{cfg.current_bits})")

@@ -1,0 +1,81 @@
+"""Monolithic (sequential) rename.
+
+One rename unit processes the in-order instruction stream up to ``width``
+instructions per cycle.  Because the stream must be consumed in order, the
+renamer cannot proceed past the oldest fragment's unfetched instructions —
+the serialization Section 3.4 identifies as the limiter of parallel fetch
+with a sequential rename stage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.uop import MicroOp
+from repro.frontend.buffers import FragmentInFlight
+from repro.isa.registers import ZERO_REG
+from repro.rename.base import MakeUop, link_sources
+from repro.stats import StatsCollector
+
+
+class MonolithicRenamer:
+    """A single ``width``-wide in-order rename unit."""
+
+    def __init__(self, width: int, window, stats: StatsCollector):
+        self.width = width
+        self.window = window
+        self.stats = stats
+        #: Running architectural-to-producer map.
+        self._map: Dict[int, MicroOp] = {}
+
+    def cycle(self, now: int, fragments: List[FragmentInFlight],
+              make_uop: MakeUop) -> List[MicroOp]:
+        budget = self.width
+        renamed: List[MicroOp] = []
+        for fragment in fragments:
+            if budget <= 0:
+                break
+            if fragment.squashed or fragment.rename_done:
+                continue
+            if fragment.rename_started_cycle < 0 and fragment.renameable_count():
+                fragment.rename_started_cycle = now
+                self._note_construction(fragment)
+            while budget > 0 and fragment.renameable_count() > 0:
+                if not self.window.reserve_single(fragment.seq):
+                    self.stats.add("rename.window_stalls")
+                    return renamed
+                uop = make_uop(fragment, fragment.read_count)
+                link_sources(uop, self._map)
+                dest = uop.inst.dest_reg()
+                if dest is not None and dest != ZERO_REG:
+                    self._map[dest] = uop
+                    fragment.internal_writers[dest] = uop
+                fragment.read_count += 1
+                fragment.uops.append(uop)
+                renamed.append(uop)
+                budget -= 1
+            if fragment.read_count >= fragment.length:
+                fragment.rename_done = True
+                continue
+            # In-order rename cannot skip past unfetched instructions.
+            break
+        self.stats.add("rename.insts", len(renamed))
+        return renamed
+
+    def _note_construction(self, fragment: FragmentInFlight) -> None:
+        """Section 3.3 statistic: was the fragment fully constructed by the
+        time rename first touched it?"""
+        self.stats.add("rename.fragments_started")
+        if fragment.complete:
+            self.stats.add("rename.fragments_preconstructed")
+
+    def rebuild(self, fragments: List[FragmentInFlight]) -> None:
+        """Rebuild the map from surviving uops after a squash."""
+        self._map = {}
+        for fragment in fragments:
+            if fragment.squashed:
+                continue
+            for uop in fragment.uops:
+                dest = uop.inst.dest_reg()
+                if dest is not None and dest != ZERO_REG:
+                    self._map[dest] = uop

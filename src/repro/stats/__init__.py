@@ -1,0 +1,25 @@
+"""Statistics collection and reporting."""
+
+from repro.stats.counters import StatsCollector
+from repro.stats.report import (
+    arithmetic_mean,
+    format_table,
+    geometric_mean,
+    harmonic_mean,
+    percent_speedup,
+    series_table,
+    speedup,
+    summarize_by_benchmark,
+)
+
+__all__ = [
+    "StatsCollector",
+    "arithmetic_mean",
+    "harmonic_mean",
+    "geometric_mean",
+    "speedup",
+    "percent_speedup",
+    "format_table",
+    "series_table",
+    "summarize_by_benchmark",
+]

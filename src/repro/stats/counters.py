@@ -1,0 +1,65 @@
+"""Event counting for the timing model.
+
+Every hardware model in the simulator shares one :class:`StatsCollector`
+and bumps named counters on events.  Counters are created on first use;
+reading a counter that was never bumped returns 0, which keeps reporting
+code independent of which mechanisms were actually instantiated.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class StatsCollector:
+    """A bag of named event counters.
+
+    Counter names are dotted paths by convention, e.g. ``fetch.slots``,
+    ``l1i.misses``, ``rename.insts``.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter *name* by *amount*."""
+        self._counters[name] += amount
+
+    def set(self, name: str, value: float) -> None:
+        """Set counter *name* to an absolute value."""
+        self._counters[name] = value
+
+    def get(self, name: str) -> float:
+        """Current value of *name* (0 if never touched)."""
+        return self._counters.get(name, 0.0)
+
+    def __getitem__(self, name: str) -> float:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator``, or 0.0 if the denominator is 0."""
+        denom = self.get(denominator)
+        return self.get(numerator) / denom if denom else 0.0
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._counters.items()))
+
+    def with_prefix(self, prefix: str) -> Dict[str, float]:
+        """All counters whose name starts with ``prefix.``."""
+        dot = prefix if prefix.endswith(".") else prefix + "."
+        return {k: v for k, v in self._counters.items() if k.startswith(dot)}
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    def merge(self, other: "StatsCollector") -> None:
+        """Accumulate every counter from *other* into this collector."""
+        for name, value in other._counters.items():
+            self._counters[name] += value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatsCollector({len(self._counters)} counters)"

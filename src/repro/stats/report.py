@@ -1,0 +1,93 @@
+"""Aggregation and presentation helpers for experiment results.
+
+The paper reports harmonic means across benchmarks for rate-like metrics
+(fetch-slot utilization, IPC-relative speedups use the same convention);
+these helpers implement the means plus simple fixed-width text tables so
+benchmark harnesses can print rows directly comparable with the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean; raises on empty input or non-positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup(value: float, baseline: float) -> float:
+    """Relative speedup of *value* over *baseline* (1.0 = equal)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return value / baseline
+
+
+def percent_speedup(value: float, baseline: float) -> float:
+    """Percent speedup over a baseline, as plotted in Figure 8."""
+    return (speedup(value, baseline) - 1.0) * 100.0
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 float_fmt: str = "{:.3f}") -> str:
+    """Render a fixed-width text table.
+
+    Floats are formatted with *float_fmt*; everything else with ``str``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def summarize_by_benchmark(results: Mapping[str, Mapping[str, float]],
+                           metric: str) -> Dict[str, float]:
+    """Extract one metric per benchmark from a nested result mapping."""
+    return {bench: metrics[metric] for bench, metrics in results.items()}
+
+
+def series_table(title: str, x_label: str, xs: Sequence[object],
+                 series: Mapping[str, Sequence[float]]) -> str:
+    """Render a figure-like table: one row per x value, one column per
+    named series — the textual equivalent of a line chart."""
+    headers: List[str] = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return f"{title}\n{format_table(headers, rows)}"

@@ -1,0 +1,66 @@
+"""Workloads: synthetic SPECint2000-like suite plus hand-written kernels."""
+
+from repro.workloads.characteristics import (
+    MeasuredCharacteristics,
+    WorkloadSpec,
+)
+from repro.workloads.generator import ProgramGenerator, generate_program
+from repro.workloads.kernels import (
+    ALL_KERNELS,
+    bubble_sort,
+    fibonacci,
+    hash_kernel,
+    linked_list_walk,
+    matrix_multiply,
+    state_machine,
+    vector_sum,
+)
+from repro.workloads.kernels_extra import (
+    bfs,
+    binary_search,
+    crc32_kernel,
+    quicksort,
+    random_graph,
+    sieve,
+)
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    DEFAULT_SIM_INSTRUCTIONS,
+    SUITE_SPECS,
+    characterize,
+    clear_caches,
+    default_sim_instructions,
+    get_benchmark,
+    get_spec,
+    oracle_stream,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "MeasuredCharacteristics",
+    "ProgramGenerator",
+    "generate_program",
+    "ALL_KERNELS",
+    "vector_sum",
+    "fibonacci",
+    "bubble_sort",
+    "hash_kernel",
+    "linked_list_walk",
+    "state_machine",
+    "matrix_multiply",
+    "binary_search",
+    "sieve",
+    "quicksort",
+    "crc32_kernel",
+    "bfs",
+    "random_graph",
+    "BENCHMARK_NAMES",
+    "SUITE_SPECS",
+    "DEFAULT_SIM_INSTRUCTIONS",
+    "characterize",
+    "clear_caches",
+    "default_sim_instructions",
+    "get_benchmark",
+    "get_spec",
+    "oracle_stream",
+]

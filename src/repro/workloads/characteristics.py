@@ -1,0 +1,121 @@
+"""Workload characterisation: the knobs the synthetic suite is built from.
+
+The paper evaluates SPECint2000 binaries; we cannot (Python, no SPEC, no
+Alpha compiler), so each benchmark is replaced by a synthetic program whose
+*front-end-relevant* characteristics are calibrated to play the same role
+in each experiment:
+
+* **code footprint** drives I-cache and trace-cache pressure (Figure 9's
+  cache-size sensitivity and the crafty/gcc/perl/vortex split in Fig. 8);
+* **branch predictability** (mix of counted loops, biased branches and
+  data-dependent branches) drives fragment-predictor accuracy (Fig. 10);
+* **indirect-branch density** (switch tables, virtual-call-like dispatch)
+  terminates fragments and shortens traces (Table 2's fragment sizes);
+* **basic-block length** sets where the after-8th-instruction conditional
+  branch rule fires, the other determinant of fragment size;
+* **data-access pattern** drives D-cache behaviour (mcf is memory-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Generator parameters for one synthetic benchmark.
+
+    Attributes:
+        name: benchmark name (SPECint2000 names for the paper suite).
+        seed: PRNG seed for deterministic generation.
+        num_functions: functions in the program (beyond ``main``).
+        hot_functions: size of the hot subset the dispatcher favours;
+            smaller values concentrate execution and shrink the *dynamic*
+            footprint relative to the static one.
+        segments_per_function: body segments (straight-line runs, diamonds,
+            loops, switches, calls) per function, as a (min, max) range.
+        block_len: instructions per straight-line run, (min, max).
+        diamond_prob: probability a segment is an if/else diamond.
+        loop_prob: probability a segment is a counted inner loop.
+        switch_prob: probability a segment is a jump-table switch
+            (each switch executes one indirect jump).
+        call_prob: probability a segment is a call to a higher-numbered
+            function.
+        mem_prob: probability a segment is a memory-access run.
+        fp_prob: probability a segment is a small FP computation.
+        nop_prob: probability of inserting a NOP after a segment
+            (models padding/scheduling NOPs the front-end eliminates).
+        biased_branch_fraction: fraction of diamond branches that are
+            strongly biased (taken ~7/8) rather than data-dependent
+            (taken ~1/2 on LCG bits).
+        loop_trip_range: inner-loop trip counts, (min, max).
+        switch_cases: jump-table size (power of two).
+        array_words: per-function data array size in 8-byte words.
+        random_access_fraction: fraction of memory runs using LCG-indexed
+            (cache-hostile) accesses instead of sequential walks.
+        call_span: a function may call functions up to this many indices
+            above it (bounds static call depth).
+    """
+
+    name: str
+    seed: int
+    num_functions: int
+    hot_functions: int
+    segments_per_function: Tuple[int, int] = (6, 12)
+    block_len: Tuple[int, int] = (4, 10)
+    diamond_prob: float = 0.30
+    loop_prob: float = 0.10
+    switch_prob: float = 0.05
+    call_prob: float = 0.10
+    mem_prob: float = 0.25
+    fp_prob: float = 0.02
+    nop_prob: float = 0.02
+    biased_branch_fraction: float = 0.6
+    loop_trip_range: Tuple[int, int] = (8, 32)
+    switch_cases: int = 8
+    array_words: int = 1024
+    random_access_fraction: float = 0.3
+    call_span: int = 6
+
+    def __post_init__(self) -> None:
+        if self.num_functions <= 0:
+            raise ConfigError("num_functions must be positive")
+        if not 0 < self.hot_functions <= self.num_functions:
+            raise ConfigError("hot_functions must be in 1..num_functions")
+        if self.switch_cases & (self.switch_cases - 1):
+            raise ConfigError("switch_cases must be a power of two")
+        probs = (self.diamond_prob + self.loop_prob + self.switch_prob
+                 + self.call_prob + self.mem_prob + self.fp_prob)
+        if probs > 1.0 + 1e-9:
+            raise ConfigError("segment probabilities exceed 1.0")
+        for prob_name in ("diamond_prob", "loop_prob", "switch_prob",
+                          "call_prob", "mem_prob", "fp_prob", "nop_prob",
+                          "biased_branch_fraction",
+                          "random_access_fraction"):
+            value = getattr(self, prob_name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{prob_name} must be a probability")
+
+
+@dataclass
+class MeasuredCharacteristics:
+    """What a generated benchmark actually looks like, measured post-hoc.
+
+    Produced by :func:`repro.workloads.suite.characterize`; used by tests
+    to check calibration and by EXPERIMENTS.md's Table 2 reproduction.
+    """
+
+    name: str
+    static_instructions: int
+    text_bytes: int
+    dynamic_instructions: int
+    avg_fragment_length: float
+    cond_branch_fraction: float
+    indirect_fraction: float
+    taken_fraction: float
+    load_fraction: float
+    store_fraction: float
+    extras: Dict[str, float] = field(default_factory=dict)

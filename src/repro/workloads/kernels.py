@@ -1,0 +1,325 @@
+"""Hand-written assembly kernels.
+
+These are small, *verifiable* programs: each emits its result with ``out``
+so tests can check functional correctness end-to-end, and the examples use
+them as realistic inputs to the timing model.  The synthetic suite
+(:mod:`repro.workloads.suite`) provides the scale; these provide ground
+truth.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+
+def vector_sum(n: int = 64) -> Program:
+    """Sum the integers ``1..n`` from an array; outputs the sum."""
+    words = ", ".join(str(i) for i in range(1, n + 1))
+    source = f"""
+        .text
+    main:
+        la   t0, arr
+        li   t1, {n}
+        li   s0, 0
+    loop:
+        ld   t2, 0(t0)
+        add  s0, s0, t2
+        addi t0, t0, 8
+        addi t1, t1, -1
+        bne  t1, zero, loop
+        out  s0
+        halt
+        .data
+    arr:
+        .word {words}
+    """
+    return assemble(source, name=f"vector_sum_{n}")
+
+
+def fibonacci(n: int = 30) -> Program:
+    """Iteratively compute fib(n); outputs the result."""
+    source = f"""
+        .text
+    main:
+        li   t0, 0          # fib(0)
+        li   t1, 1          # fib(1)
+        li   t2, {n}
+    loop:
+        add  t3, t0, t1
+        mv   t0, t1
+        mv   t1, t3
+        addi t2, t2, -1
+        bne  t2, zero, loop
+        out  t0
+        halt
+    """
+    return assemble(source, name=f"fibonacci_{n}")
+
+
+def bubble_sort(values: List[int]) -> Program:
+    """Bubble-sort an array in memory; outputs each sorted element."""
+    n = len(values)
+    if n < 2:
+        raise ValueError("need at least two values to sort")
+    words = ", ".join(str(v) for v in values)
+    source = f"""
+        .text
+    main:
+        li   s1, {n - 1}        # outer counter
+    outer:
+        la   t0, arr
+        li   t1, {n - 1}        # inner counter
+    inner:
+        ld   t2, 0(t0)
+        ld   t3, 8(t0)
+        bge  t3, t2, noswap     # already ordered
+        st   t3, 0(t0)
+        st   t2, 8(t0)
+    noswap:
+        addi t0, t0, 8
+        addi t1, t1, -1
+        bne  t1, zero, inner
+        addi s1, s1, -1
+        bne  s1, zero, outer
+        # emit the sorted array
+        la   t0, arr
+        li   t1, {n}
+    emit:
+        ld   t2, 0(t0)
+        out  t2
+        addi t0, t0, 8
+        addi t1, t1, -1
+        bne  t1, zero, emit
+        halt
+        .data
+    arr:
+        .word {words}
+    """
+    return assemble(source, name=f"bubble_sort_{n}")
+
+
+def hash_kernel(n: int = 128, rounds: int = 16) -> Program:
+    """FNV-style hash over an array, repeated; outputs the final hash.
+
+    Exercises multiply-heavy straight-line code with a tight loop, similar
+    in flavour to compression inner loops (gzip/bzip2).
+    """
+    words = ", ".join(str((i * 2654435761) & 0xFFFF) for i in range(n))
+    source = f"""
+        .text
+    main:
+        li   s2, {rounds}
+        li   s0, 40503          # hash state
+        li   s3, 31             # multiplier
+    round:
+        la   t0, arr
+        li   t1, {n}
+    loop:
+        ld   t2, 0(t0)
+        mul  s0, s0, s3
+        add  s0, s0, t2
+        slli s0, s0, 32
+        srli s0, s0, 32
+        addi t0, t0, 8
+        addi t1, t1, -1
+        bne  t1, zero, loop
+        addi s2, s2, -1
+        bne  s2, zero, round
+        out  s0
+        halt
+        .data
+    arr:
+        .word {words}
+    """
+    return assemble(source, name=f"hash_{n}x{rounds}")
+
+
+def linked_list_walk(n: int = 64, walks: int = 8) -> Program:
+    """Build a linked list in shuffled order, then repeatedly traverse it
+    summing payloads; outputs the sum per walk.
+
+    A pointer-chasing, load-dependent kernel in the spirit of mcf/parser.
+    """
+    source = f"""
+        .text
+    main:
+        # Build list: node i at nodes + 16*i, payload i, next -> i+1.
+        la   t0, nodes
+        li   t1, 0
+    build:
+        st   t1, 0(t0)          # payload
+        addi t2, t0, 16
+        st   t2, 8(t0)          # next pointer
+        addi t0, t0, 16
+        addi t1, t1, 1
+        li   t3, {n}
+        bne  t1, t3, build
+        # terminate the list
+        addi t0, t0, -16
+        st   zero, 8(t0)
+
+        li   s1, {walks}
+    walk:
+        la   t0, nodes
+        li   s0, 0
+    chase:
+        ld   t2, 0(t0)          # payload
+        add  s0, s0, t2
+        ld   t0, 8(t0)          # follow next
+        bne  t0, zero, chase
+        out  s0
+        addi s1, s1, -1
+        bne  s1, zero, walk
+        halt
+        .data
+    nodes:
+        .space {n * 16 + 16}
+    """
+    return assemble(source, name=f"list_walk_{n}x{walks}")
+
+
+def state_machine(steps: int = 256) -> Program:
+    """Table-driven finite state machine using indirect jumps.
+
+    Each step reads the next state handler from a jump table indexed by
+    the current state and an LCG bit — an indirect-branch-heavy kernel in
+    the spirit of interpreters (perl/gap).  Outputs the visit counter.
+    """
+    source = f"""
+        .text
+    main:
+        li   s6, 1103515245
+        li   s7, 12345
+        li   s1, {steps}        # steps remaining
+        li   s0, 0              # visit counter
+        li   s2, 0              # current state (0..3)
+    step:
+        mul  s7, s7, s6
+        addi s7, s7, 12345
+        slli s7, s7, 32
+        srli s7, s7, 32
+        srli t0, s7, 9
+        andi t0, t0, 1
+        slli t1, s2, 1
+        or   t0, t0, t1         # table index = state*2 + bit
+        slli t0, t0, 3
+        la   t1, table
+        add  t1, t1, t0
+        ld   t1, 0(t1)
+        jr   t1
+    state0:
+        addi s0, s0, 1
+        li   s2, 1
+        j    next
+    state1:
+        addi s0, s0, 2
+        li   s2, 2
+        j    next
+    state2:
+        addi s0, s0, 3
+        li   s2, 3
+        j    next
+    state3:
+        addi s0, s0, 5
+        li   s2, 0
+        j    next
+    next:
+        addi s1, s1, -1
+        bne  s1, zero, step
+        out  s0
+        halt
+        .data
+    table:
+        .word state0, state1, state1, state2
+        .word state2, state3, state3, state0
+    """
+    return assemble(source, name=f"state_machine_{steps}")
+
+
+def matrix_multiply(size: int = 8) -> Program:
+    """Dense ``size x size`` integer matrix multiply; outputs the trace of
+    the product matrix."""
+    a_words = ", ".join(str((i % 7) + 1) for i in range(size * size))
+    b_words = ", ".join(str((i % 5) + 1) for i in range(size * size))
+    source = f"""
+        .text
+    main:
+        li   s0, 0              # i
+    iloop:
+        li   s1, 0              # j
+    jloop:
+        li   s2, 0              # k
+        li   t4, 0              # accumulator
+    kloop:
+        # a[i*size + k]
+        li   t0, {size}
+        mul  t1, s0, t0
+        add  t1, t1, s2
+        slli t1, t1, 3
+        la   t2, mat_a
+        add  t2, t2, t1
+        ld   t2, 0(t2)
+        # b[k*size + j]
+        mul  t1, s2, t0
+        add  t1, t1, s1
+        slli t1, t1, 3
+        la   t3, mat_b
+        add  t3, t3, t1
+        ld   t3, 0(t3)
+        mul  t2, t2, t3
+        add  t4, t4, t2
+        addi s2, s2, 1
+        li   t0, {size}
+        bne  s2, t0, kloop
+        # c[i*size + j] = t4
+        li   t0, {size}
+        mul  t1, s0, t0
+        add  t1, t1, s1
+        slli t1, t1, 3
+        la   t2, mat_c
+        add  t2, t2, t1
+        st   t4, 0(t2)
+        addi s1, s1, 1
+        bne  s1, t0, jloop
+        addi s0, s0, 1
+        bne  s0, t0, iloop
+        # trace(c)
+        li   s0, 0
+        li   s1, 0
+    trloop:
+        li   t0, {size}
+        mul  t1, s1, t0
+        add  t1, t1, s1
+        slli t1, t1, 3
+        la   t2, mat_c
+        add  t2, t2, t1
+        ld   t2, 0(t2)
+        add  s0, s0, t2
+        addi s1, s1, 1
+        bne  s1, t0, trloop
+        out  s0
+        halt
+        .data
+    mat_a:
+        .word {a_words}
+    mat_b:
+        .word {b_words}
+    mat_c:
+        .space {size * size * 8}
+    """
+    return assemble(source, name=f"matmul_{size}")
+
+
+#: Name -> zero-argument constructor for every kernel, used by tests.
+ALL_KERNELS = {
+    "vector_sum": vector_sum,
+    "fibonacci": fibonacci,
+    "bubble_sort": lambda: bubble_sort([9, 3, 7, 1, 8, 2, 6, 4, 5, 0]),
+    "hash": hash_kernel,
+    "linked_list": linked_list_walk,
+    "state_machine": state_machine,
+    "matmul": matrix_multiply,
+}

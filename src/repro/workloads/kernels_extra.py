@@ -1,0 +1,407 @@
+"""Additional hand-written kernels: search, sort, graph and bit kernels.
+
+Like :mod:`repro.workloads.kernels`, every kernel emits verifiable
+results with ``out`` so functional tests can check it end-to-end, and
+each stresses a distinct front-end behaviour:
+
+* :func:`binary_search` — short data-dependent branch chains;
+* :func:`sieve` — nested loops with long predictable bodies;
+* :func:`quicksort` — an explicit-stack iterative quicksort: deep
+  data-dependent control flow and pointer-ish memory traffic;
+* :func:`crc32_kernel` — bit-serial loop, dense short branches (the
+  hardest kind of fragment to predict);
+* :func:`bfs` — queue-driven breadth-first search over an adjacency
+  matrix: indirect-ish data-dependent behaviour without indirect jumps.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+
+def binary_search(values: Sequence[int], queries: Sequence[int]) -> Program:
+    """Binary-search each query in a sorted array; outputs found indices
+    (or -1)."""
+    values = sorted(values)
+    n = len(values)
+    if n == 0:
+        raise ValueError("need a non-empty array")
+    word_list = ", ".join(str(v) for v in values)
+    query_list = ", ".join(str(q) for q in queries)
+    source = f"""
+        .text
+    main:
+        la   s1, queries
+        li   s2, {len(queries)}
+    next_query:
+        ld   a0, 0(s1)
+        li   t0, 0              # lo
+        li   t1, {n - 1}        # hi
+        li   a1, -1             # result
+    search:
+        bgt  t0, t1, done_one
+        add  t2, t0, t1
+        srli t2, t2, 1          # mid
+        slli t3, t2, 3
+        la   t4, arr
+        add  t4, t4, t3
+        ld   t5, 0(t4)
+        beq  t5, a0, found
+        blt  t5, a0, go_right
+        addi t1, t2, -1
+        j    search
+    go_right:
+        addi t0, t2, 1
+        j    search
+    found:
+        mv   a1, t2
+    done_one:
+        out  a1
+        addi s1, s1, 8
+        addi s2, s2, -1
+        bne  s2, zero, next_query
+        halt
+
+        .data
+    arr:
+        .word {word_list}
+    queries:
+        .word {query_list}
+    """
+    return assemble(source, name=f"binary_search_{n}x{len(queries)}")
+
+
+def sieve(limit: int = 100) -> Program:
+    """Sieve of Eratosthenes; outputs the number of primes <= limit."""
+    if limit < 2:
+        raise ValueError("limit must be >= 2")
+    source = f"""
+        .text
+    main:
+        # flags[i] = 1 initially (candidate prime), for 2..limit
+        la   t0, flags
+        li   t1, {limit + 1}
+        li   t2, 1
+    init:
+        st   t2, 0(t0)
+        addi t0, t0, 8
+        addi t1, t1, -1
+        bne  t1, zero, init
+
+        li   s0, 2              # p
+    outer:
+        mul  t0, s0, s0
+        li   t1, {limit}
+        bgt  t0, t1, count      # p*p > limit: done sieving
+        # skip if flags[p] == 0
+        slli t2, s0, 3
+        la   t3, flags
+        add  t3, t3, t2
+        ld   t4, 0(t3)
+        beq  t4, zero, next_p
+        # strike multiples starting at p*p
+        mv   t5, t0             # m = p*p
+    strike:
+        li   t1, {limit}
+        bgt  t5, t1, next_p
+        slli t2, t5, 3
+        la   t3, flags
+        add  t3, t3, t2
+        st   zero, 0(t3)
+        add  t5, t5, s0
+        j    strike
+    next_p:
+        addi s0, s0, 1
+        j    outer
+    count:
+        li   s1, 0              # prime count
+        li   s2, 2              # i
+    tally:
+        li   t1, {limit}
+        bgt  s2, t1, report
+        slli t2, s2, 3
+        la   t3, flags
+        add  t3, t3, t2
+        ld   t4, 0(t3)
+        add  s1, s1, t4
+        addi s2, s2, 1
+        j    tally
+    report:
+        out  s1
+        halt
+
+        .data
+    flags:
+        .space {8 * (limit + 1)}
+    """
+    return assemble(source, name=f"sieve_{limit}")
+
+
+def quicksort(values: Sequence[int]) -> Program:
+    """Iterative quicksort with an explicit range stack; outputs the
+    sorted array."""
+    n = len(values)
+    if n < 2:
+        raise ValueError("need at least two values")
+    word_list = ", ".join(str(v) for v in values)
+    source = f"""
+        .text
+    main:
+        # push (0, n-1) onto the range stack at `ranges`
+        la   s0, ranges         # stack pointer (grows up, 16B frames)
+        li   t0, 0
+        st   t0, 0(s0)
+        li   t0, {n - 1}
+        st   t0, 8(s0)
+        addi s0, s0, 16
+
+    pop_range:
+        la   t0, ranges
+        beq  s0, t0, emit       # stack empty -> done
+        addi s0, s0, -16
+        ld   s1, 0(s0)          # lo
+        ld   s2, 8(s0)          # hi
+        bge  s1, s2, pop_range  # trivial range
+
+        # partition around pivot = arr[hi] (Lomuto)
+        slli t0, s2, 3
+        la   t1, arr
+        add  t0, t0, t1
+        ld   s3, 0(t0)          # pivot value
+        addi s4, s1, -1         # i
+        mv   s5, s1             # j
+    part_loop:
+        bge  s5, s2, part_done
+        slli t0, s5, 3
+        la   t1, arr
+        add  t0, t0, t1
+        ld   t2, 0(t0)          # arr[j]
+        bgt  t2, s3, no_swap
+        addi s4, s4, 1          # ++i
+        # swap arr[i], arr[j]
+        slli t3, s4, 3
+        la   t4, arr
+        add  t3, t3, t4
+        ld   t5, 0(t3)
+        st   t2, 0(t3)
+        st   t5, 0(t0)
+    no_swap:
+        addi s5, s5, 1
+        j    part_loop
+    part_done:
+        # move pivot into place: swap arr[i+1], arr[hi]
+        addi s4, s4, 1
+        slli t0, s4, 3
+        la   t1, arr
+        add  t0, t0, t1
+        ld   t2, 0(t0)
+        slli t3, s2, 3
+        la   t4, arr
+        add  t3, t3, t4
+        ld   t5, 0(t3)
+        st   t5, 0(t0)
+        st   t2, 0(t3)
+
+        # push (lo, i-1) and (i+1, hi)
+        addi t6, s4, -1
+        st   s1, 0(s0)
+        st   t6, 8(s0)
+        addi s0, s0, 16
+        addi t6, s4, 1
+        st   t6, 0(s0)
+        st   s2, 8(s0)
+        addi s0, s0, 16
+        j    pop_range
+
+    emit:
+        la   t0, arr
+        li   t1, {n}
+    emit_loop:
+        ld   t2, 0(t0)
+        out  t2
+        addi t0, t0, 8
+        addi t1, t1, -1
+        bne  t1, zero, emit_loop
+        halt
+
+        .data
+    arr:
+        .word {word_list}
+    ranges:
+        .space {16 * (n + 4)}
+    """
+    return assemble(source, name=f"quicksort_{n}")
+
+
+def crc32_kernel(data: Sequence[int], rounds: int = 2) -> Program:
+    """Bit-serial CRC-32 (reflected, polynomial 0xEDB88320) over 8-bit
+    data values; outputs the final CRC once per round."""
+    if not data:
+        raise ValueError("need data")
+    byte_list = ", ".join(str(v & 0xFF) for v in data)
+    source = f"""
+        .text
+    main:
+        li   s5, {rounds}
+        # poly = 0xEDB88320
+        lui  s4, 0xEDB8
+        ori  s4, s4, 0x8320
+    round:
+        # crc = 0xFFFFFFFF
+        lui  s0, 0xFFFF
+        ori  s0, s0, 0xFFFF
+        la   s1, data
+        li   s2, {len(data)}
+    per_byte:
+        ld   t0, 0(s1)
+        xor  s0, s0, t0
+        li   s3, 8              # bit counter
+    per_bit:
+        andi t1, s0, 1
+        srli s0, s0, 1
+        beq  t1, zero, no_poly
+        xor  s0, s0, s4
+    no_poly:
+        addi s3, s3, -1
+        bne  s3, zero, per_bit
+        addi s1, s1, 8
+        addi s2, s2, -1
+        bne  s2, zero, per_byte
+        # crc = crc ^ 0xFFFFFFFF
+        lui  t2, 0xFFFF
+        ori  t2, t2, 0xFFFF
+        xor  s0, s0, t2
+        out  s0
+        addi s5, s5, -1
+        bne  s5, zero, round
+        halt
+
+        .data
+    data:
+        .word {byte_list}
+    """
+    return assemble(source, name=f"crc32_{len(data)}x{rounds}")
+
+
+def bfs(adjacency: Sequence[Sequence[int]], start: int = 0) -> Program:
+    """Breadth-first search over an adjacency matrix; outputs the visit
+    order."""
+    n = len(adjacency)
+    if n == 0 or any(len(row) != n for row in adjacency):
+        raise ValueError("need a square adjacency matrix")
+    flat = ", ".join(str(int(bool(v))) for row in adjacency for v in row)
+    source = f"""
+        .text
+    main:
+        # queue <- start; visited[start] = 1
+        la   t0, queue
+        li   t1, {start}
+        st   t1, 0(t0)
+        slli t2, t1, 3
+        la   t3, visited
+        add  t3, t3, t2
+        li   t4, 1
+        st   t4, 0(t3)
+        li   s0, 0              # head
+        li   s1, 1              # tail
+    drain:
+        beq  s0, s1, done
+        # u = queue[head++]
+        slli t0, s0, 3
+        la   t1, queue
+        add  t1, t1, t0
+        ld   s2, 0(t1)
+        addi s0, s0, 1
+        out  s2
+        # scan u's row
+        li   s3, 0              # v
+    scan:
+        li   t0, {n}
+        bge  s3, t0, drain
+        # adj[u*n + v]?
+        li   t1, {n}
+        mul  t2, s2, t1
+        add  t2, t2, s3
+        slli t2, t2, 3
+        la   t3, adj
+        add  t3, t3, t2
+        ld   t4, 0(t3)
+        beq  t4, zero, next_v
+        # unvisited?
+        slli t5, s3, 3
+        la   t6, visited
+        add  t6, t6, t5
+        ld   t7, 0(t6)
+        bne  t7, zero, next_v
+        # mark + enqueue
+        li   t7, 1
+        st   t7, 0(t6)
+        slli t5, s1, 3
+        la   t6, queue
+        add  t6, t6, t5
+        st   s3, 0(t6)
+        addi s1, s1, 1
+    next_v:
+        addi s3, s3, 1
+        j    scan
+    done:
+        halt
+
+        .data
+    adj:
+        .word {flat}
+    visited:
+        .space {8 * n}
+    queue:
+        .space {8 * (n + 1)}
+    """
+    return assemble(source, name=f"bfs_{n}")
+
+
+def reference_crc32(data: Sequence[int]) -> int:
+    """Reference CRC-32 matching :func:`crc32_kernel`."""
+    crc = 0xFFFFFFFF
+    for value in data:
+        crc ^= value & 0xFF
+        for _ in range(8):
+            low = crc & 1
+            crc >>= 1
+            if low:
+                crc ^= 0xEDB88320
+    return crc ^ 0xFFFFFFFF
+
+
+def random_graph(n: int, density: float = 0.25,
+                 seed: int = 7) -> List[List[int]]:
+    """A reproducible undirected random graph as an adjacency matrix."""
+    rng = random.Random(seed)
+    matrix = [[0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < density:
+                matrix[i][j] = matrix[j][i] = 1
+    return matrix
+
+
+def reference_bfs(adjacency: Sequence[Sequence[int]],
+                  start: int = 0) -> List[int]:
+    """Reference BFS visit order matching :func:`bfs`."""
+    n = len(adjacency)
+    visited = [False] * n
+    visited[start] = True
+    queue = [start]
+    order = []
+    head = 0
+    while head < len(queue):
+        u = queue[head]
+        head += 1
+        order.append(u)
+        for v in range(n):
+            if adjacency[u][v] and not visited[v]:
+                visited[v] = True
+                queue.append(v)
+    return order

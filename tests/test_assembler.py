@@ -1,0 +1,199 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Opcode
+from repro.isa.program import DATA_BASE, TEXT_BASE, WORD_BYTES
+from repro.isa.registers import LINK_REG
+
+
+class TestBasicAssembly:
+    def test_single_instruction(self):
+        program = assemble("add r1, r2, r3")
+        assert len(program) == 1
+        inst = program.instructions[0]
+        assert inst.opcode is Opcode.ADD
+        assert (inst.rd, inst.rs1, inst.rs2) == (1, 2, 3)
+        assert inst.addr == TEXT_BASE
+
+    def test_addresses_are_sequential(self):
+        program = assemble("nop\nnop\nnop")
+        assert [i.addr for i in program.instructions] == [
+            TEXT_BASE, TEXT_BASE + 4, TEXT_BASE + 8]
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+            # full-line comment
+            add r1, r2, r3   # trailing comment
+            ; semicolon comment
+            nop              ; another
+        """)
+        assert len(program) == 2
+
+    def test_labels_resolve_forward_and_backward(self):
+        program = assemble("""
+        start:
+            j end
+            nop
+        end:
+            j start
+        """)
+        jump_fwd, _, jump_back = program.instructions
+        assert jump_fwd.target == program.symbols["end"]
+        assert jump_back.target == program.symbols["start"]
+
+    def test_label_on_same_line_as_instruction(self):
+        program = assemble("loop: addi r1, r1, -1\nbne r1, zero, loop")
+        assert program.symbols["loop"] == TEXT_BASE
+
+    def test_memory_operands(self):
+        program = assemble("ld t0, 16(sp)\nst t0, -8(sp)")
+        load, store = program.instructions
+        assert load.imm == 16 and load.rs1 == 2
+        assert store.imm == -8 and store.rs2 == load.rd
+
+    def test_branch_operands(self):
+        program = assemble("x: beq t0, t1, x")
+        branch = program.instructions[0]
+        assert branch.opcode is Opcode.BEQ
+        assert branch.target == TEXT_BASE
+
+    def test_entry_defaults_to_main(self):
+        program = assemble("nop\nmain: nop")
+        assert program.entry == TEXT_BASE + 4
+
+    def test_entry_defaults_to_text_base_without_main(self):
+        program = assemble("nop")
+        assert program.entry == TEXT_BASE
+
+
+class TestDataSegment:
+    def test_word_directive(self):
+        program = assemble("""
+            .data
+        vals:
+            .word 1, 2, -3
+        """)
+        base = program.symbols["vals"]
+        assert base == DATA_BASE
+        assert program.data[base] == 1
+        assert program.data[base + WORD_BYTES] == 2
+        assert program.data[base + 2 * WORD_BYTES] == -3
+        assert program.data_size == 3 * WORD_BYTES
+
+    def test_word_with_label_reference(self):
+        program = assemble("""
+            .text
+        handler:
+            nop
+            .data
+        table:
+            .word handler
+        """)
+        assert program.data[program.symbols["table"]] == \
+            program.symbols["handler"]
+
+    def test_space_directive(self):
+        program = assemble("""
+            .data
+        buf:
+            .space 64
+        after:
+            .word 7
+        """)
+        assert program.symbols["after"] == program.symbols["buf"] + 64
+
+    def test_align_directive(self):
+        program = assemble("""
+            .data
+            .space 12
+            .align 16
+        aligned:
+            .word 1
+        """)
+        assert program.symbols["aligned"] % 16 == 0
+
+
+class TestPseudoInstructions:
+    def test_li_small_is_one_instruction(self):
+        program = assemble("li t0, 42")
+        assert len(program) == 1
+        assert program.instructions[0].opcode is Opcode.ADDI
+
+    def test_li_large_expands_to_lui_ori(self):
+        program = assemble("li t0, 0x12345")
+        assert [i.opcode for i in program.instructions] == [
+            Opcode.LUI, Opcode.ORI]
+
+    def test_li_negative(self):
+        program = assemble("li t0, -5")
+        assert program.instructions[0].imm == -5
+
+    def test_la_always_two_instructions(self):
+        program = assemble("""
+            la t0, x
+            .data
+        x:  .word 0
+        """)
+        assert len(program) == 2
+
+    def test_mv(self):
+        program = assemble("mv t0, t1")
+        inst = program.instructions[0]
+        assert inst.opcode is Opcode.ADDI and inst.imm == 0
+
+    def test_call_and_ret(self):
+        program = assemble("""
+        main:
+            call f
+            halt
+        f:
+            ret
+        """)
+        call = program.instructions[0]
+        ret = program.instructions[2]
+        assert call.opcode is Opcode.JAL and call.rd == LINK_REG
+        assert ret.opcode is Opcode.RET and ret.rs1 == LINK_REG
+
+    def test_bgt_swaps_operands(self):
+        program = assemble("x: bgt t0, t1, x")
+        inst = program.instructions[0]
+        assert inst.opcode is Opcode.BLT
+        # bgt a,b == blt b,a
+        assert inst.rs1 == 9 and inst.rs2 == 8
+
+    def test_jal_with_explicit_link_register(self):
+        program = assemble("x: jal t0, x")
+        assert program.instructions[0].rd == 8
+
+    def test_jalr_default_link(self):
+        program = assemble("jalr t0")
+        inst = program.instructions[0]
+        assert inst.rd == LINK_REG and inst.rs1 == 8
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source, fragment", [
+        ("bogus r1, r2", "unknown mnemonic"),
+        ("add r1, r2", "operand"),
+        ("addi r1, r2, 99999", "out of 16-bit range"),
+        ("ld r1, 99999(r2)", "out of range"),
+        ("x: nop\nx: nop", "duplicate label"),
+        (".data\n.word 1\n.text2", "unknown directive"),
+        ("ld r1, r2", "bad memory operand"),
+        ("add r1, r2, 5", "not a register"),
+        (".word 1", ".word in text segment"),
+        (".data\nadd r1, r2, r3", "instruction in data segment"),
+        (".data\n.align 3", "power of two"),
+        (".data\n.space -1", "negative"),
+        ("j nowhere", "bad integer literal"),
+    ])
+    def test_rejects(self, source, fragment):
+        with pytest.raises(AssemblerError, match=fragment):
+            assemble(source)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbogus")

@@ -1,0 +1,59 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "w16", "gzip"])
+        assert args.config == "w16" and args.benchmark == "gzip"
+        assert args.instructions is None and not args.cold
+
+    def test_rejects_unknown_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "bogus", "gzip"])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "table1"])
+        assert args.name == "table1"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_run_prints_metrics(self, capsys):
+        assert main(["run", "w16", "gzip", "-n", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "w16" in out
+
+    def test_run_with_counters(self, capsys):
+        assert main(["run", "pf-2x8w", "gzip", "-n", "1500",
+                     "--counters"]) == 0
+        out = capsys.readouterr().out
+        assert "fetch.insts" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "gzip", "--configs", "w16", "tc",
+                     "-n", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "w16" in out and "tc" in out
+
+    def test_figure_table1(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        assert "256-entry" in capsys.readouterr().out
+
+    def test_bench_info(self, capsys):
+        assert main(["bench-info", "--benchmarks", "mcf",
+                     "-n", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "avg frag" in out
+
+    def test_cold_run(self, capsys):
+        assert main(["run", "w16", "gzip", "-n", "1500", "--cold"]) == 0
+        assert "IPC" in capsys.readouterr().out

@@ -1,0 +1,150 @@
+"""Tests for configuration validation and the named paper configurations."""
+
+import pytest
+
+from repro.config import (
+    KB,
+    PAPER_CONFIGS,
+    BackEndConfig,
+    CacheConfig,
+    FragmentConfig,
+    FrontEndConfig,
+    LiveOutPredictorConfig,
+    TraceCacheConfig,
+    TracePredictorConfig,
+    frontend_config,
+)
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_cache_requires_power_of_two(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(1000, 2, 64, 1)
+
+    def test_cache_rejects_tiny_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(64, 4, 64, 1)
+
+    def test_cache_num_sets(self):
+        assert CacheConfig(64 * KB, 2, 64, 1).num_sets == 512
+
+    def test_frontend_width_must_divide(self):
+        with pytest.raises(ConfigError):
+            FrontEndConfig(fetch_kind="pf", sequencers=3)
+
+    def test_frontend_unknown_kinds(self):
+        with pytest.raises(ConfigError):
+            FrontEndConfig(fetch_kind="bogus")
+        with pytest.raises(ConfigError):
+            FrontEndConfig(rename_kind="bogus")
+
+    def test_tc_requires_trace_cache(self):
+        with pytest.raises(ConfigError):
+            FrontEndConfig(fetch_kind="tc")
+
+    def test_fragment_config_limits(self):
+        with pytest.raises(ConfigError):
+            FragmentConfig(max_length=8, cond_branch_limit=9)
+
+    def test_backend_dispatch_latency(self):
+        with pytest.raises(ConfigError):
+            BackEndConfig(dispatch_latency=-1)
+
+    def test_liveout_validation(self):
+        with pytest.raises(ConfigError):
+            LiveOutPredictorConfig(entries=1000)
+
+    def test_trace_predictor_scaled(self):
+        scaled = TracePredictorConfig().scaled(8192)
+        assert scaled.primary_entries == 8192
+        assert scaled.secondary_entries == 2048
+
+
+class TestNamedConfigs:
+    def test_all_paper_configs_build(self):
+        for name in PAPER_CONFIGS:
+            config = frontend_config(name)
+            assert config.backend.window_size == 256
+
+    def test_w16(self):
+        config = frontend_config("w16")
+        assert config.frontend.fetch_kind == "w16"
+        assert config.frontend.width == 16
+        assert config.memory.l1i.size_bytes == 64 * KB
+        assert config.memory.l1i.banks == 1
+
+    def test_tc_splits_storage(self):
+        config = frontend_config("tc")
+        assert config.memory.l1i.size_bytes == 32 * KB
+        assert config.frontend.trace_cache.size_bytes == 32 * KB
+
+    def test_tc2x_doubles_storage(self):
+        config = frontend_config("tc2x")
+        assert config.memory.l1i.size_bytes == 64 * KB
+        assert config.frontend.trace_cache.size_bytes == 64 * KB
+
+    def test_pf_geometry(self):
+        config = frontend_config("pf-2x8w")
+        assert config.frontend.sequencers == 2
+        assert config.frontend.sequencer_width == 8
+        assert config.frontend.rename_kind == "monolithic"
+        assert config.memory.l1i.banks == 16
+
+    def test_pr_geometry(self):
+        config = frontend_config("pr-4x4w")
+        assert config.frontend.sequencers == 4
+        assert config.frontend.renamers == 4
+        assert config.frontend.renamer_width == 4
+        assert config.frontend.rename_kind == "parallel"
+
+    def test_tc_plus_parallel_rename(self):
+        config = frontend_config("tc+pr-2x8w")
+        assert config.frontend.fetch_kind == "tc"
+        assert config.frontend.rename_kind == "parallel"
+        assert config.frontend.renamers == 2
+
+    def test_storage_override(self):
+        config = frontend_config("pr-2x8w", total_l1_storage=8 * KB)
+        assert config.memory.l1i.size_bytes == 8 * KB
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            frontend_config("pf-3x5w")
+
+    def test_replace_is_functional(self):
+        config = frontend_config("w16")
+        changed = config.replace(fragment=FragmentConfig(max_length=8))
+        assert changed.fragment.max_length == 8
+        assert config.fragment.max_length == 16
+
+    def test_fragment_buffer_storage_is_1kb(self):
+        # 16 buffers x 16 instructions x 4 bytes (Section 5's accounting).
+        config = frontend_config("pf-2x8w")
+        fe = config.frontend
+        assert fe.num_fragment_buffers * fe.fragment_buffer_size * 4 == 1024
+
+
+class TestDelayConfigs:
+    def test_pd_configs_build(self):
+        for name in ("pd-2x8w", "pd-4x4w"):
+            config = frontend_config(name)
+            assert config.frontend.rename_kind == "delay"
+            assert config.frontend.fetch_kind == "pf"
+
+
+def test_buffer_smaller_than_fragment_rejected():
+    """A fragment must fit its buffer; the processor validates coherence."""
+    import dataclasses
+
+    from repro.core.processor import Processor
+    from repro.emulator.machine import execute
+    from repro.workloads.kernels import fibonacci
+
+    config = frontend_config("pf-2x8w")
+    config = config.replace(frontend=dataclasses.replace(
+        config.frontend, fragment_buffer_size=8))
+    program = fibonacci(10)
+    oracle = execute(program, 100).stream
+    with pytest.raises(ConfigError):
+        Processor(config, program, oracle)

@@ -1,0 +1,138 @@
+"""Property-based tests of emulator arithmetic against a reference model.
+
+Each property assembles a tiny program that loads two 64-bit operands
+from memory, applies one operation, and outputs the result; the result
+must match an independently-computed reference.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.emulator.machine import execute, to_signed, to_unsigned
+from repro.isa.assembler import assemble
+
+WORDS = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+SMALL_SHIFTS = st.integers(min_value=0, max_value=63)
+
+_TEMPLATE = """
+    main:
+        ld  t0, 0(gp)
+        ld  t1, 8(gp)
+        {op} t2, t0, t1
+        out t2
+        halt
+        .data
+        .word {a}, {b}
+"""
+
+
+def run_binop(op, a, b):
+    source = _TEMPLATE.format(op=op, a=a, b=b)
+    return execute(assemble(source)).outputs[0]
+
+
+@given(a=WORDS, b=WORDS)
+@settings(max_examples=60, deadline=None)
+def test_add_matches_wraparound(a, b):
+    assert run_binop("add", a, b) == to_signed(a + b)
+
+
+@given(a=WORDS, b=WORDS)
+@settings(max_examples=60, deadline=None)
+def test_sub_matches_wraparound(a, b):
+    assert run_binop("sub", a, b) == to_signed(a - b)
+
+
+@given(a=WORDS, b=WORDS)
+@settings(max_examples=60, deadline=None)
+def test_mul_matches_wraparound(a, b):
+    assert run_binop("mul", a, b) == to_signed(a * b)
+
+
+@given(a=WORDS, b=WORDS)
+@settings(max_examples=60, deadline=None)
+def test_logic_ops_match(a, b):
+    ua, ub = to_unsigned(a), to_unsigned(b)
+    assert run_binop("and", a, b) == to_signed(ua & ub)
+    assert run_binop("or", a, b) == to_signed(ua | ub)
+    assert run_binop("xor", a, b) == to_signed(ua ^ ub)
+
+
+@given(a=WORDS, b=WORDS)
+@settings(max_examples=60, deadline=None)
+def test_division_identity(a, b):
+    """Truncating division invariant: a == q*b + r with |r| < |b|."""
+    quotient = run_binop("div", a, b)
+    remainder = run_binop("rem", a, b)
+    if b == 0:
+        assert quotient == -1 and remainder == a
+    else:
+        assert to_signed(quotient * b + remainder) == a
+        assert abs(remainder) < abs(b)
+        # Truncation toward zero: remainder has the dividend's sign.
+        assert remainder == 0 or (remainder < 0) == (a < 0)
+
+
+@given(a=WORDS, shift=SMALL_SHIFTS)
+@settings(max_examples=60, deadline=None)
+def test_shifts_match(a, shift):
+    source = f"""
+    main:
+        ld   t0, 0(gp)
+        li   t1, {shift}
+        sll  t2, t0, t1
+        out  t2
+        srl  t3, t0, t1
+        out  t3
+        sra  t4, t0, t1
+        out  t4
+        halt
+        .data
+        .word {a}
+    """
+    sll, srl, sra = execute(assemble(source)).outputs
+    ua = to_unsigned(a)
+    assert sll == to_signed(ua << shift)
+    assert srl == to_signed(ua >> shift)
+    assert sra == to_signed(a) >> shift
+
+
+@given(a=WORDS, b=WORDS)
+@settings(max_examples=60, deadline=None)
+def test_comparisons_match(a, b):
+    assert run_binop("slt", a, b) == int(a < b)
+    assert run_binop("sltu", a, b) == int(to_unsigned(a) < to_unsigned(b))
+
+
+@given(values=st.lists(WORDS, min_size=1, max_size=16))
+@settings(max_examples=30, deadline=None)
+def test_memory_roundtrip(values):
+    """Stores followed by loads return exactly what was stored."""
+    word_list = ", ".join(str(v) for v in values)
+    source = f"""
+    main:
+        li   s0, {len(values)}
+        la   t0, src
+        la   t1, dst
+    copy:
+        ld   t2, 0(t0)
+        st   t2, 0(t1)
+        addi t0, t0, 8
+        addi t1, t1, 8
+        addi s0, s0, -1
+        bne  s0, zero, copy
+        la   t1, dst
+        li   s0, {len(values)}
+    emit:
+        ld   t2, 0(t1)
+        out  t2
+        addi t1, t1, 8
+        addi s0, s0, -1
+        bne  s0, zero, emit
+        halt
+        .data
+    src:
+        .word {word_list}
+    dst:
+        .space {8 * len(values)}
+    """
+    assert execute(assemble(source)).outputs == values

@@ -1,0 +1,66 @@
+"""End-to-end property test: for *any* generated workload, every
+front-end commits exactly the functional execution.
+
+This is the simulator's master invariant — speculation, squashes,
+parallel rename, live-out mispredictions and cache behaviour may change
+*timing*, never the committed instruction sequence.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import frontend_config
+from repro.core.processor import Processor
+from repro.emulator.machine import Machine
+from repro.workloads.characteristics import WorkloadSpec
+from repro.workloads.generator import generate_program
+
+CONFIG_NAMES = ("w16", "tc", "pf-4x4w", "pr-2x8w")
+
+
+@st.composite
+def workload_specs(draw):
+    num_functions = draw(st.integers(min_value=4, max_value=24))
+    hot = draw(st.integers(min_value=2, max_value=num_functions))
+    # Segment-kind probabilities must sum to <= 1.0: draw raw weights and
+    # normalise to a random budget.
+    weights = [draw(st.floats(0.0, 1.0)) for _ in range(6)]
+    budget = draw(st.floats(0.2, 0.95))
+    total = sum(weights) or 1.0
+    diamond, loop, switch, call, mem, fp = (w / total * budget
+                                            for w in weights)
+    return WorkloadSpec(
+        name="prop",
+        seed=draw(st.integers(min_value=1, max_value=10_000)),
+        num_functions=num_functions,
+        hot_functions=hot,
+        segments_per_function=(1, draw(st.integers(2, 6))),
+        block_len=(1, draw(st.integers(2, 8))),
+        diamond_prob=diamond,
+        loop_prob=loop,
+        switch_prob=switch,
+        call_prob=call,
+        mem_prob=mem,
+        fp_prob=fp,
+        nop_prob=draw(st.floats(0.0, 0.1)),
+        biased_branch_fraction=draw(st.floats(0.0, 1.0)),
+        switch_cases=draw(st.sampled_from([2, 4, 8])),
+        array_words=draw(st.sampled_from([64, 1024, 4096])),
+        random_access_fraction=draw(st.floats(0.0, 1.0)),
+    )
+
+
+@given(spec=workload_specs(),
+       config_name=st.sampled_from(CONFIG_NAMES))
+@settings(max_examples=12, deadline=None)
+def test_any_workload_commits_functional_execution(spec, config_name):
+    program = generate_program(spec)
+    oracle = Machine(program).run(1500).stream
+    non_nop = sum(1 for r in oracle if not r.inst.is_nop)
+    if non_nop == 0:
+        return
+    processor = Processor(frontend_config(config_name), program, oracle)
+    processor.run()
+    assert processor.finished, (spec.seed, config_name)
+    assert processor.committed == non_nop
+    # The pipeline can never commit faster than its width.
+    assert processor.committed <= 16 * processor.now

@@ -1,0 +1,122 @@
+"""Tests for the experiment harnesses (tiny scale)."""
+
+import pytest
+
+from repro.experiments import (
+    clear_cache,
+    experiment_benchmarks,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    format_figure4,
+    format_figure5,
+    format_figure6,
+    format_figure7,
+    format_figure8,
+    format_figure9,
+    format_figure10,
+    format_table2,
+    run_cached,
+    table1,
+    table2,
+    text_statistics,
+    format_text_statistics,
+)
+
+BENCHES = ["gzip", "mcf"]
+LENGTH = 2000
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _clean_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestCommon:
+    def test_run_cached_memoizes(self):
+        first = run_cached("w16", "gzip", LENGTH)
+        second = run_cached("w16", "gzip", LENGTH)
+        assert first is second
+
+    def test_run_cached_distinguishes_storage(self):
+        default = run_cached("w16", "gzip", LENGTH)
+        small = run_cached("w16", "gzip", LENGTH, total_l1_storage=8192)
+        assert default is not small
+
+    def test_experiment_benchmarks_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_BENCHMARKS", "gzip, mcf")
+        assert experiment_benchmarks() == ["gzip", "mcf"]
+        monkeypatch.setenv("REPRO_EXPERIMENT_BENCHMARKS", "bogus")
+        with pytest.raises(ValueError):
+            experiment_benchmarks()
+
+
+class TestTables:
+    def test_table1_mentions_parameters(self):
+        text = table1()
+        assert "256-entry" in text
+        assert "100-cycle" in text
+
+    def test_table2_rows(self):
+        rows = table2(length=LENGTH, benchmarks=BENCHES)
+        assert set(rows) == set(BENCHES)
+        text = format_table2(rows)
+        assert "mcf" in text and "Avg frag size" in text
+
+
+class TestFigures:
+    def test_figure4(self):
+        data = figure4(length=LENGTH, benchmarks=BENCHES)
+        assert set(data["hmean"]) == {"w16", "tc", "tc2x", "pf-2x8w",
+                                      "pf-4x4w"}
+        assert all(0 < v <= 1 for v in data["hmean"].values())
+        assert "Figure 4" in format_figure4(data)
+
+    def test_figure5(self):
+        data = figure5(length=LENGTH, benchmarks=BENCHES)
+        for config, fetch in data["fetch_rate"].items():
+            assert fetch >= data["rename_rate"][config] - 1e-9
+        assert "Figure 5" in format_figure5(data)
+
+    def test_figure6(self):
+        data = figure6(length=LENGTH, benchmarks=BENCHES)
+        assert set(data["penalty_percent"]) == {"tc+pr-2x8w", "tc+pr-4x4w"}
+        assert "Figure 6" in format_figure6(data)
+
+    def test_figure7_accuracy_monotone_in_entries(self):
+        data = figure7(length=LENGTH, benchmarks=BENCHES,
+                       entries_grid=(64, 4096), assoc_grid=(2,))
+        small, large = (data["accuracy"][2][64],
+                        data["accuracy"][2][4096])
+        assert large >= small
+        assert "Figure 7" in format_figure7(data)
+
+    def test_figure8(self):
+        data = figure8(length=LENGTH, benchmarks=BENCHES)
+        assert set(data["mean"]) == {"tc", "tc2x", "pf-2x8w", "pf-4x4w",
+                                     "pr-2x8w", "pr-4x4w"}
+        assert "Figure 8" in format_figure8(data)
+
+    def test_figure9_structure(self):
+        data = figure9(length=LENGTH, benchmarks=BENCHES,
+                       storages=(8192, 65536), configs=("w16", "pr-2x8w"))
+        assert len(data["speedup"]["pr-2x8w"]) == 2
+        assert "Figure 9" in format_figure9(data)
+
+    def test_figure10_structure(self):
+        data = figure10(length=LENGTH, benchmarks=BENCHES,
+                        entries_grid=(1024, 65536), configs=("w16",))
+        assert len(data["speedup"]["w16"]) == 2
+        assert "Figure 10" in format_figure10(data)
+
+    def test_text_statistics(self):
+        data = text_statistics(length=LENGTH, benchmarks=BENCHES)
+        assert set(data["fragment_reuse"]) == set(BENCHES)
+        assert 0 <= data["mean_tc_hit_rate"] <= 1
+        assert "In-text statistics" in format_text_statistics(data)

@@ -1,0 +1,175 @@
+"""Tests for fragment selection: the static walk, the dynamic carve, and
+their equivalence — the core invariant the front-end relies on."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import FragmentConfig
+from repro.emulator.machine import execute
+from repro.frontend.fragments import (
+    FragmentKey,
+    TerminationReason,
+    average_fragment_length,
+    carve_stream,
+    should_terminate,
+    walk_fragment,
+)
+from repro.isa.assembler import assemble
+from repro.workloads.kernels import state_machine, vector_sum
+from repro.workloads.suite import get_benchmark, oracle_stream
+
+CONFIG = FragmentConfig()
+
+
+class TestShouldTerminate:
+    def test_sixteenth_instruction(self):
+        program = assemble("\n".join(["add t0, t0, t1"] * 20) + "\nhalt")
+        inst = program.instructions[0]
+        assert should_terminate(inst, 15, CONFIG) is None
+        assert should_terminate(inst, 16, CONFIG) is \
+            TerminationReason.MAX_LENGTH
+
+    def test_conditional_branch_after_eighth(self):
+        program = assemble("x: beq t0, t1, x")
+        branch = program.instructions[0]
+        assert should_terminate(branch, 8, CONFIG) is None
+        assert should_terminate(branch, 9, CONFIG) is \
+            TerminationReason.COND_LIMIT
+
+    def test_indirect_always_terminates(self):
+        program = assemble("jr t0")
+        assert should_terminate(program.instructions[0], 1, CONFIG) is \
+            TerminationReason.INDIRECT
+
+    def test_halt_terminates(self):
+        program = assemble("halt")
+        assert should_terminate(program.instructions[0], 1, CONFIG) is \
+            TerminationReason.HALT
+
+
+class TestWalkFragment:
+    def test_straight_line_caps_at_sixteen(self):
+        program = assemble("\n".join(["add t0, t0, t1"] * 32) + "\nhalt")
+        frag = walk_fragment(program, program.text_base, (), CONFIG)
+        assert frag.length == 16
+        assert frag.reason is TerminationReason.MAX_LENGTH
+        assert frag.next_pc == program.text_base + 16 * 4
+
+    def test_follows_direct_jumps(self):
+        program = assemble("""
+            j far
+            nop
+        far:
+            add t0, t0, t1
+            halt
+        """)
+        frag = walk_fragment(program, program.text_base, (), CONFIG)
+        mnems = [i.opcode.mnemonic for i in frag.instructions]
+        assert mnems == ["j", "add", "halt"]
+
+    def test_direction_bits_steer_branches(self):
+        program = assemble("""
+            beq t0, t1, taken
+            add t0, t0, t1
+            halt
+        taken:
+            sub t0, t0, t1
+            halt
+        """)
+        taken = walk_fragment(program, program.text_base, (True,), CONFIG)
+        not_taken = walk_fragment(program, program.text_base, (False,),
+                                  CONFIG)
+        assert taken.instructions[1].opcode.mnemonic == "sub"
+        assert not_taken.instructions[1].opcode.mnemonic == "add"
+        assert taken.key.directions == (True,)
+        assert not_taken.key.directions == (False,)
+
+    def test_fallback_supplies_missing_directions(self):
+        program = assemble("""
+            beq t0, t1, taken
+            halt
+        taken:
+            halt
+        """)
+        frag = walk_fragment(program, program.text_base, (), CONFIG,
+                             fallback=lambda pc: True)
+        assert frag.key.directions == (True,)
+
+    def test_nops_are_traversed_but_not_counted(self):
+        program = assemble("add t0, t0, t1\nnop\nnop\nsub t0, t0, t1\nhalt")
+        frag = walk_fragment(program, program.text_base, (), CONFIG)
+        assert frag.length == 3
+        assert len(frag.traversed_pcs) == 5
+
+    def test_walk_off_text_segment_stops(self):
+        program = assemble("add t0, t0, t1")  # no halt: falls off the end
+        frag = walk_fragment(program, program.text_base, (), CONFIG)
+        assert frag.length == 1
+        assert frag.reason is TerminationReason.HALT
+
+    def test_indirect_has_no_next_pc(self):
+        program = assemble("jr t0")
+        frag = walk_fragment(program, program.text_base, (), CONFIG)
+        assert frag.next_pc is None
+
+    def test_key_hash_is_stable_and_distinguishes(self):
+        a = FragmentKey(0x1000, (True, False))
+        b = FragmentKey(0x1000, (True,))
+        c = FragmentKey(0x1004, (True, False))
+        assert a.hash_id() == FragmentKey(0x1000, (True, False)).hash_id()
+        assert len({a.hash_id(), b.hash_id(), c.hash_id()}) == 3
+
+
+class TestCarveStream:
+    def test_concatenation_reconstructs_stream(self):
+        stream = [r for r in execute(state_machine(64)).stream
+                  if not r.inst.is_nop]
+        fragments = list(carve_stream(stream, CONFIG))
+        flattened = [r for f in fragments for r in f.records]
+        assert flattened == stream
+
+    def test_final_fragment_marks_stream_end(self):
+        stream = [r for r in execute(vector_sum(8)).stream
+                  if not r.inst.is_nop][:10]
+        fragments = list(carve_stream(stream, CONFIG))
+        assert fragments[-1].reason in (TerminationReason.STREAM_END,
+                                        TerminationReason.MAX_LENGTH,
+                                        TerminationReason.COND_LIMIT)
+
+    def test_average_length_excludes_trailing_partial(self):
+        program = assemble("\n".join(["add t0, t0, t1"] * 20))
+        stream = execute(program, 18).stream
+        # one complete 16-inst fragment + 2-inst partial
+        assert average_fragment_length(stream, CONFIG) == 16.0
+
+    def test_average_length_empty_stream(self):
+        assert average_fragment_length([], CONFIG) == 0.0
+
+
+@pytest.mark.parametrize("bench", ["gzip", "mcf", "eon"])
+def test_walk_carve_equivalence_on_suite(bench):
+    """For every dynamically-observed fragment, statically walking its key
+    reproduces exactly the same instruction sequence."""
+    program = get_benchmark(bench)
+    stream = oracle_stream(bench, 5000).stream
+    fragments = list(carve_stream(stream, CONFIG))
+    for fragment in fragments[:-1]:  # last may be truncated
+        static = walk_fragment(program, fragment.key.start_pc,
+                               fragment.key.directions, CONFIG)
+        assert static.key == fragment.key
+        assert [i.addr for i in static.instructions] == \
+            [r.pc for r in fragment.records]
+        if fragment.next_pc is not None and static.next_pc is not None:
+            assert static.next_pc == fragment.next_pc
+
+
+@given(st.integers(min_value=1, max_value=16),
+       st.integers(min_value=1, max_value=16))
+@settings(max_examples=25, deadline=None)
+def test_fragment_length_never_exceeds_config(max_length, limit):
+    if limit > max_length:
+        limit = max_length
+    config = FragmentConfig(max_length=max_length, cond_branch_limit=limit)
+    stream = execute(state_machine(64)).stream
+    for fragment in carve_stream(stream, config):
+        assert fragment.length <= max_length

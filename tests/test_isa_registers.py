@@ -1,0 +1,74 @@
+"""Unit tests for the register-file definition."""
+
+import pytest
+
+from repro.isa.registers import (
+    LINK_REG,
+    NUM_ARCH_REGS,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    REG_ALIASES,
+    ZERO_REG,
+    fp_arch_index,
+    is_fp_reg,
+    is_int_reg,
+    parse_reg,
+    reg_name,
+)
+
+
+class TestParseReg:
+    def test_numeric_int_registers(self):
+        assert parse_reg("r0") == 0
+        assert parse_reg("r31") == 31
+
+    def test_numeric_fp_registers(self):
+        assert parse_reg("f0") == NUM_INT_REGS
+        assert parse_reg("f31") == NUM_INT_REGS + 31
+
+    def test_aliases(self):
+        assert parse_reg("zero") == ZERO_REG
+        assert parse_reg("ra") == LINK_REG
+        for alias, index in REG_ALIASES.items():
+            assert parse_reg(alias) == index
+
+    def test_case_insensitive(self):
+        assert parse_reg("R7") == 7
+        assert parse_reg("RA") == LINK_REG
+
+    def test_whitespace_stripped(self):
+        assert parse_reg("  t0 ") == REG_ALIASES["t0"]
+
+    @pytest.mark.parametrize("bad", ["r32", "f32", "x5", "", "r", "7", "rr1"])
+    def test_rejects_bad_names(self, bad):
+        with pytest.raises(ValueError):
+            parse_reg(bad)
+
+
+class TestRegName:
+    def test_roundtrip_all_registers(self):
+        for index in range(NUM_ARCH_REGS):
+            assert parse_reg(reg_name(index)) == index
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_name(NUM_ARCH_REGS)
+        with pytest.raises(ValueError):
+            reg_name(-1)
+
+
+class TestClassification:
+    def test_int_fp_partition(self):
+        ints = sum(is_int_reg(i) for i in range(NUM_ARCH_REGS))
+        fps = sum(is_fp_reg(i) for i in range(NUM_ARCH_REGS))
+        assert ints == NUM_INT_REGS
+        assert fps == NUM_FP_REGS
+        assert all(is_int_reg(i) != is_fp_reg(i)
+                   for i in range(NUM_ARCH_REGS))
+
+    def test_fp_arch_index_bounds(self):
+        assert fp_arch_index(0) == NUM_INT_REGS
+        with pytest.raises(ValueError):
+            fp_arch_index(NUM_FP_REGS)
+        with pytest.raises(ValueError):
+            fp_arch_index(-1)

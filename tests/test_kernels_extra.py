@@ -1,0 +1,122 @@
+"""Functional and pipeline tests for the extended kernel library."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import run_simulation
+from repro.emulator.machine import execute
+from repro.workloads.kernels_extra import (
+    bfs,
+    binary_search,
+    crc32_kernel,
+    quicksort,
+    random_graph,
+    reference_bfs,
+    reference_crc32,
+    sieve,
+)
+
+
+class TestBinarySearch:
+    def test_finds_and_misses(self):
+        values = [2, 5, 7, 11, 13, 17, 19, 23]
+        queries = [7, 1, 23, 12, 2]
+        outputs = execute(binary_search(values, queries)).outputs
+        expected = []
+        for q in queries:
+            expected.append(values.index(q) if q in values else -1)
+        assert outputs == expected
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=32,
+                    unique=True),
+           st.lists(st.integers(-1000, 1000), min_size=1, max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_reference(self, values, queries):
+        ordered = sorted(values)
+        outputs = execute(binary_search(values, queries),
+                          200_000).outputs
+        for q, got in zip(queries, outputs):
+            if q in ordered:
+                assert ordered[got] == q
+            else:
+                assert got == -1
+
+
+class TestSieve:
+    @pytest.mark.parametrize("limit, primes", [(10, 4), (30, 10),
+                                               (100, 25), (200, 46)])
+    def test_prime_counts(self, limit, primes):
+        assert execute(sieve(limit), 2_000_000).outputs == [primes]
+
+
+class TestQuicksort:
+    def test_sorts_shuffled(self):
+        rng = random.Random(5)
+        values = list(range(24))
+        rng.shuffle(values)
+        assert execute(quicksort(values), 500_000).outputs == sorted(values)
+
+    def test_sorts_adversarial_inputs(self):
+        for values in ([5, 4, 3, 2, 1], [1, 1, 1, 2, 1],
+                       list(range(16)), [3, 3, 3, 3]):
+            result = execute(quicksort(values), 500_000)
+            assert result.halted
+            assert result.outputs == sorted(values)
+
+    @given(st.lists(st.integers(-999, 999), min_size=2, max_size=24))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_sorted(self, values):
+        assert execute(quicksort(values), 1_000_000).outputs == \
+            sorted(values)
+
+
+class TestCrc32:
+    def test_matches_reference(self):
+        data = [0x31, 0x32, 0x33, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39]
+        outputs = execute(crc32_kernel(data, rounds=2), 100_000).outputs
+        expected = reference_crc32(data)
+        assert outputs == [expected, expected]
+
+    def test_reference_matches_zlib(self):
+        import zlib
+        data = list(b"hello, front-end")
+        assert reference_crc32(data) == zlib.crc32(bytes(data))
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=16))
+    @settings(max_examples=15, deadline=None)
+    def test_property_vs_zlib(self, data):
+        import zlib
+        outputs = execute(crc32_kernel(data, rounds=1), 200_000).outputs
+        assert outputs == [zlib.crc32(bytes(data))]
+
+
+class TestBfs:
+    def test_visit_order_matches_reference(self):
+        graph = random_graph(10, density=0.4, seed=3)
+        outputs = execute(bfs(graph), 500_000).outputs
+        assert outputs == reference_bfs(graph)
+
+    def test_disconnected_graph(self):
+        graph = [[0, 1, 0, 0], [1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]]
+        assert execute(bfs(graph), 100_000).outputs == [0, 1]
+
+    @given(st.integers(min_value=2, max_value=12),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_graphs(self, n, seed):
+        graph = random_graph(n, density=0.3, seed=seed)
+        assert execute(bfs(graph), 500_000).outputs == reference_bfs(graph)
+
+
+class TestKernelsOnPipeline:
+    @pytest.mark.parametrize("config", ["w16", "pr-2x8w"])
+    def test_kernels_simulate_cleanly(self, config):
+        for program in (binary_search(list(range(0, 64, 2)), [10, 11]),
+                        sieve(60),
+                        crc32_kernel([1, 2, 3, 4], rounds=1),
+                        bfs(random_graph(8, seed=1))):
+            result = run_simulation(config, program, max_instructions=4000)
+            assert not result.timed_out
+            assert result.committed > 0

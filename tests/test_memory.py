@@ -1,0 +1,156 @@
+"""Tests for the cache model and memory hierarchy, including an LRU
+reference-model property test."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig, MemoryConfig
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.stats import StatsCollector
+
+
+def small_cache(size=1024, assoc=2, line=64, banks=1):
+    return Cache(CacheConfig(size, assoc, line, 1, banks=banks), "c")
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.lookup(0x1000)
+        cache.fill(0x1000)
+        assert cache.lookup(0x1000)
+        assert cache.stats.get("c.hits") == 1
+        assert cache.stats.get("c.misses") == 1
+
+    def test_same_line_shares_tag(self):
+        cache = small_cache(line=64)
+        cache.fill(0x1000)
+        assert cache.lookup(0x1000 + 63)
+        assert not cache.lookup(0x1000 + 64)
+
+    def test_probe_has_no_side_effects(self):
+        cache = small_cache()
+        assert not cache.probe(0x1000)
+        assert cache.stats.get("c.misses") == 0
+
+    def test_lru_eviction_within_set(self):
+        # 2-way: fill three conflicting lines, oldest is evicted.
+        cache = small_cache(size=256, assoc=2, line=64)  # 2 sets
+        sets = cache.config.num_sets
+        stride = 64 * sets
+        a, b, c = 0x0, stride, 2 * stride
+        cache.fill(a)
+        cache.fill(b)
+        cache.lookup(a)          # promote a
+        victim = cache.fill(c)   # evicts b
+        assert victim == cache.line_addr(b)
+        assert cache.probe(a) and cache.probe(c) and not cache.probe(b)
+
+    def test_fill_resident_line_is_promotion(self):
+        cache = small_cache(size=256, assoc=2, line=64)
+        cache.fill(0x0)
+        assert cache.fill(0x0) is None
+
+    def test_bank_mapping_interleaves_lines(self):
+        cache = small_cache(banks=4)
+        banks = {cache.bank_of(0x1000 + i * 64) for i in range(4)}
+        assert banks == {0, 1, 2, 3}
+        assert cache.bank_of(0x1000) == cache.bank_of(0x1000 + 4 * 64)
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.lookup(0)      # miss
+        cache.fill(0)
+        cache.lookup(0)      # hit
+        assert cache.miss_rate == 0.5
+
+    def test_invalidate_all(self):
+        cache = small_cache()
+        cache.fill(0x1000)
+        cache.invalidate_all()
+        assert not cache.probe(0x1000)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=1,
+                max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_lru_matches_reference_model(line_indices):
+    """The cache's per-set LRU must match a straightforward OrderedDict
+    reference implementation."""
+    config = CacheConfig(512, 2, 64, 1)  # 4 sets, 2 ways
+    cache = Cache(config, "c")
+    reference = [OrderedDict() for _ in range(config.num_sets)]
+    for index in line_indices:
+        addr = index * 64
+        line = cache.line_addr(addr)
+        ref_set = reference[cache.set_index(line)]
+        expected_hit = line in ref_set
+        assert cache.lookup(addr) == expected_hit
+        if expected_hit:
+            ref_set.move_to_end(line)
+        else:
+            cache.fill(addr)
+            if len(ref_set) >= config.assoc:
+                ref_set.popitem(last=False)
+            ref_set[line] = None
+    for set_index, ref_set in enumerate(reference):
+        for line in ref_set:
+            assert cache.probe(line * 64)
+
+
+class TestHierarchy:
+    def make(self):
+        return MemoryHierarchy(MemoryConfig(), StatsCollector())
+
+    def test_l1_hit_is_same_cycle(self):
+        memory = self.make()
+        memory.fetch_line(0x1000, now=10)       # cold miss, fills
+        assert memory.fetch_line(0x1000, now=200) == 200
+
+    def test_cold_miss_pays_l2_plus_memory(self):
+        memory = self.make()
+        ready = memory.fetch_line(0x1000, now=10)
+        config = MemoryConfig()
+        expected = 10 + (config.l1i.latency + config.l2.latency
+                         + config.memory_latency) - 1
+        assert ready == expected
+
+    def test_l2_hit_after_l1_eviction_cheaper(self):
+        memory = self.make()
+        memory.data_access(0x0, now=0)
+        # Evict line 0 from L1D (64KB 2-way -> fill both ways of set 0).
+        sets = memory.l1d.config.num_sets
+        memory.data_access(sets * 64, now=1000)
+        memory.data_access(2 * sets * 64, now=2000)
+        ready = memory.data_access(0x0, now=3000)
+        config = MemoryConfig()
+        # L2 block is 128B and was filled by the first access.
+        assert ready == 3000 + config.l1d.latency + config.l2.latency - 1
+
+    def test_mshr_merges_inflight_requests(self):
+        memory = self.make()
+        first = memory.fetch_line(0x2000, now=10)
+        second = memory.fetch_line(0x2000, now=12)
+        assert second == first
+        assert memory.stats.get("imem.mshr_merges") == 1
+
+    def test_separate_lines_do_not_merge(self):
+        memory = self.make()
+        a = memory.fetch_line(0x2000, now=10)
+        b = memory.fetch_line(0x9000, now=10)
+        assert memory.stats.get("imem.mshr_merges") == 0
+        assert a == b  # same latency, different MSHRs
+
+    def test_i_and_d_share_l2(self):
+        memory = self.make()
+        memory.fetch_line(0x4000, now=0)        # fills L2 via I-side
+        ready = memory.data_access(0x4000, now=1000)
+        config = MemoryConfig()
+        assert ready == 1000 + config.l1d.latency + config.l2.latency - 1
+
+    def test_ibank_count(self):
+        memory = self.make()
+        assert memory.num_ibanks == 16
+        assert memory.ibank_of(0x1000) != memory.ibank_of(0x1040)

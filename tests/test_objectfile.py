@@ -1,0 +1,78 @@
+"""Tests for the .rpo object-file format."""
+
+import pytest
+
+from repro.emulator.machine import Machine, execute
+from repro.isa.assembler import assemble
+from repro.isa.objectfile import ObjectFileError, dumps, load, loads, save
+from repro.workloads.characteristics import WorkloadSpec
+from repro.workloads.generator import generate_program
+from repro.workloads.kernels import ALL_KERNELS
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kernel", sorted(ALL_KERNELS))
+    def test_kernels_roundtrip_exactly(self, kernel):
+        original = ALL_KERNELS[kernel]()
+        again = loads(dumps(original))
+        assert again.instructions == original.instructions
+        assert again.data == original.data
+        assert again.symbols == original.symbols
+        assert again.entry == original.entry
+        assert again.name == original.name
+        assert again.data_size == original.data_size
+
+    def test_behaviour_preserved(self):
+        original = ALL_KERNELS["bubble_sort"]()
+        again = loads(dumps(original))
+        assert execute(again).outputs == execute(original).outputs
+
+    def test_generated_workload_roundtrips(self):
+        spec = WorkloadSpec(name="objf", seed=11, num_functions=6,
+                            hot_functions=3)
+        original = generate_program(spec)
+        again = loads(dumps(original))
+        a = Machine(original).run(2000).stream
+        b = Machine(again).run(2000).stream
+        assert [(r.pc, r.taken) for r in a] == [(r.pc, r.taken) for r in b]
+
+    def test_file_io(self, tmp_path):
+        original = ALL_KERNELS["fibonacci"]()
+        path = tmp_path / "fib.rpo"
+        save(original, path)
+        assert load(path).instructions == original.instructions
+
+    def test_loads_name_override(self):
+        blob = dumps(ALL_KERNELS["fibonacci"]())
+        assert loads(blob, name="renamed").name == "renamed"
+
+    def test_simulates_after_reload(self, tmp_path):
+        from repro import run_simulation
+        original = ALL_KERNELS["hash"]()
+        path = tmp_path / "hash.rpo"
+        save(original, path)
+        result = run_simulation("pf-2x8w", load(path),
+                                max_instructions=2000)
+        assert not result.timed_out
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(ObjectFileError, match="magic"):
+            loads(b"NOPE" + b"\x00" * 64)
+
+    def test_truncated(self):
+        blob = dumps(ALL_KERNELS["fibonacci"]())
+        with pytest.raises(ObjectFileError, match="truncated"):
+            loads(blob[:20])
+
+    def test_trailing_garbage(self):
+        blob = dumps(ALL_KERNELS["fibonacci"]())
+        with pytest.raises(ObjectFileError, match="trailing"):
+            loads(blob + b"\x00")
+
+    def test_rejects_float_data(self):
+        program = assemble("halt")
+        program.data[program.data_base] = 1.5
+        with pytest.raises(ObjectFileError, match="float"):
+            dumps(program)

@@ -1,0 +1,148 @@
+"""Integration tests: full-pipeline simulations on kernels and suite
+benchmarks, across every front-end mechanism."""
+
+import pytest
+
+from repro import frontend_config, run_simulation
+from repro.config import PAPER_CONFIGS
+from repro.core.processor import Processor
+from repro.emulator.machine import execute
+from repro.isa.assembler import assemble
+from repro.workloads.kernels import (
+    fibonacci,
+    linked_list_walk,
+    state_machine,
+    vector_sum,
+)
+
+ALL_CONFIGS = list(PAPER_CONFIGS) + ["tc+pr-2x8w", "tc+pr-4x4w"]
+
+
+@pytest.mark.parametrize("config_name", ALL_CONFIGS)
+def test_every_config_commits_full_stream(config_name):
+    result = run_simulation(config_name, state_machine(512),
+                            max_instructions=4000)
+    assert not result.timed_out
+    oracle = execute(state_machine(512), 4000)
+    non_nop = sum(1 for r in oracle.stream if not r.inst.is_nop)
+    assert result.committed == non_nop
+
+
+@pytest.mark.parametrize("config_name", ["w16", "tc", "pf-2x8w", "pr-4x4w"])
+def test_kernels_run_on_all_frontends(config_name):
+    for program in (vector_sum(32), fibonacci(40), linked_list_walk(16, 4)):
+        result = run_simulation(config_name, program, max_instructions=3000)
+        assert not result.timed_out
+        assert result.committed > 0
+        assert 0 < result.ipc <= 16
+
+
+def test_simulation_is_deterministic():
+    a = run_simulation("pr-2x8w", "gzip", max_instructions=3000)
+    b = run_simulation("pr-2x8w", "gzip", max_instructions=3000)
+    assert a.cycles == b.cycles
+    assert a.counters == b.counters
+
+
+def test_committed_path_matches_oracle():
+    """Whatever the front-end speculates, commit order must be exactly the
+    functional-execution order."""
+    program = state_machine(256)
+    config = frontend_config("pr-4x4w")
+    oracle = execute(program, 3000).stream
+    processor = Processor(config, program, oracle)
+    processor.run()
+    assert processor.finished
+    non_nop = [r for r in oracle if not r.inst.is_nop]
+    assert processor.committed == len(non_nop)
+
+
+def test_rates_within_machine_width():
+    for config_name in ("w16", "tc", "pf-2x8w"):
+        result = run_simulation(config_name, "gzip", max_instructions=3000)
+        assert result.fetch_rate <= 16.0 + 1e-9
+        assert result.rename_rate <= 16.0 + 1e-9
+        assert result.ipc <= 16.0
+
+    # Slot utilization is a ratio of fetched to available slots.
+        assert 0.0 < result.slot_utilization <= 1.0
+
+
+def test_parallel_fetch_beats_w16_on_fetch_rate():
+    w16 = run_simulation("w16", "gzip", max_instructions=8000)
+    pf = run_simulation("pf-2x8w", "gzip", max_instructions=8000)
+    assert pf.fetch_rate > w16.fetch_rate
+
+
+def test_narrow_sequencers_have_higher_slot_utilization():
+    pf2 = run_simulation("pf-2x8w", "gzip", max_instructions=8000)
+    pf4 = run_simulation("pf-4x4w", "gzip", max_instructions=8000)
+    w16 = run_simulation("w16", "gzip", max_instructions=8000)
+    assert pf4.slot_utilization > pf2.slot_utilization > \
+        w16.slot_utilization
+
+
+def test_trace_cache_hits_accumulate():
+    result = run_simulation("tc", "gzip", max_instructions=8000)
+    assert result.counter("tc.hits") > 0
+    assert 0.0 < result.trace_cache_hit_rate <= 1.0
+
+
+def test_fragment_reuse_occurs():
+    result = run_simulation("pf-2x8w", "gzip", max_instructions=8000)
+    assert 0.0 < result.fragment_reuse_rate < 1.0
+
+
+def test_liveout_machinery_exercised():
+    result = run_simulation("pr-4x4w", "gcc", max_instructions=8000)
+    assert result.counter("rename.liveout_lookups") > 0
+    # The live-out path must detect at least some events on gcc.
+    assert (result.counter("rename.liveout_cold")
+            + result.counter("rename.liveout_mispredicts")) > 0
+
+
+def test_mispredict_recovery_counts_match():
+    result = run_simulation("pf-2x8w", "gcc", max_instructions=5000)
+    assert result.counter("frontend.recoveries") <= \
+        result.counter("frontend.control_mispredicts")
+    assert result.counter("frontend.recoveries") > 0
+
+
+def test_loop_kernel_has_high_predictability():
+    """A counted loop is almost perfectly predictable: very few recoveries
+    relative to committed instructions."""
+    result = run_simulation("pf-2x8w", fibonacci(400),
+                            max_instructions=2500)
+    per_1k = 1000 * result.counter("frontend.recoveries") / result.committed
+    assert per_1k < 8
+
+
+def test_custom_program_via_api():
+    program = assemble("""
+    main:
+        li t0, 100
+    loop:
+        addi t0, t0, -1
+        bne t0, zero, loop
+        halt
+    """)
+    result = run_simulation("w16", program, max_instructions=1000)
+    assert not result.timed_out
+    assert result.benchmark == "program"
+
+
+def test_max_cycles_timeout_flag():
+    result = run_simulation("w16", "gzip", max_instructions=3000,
+                            max_cycles=50)
+    assert result.timed_out
+    assert result.cycles == 50
+
+
+def test_no_livelock_under_heavy_icache_thrash():
+    """Regression: under extreme I-cache pressure a fragment's miss data
+    must be consumed via fill bypass even if the line is re-evicted while
+    waiting, or fetch livelocks (perl/pr-4x4w at 8 KB)."""
+    config = frontend_config("pr-4x4w", total_l1_storage=8 * 1024)
+    result = run_simulation(config, "gcc", max_instructions=5000)
+    assert not result.timed_out
+    assert result.ipc > 0.3

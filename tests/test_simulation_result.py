@@ -1,0 +1,69 @@
+"""Unit tests for SimulationResult's derived metrics (pure math)."""
+
+import pytest
+
+from repro.core.simulation import SimulationResult
+
+
+def make_result(**counters):
+    return SimulationResult(benchmark="b", config_name="c",
+                            cycles=counters.pop("cycles", 100),
+                            committed=counters.pop("committed", 400),
+                            counters=counters)
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        assert make_result(cycles=100, committed=400).ipc == 4.0
+        assert make_result(cycles=0, committed=0).ipc == 0.0
+
+    def test_fetch_rate_includes_reuse(self):
+        result = make_result(**{"fetch.insts": 500,
+                                "fetch.reused_insts": 100})
+        assert result.fetch_rate == 6.0
+
+    def test_rename_rate(self):
+        assert make_result(**{"rename.insts": 250}).rename_rate == 2.5
+
+    def test_slot_utilization(self):
+        result = make_result(**{"fetch.insts": 300, "fetch.slots": 600})
+        assert result.slot_utilization == 0.5
+        assert make_result().slot_utilization == 0.0
+
+    def test_trace_cache_hit_rate(self):
+        result = make_result(**{"tc.hits": 30, "tc.misses": 10})
+        assert result.trace_cache_hit_rate == 0.75
+        assert make_result().trace_cache_hit_rate == 0.0
+
+    def test_fragment_reuse_rate(self):
+        result = make_result(**{"fragbuf.reuses": 25,
+                                "fragbuf.allocations": 100})
+        assert result.fragment_reuse_rate == 0.25
+
+    def test_preconstructed_fraction(self):
+        result = make_result(**{"rename.fragments_started": 50,
+                                "rename.fragments_preconstructed": 40})
+        assert result.preconstructed_fraction == 0.8
+
+    def test_liveout_accuracy(self):
+        result = make_result(**{"rename.liveout_lookups": 100,
+                                "rename.liveout_mispredicts": 1,
+                                "rename.liveout_cold": 4})
+        assert result.liveout_accuracy == pytest.approx(0.95)
+        assert make_result().liveout_accuracy == 1.0
+
+    def test_renamed_before_source_fraction(self):
+        result = make_result(**{"rename.insts": 200,
+                                "rename.before_source": 10})
+        assert result.renamed_before_source_fraction == 0.05
+
+    def test_l1i_miss_rate(self):
+        result = make_result(**{"l1i.hits": 90, "l1i.misses": 10})
+        assert result.l1i_miss_rate == pytest.approx(0.1)
+
+    def test_timeout_flag(self):
+        assert not make_result().timed_out
+        assert make_result(**{"sim.timeout": 1}).timed_out
+
+    def test_counter_accessor_defaults(self):
+        assert make_result().counter("anything") == 0.0

@@ -1,0 +1,102 @@
+"""Tests for counters, means, and table formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats import (
+    StatsCollector,
+    arithmetic_mean,
+    format_table,
+    geometric_mean,
+    harmonic_mean,
+    percent_speedup,
+    series_table,
+    speedup,
+)
+
+
+class TestStatsCollector:
+    def test_default_zero(self):
+        stats = StatsCollector()
+        assert stats.get("nothing") == 0.0
+        assert "nothing" not in stats
+
+    def test_add_and_set(self):
+        stats = StatsCollector()
+        stats.add("a")
+        stats.add("a", 2)
+        stats.set("b", 10)
+        assert stats["a"] == 3
+        assert stats["b"] == 10
+
+    def test_ratio_handles_zero_denominator(self):
+        stats = StatsCollector()
+        stats.add("num", 5)
+        assert stats.ratio("num", "denom") == 0.0
+        stats.add("denom", 2)
+        assert stats.ratio("num", "denom") == 2.5
+
+    def test_with_prefix(self):
+        stats = StatsCollector()
+        stats.add("fetch.insts", 10)
+        stats.add("fetch.slots", 20)
+        stats.add("rename.insts", 5)
+        assert set(stats.with_prefix("fetch")) == {"fetch.insts",
+                                                   "fetch.slots"}
+
+    def test_merge(self):
+        a, b = StatsCollector(), StatsCollector()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a["x"] == 3 and a["y"] == 3
+
+
+class TestMeans:
+    def test_arithmetic(self):
+        assert arithmetic_mean([1, 2, 3]) == 2
+
+    def test_harmonic_known_value(self):
+        assert harmonic_mean([1, 2]) == pytest.approx(4 / 3)
+
+    def test_harmonic_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1, 0])
+
+    def test_geometric_known_value(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2)
+
+    def test_empty_rejected(self):
+        for fn in (arithmetic_mean, harmonic_mean, geometric_mean):
+            with pytest.raises(ValueError):
+                fn([])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=2,
+                    max_size=20))
+    def test_mean_inequality(self, values):
+        # HM <= GM <= AM always.
+        assert harmonic_mean(values) <= geometric_mean(values) + 1e-9
+        assert geometric_mean(values) <= arithmetic_mean(values) + 1e-9
+
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == 2.0
+        assert percent_speedup(1.1, 1.0) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1.5], ["long-name", 20.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+        assert "1.500" in text
+
+    def test_series_table(self):
+        text = series_table("Figure X", "size", [8, 16],
+                            {"tc": [1.0, 2.0], "pr": [3.0, 4.0]})
+        assert text.startswith("Figure X")
+        assert "tc" in text and "pr" in text and "16" in text

@@ -1,0 +1,43 @@
+"""Tests for the pipeline tracer."""
+
+from repro.core.trace import (
+    format_pipeview,
+    pipeline_summary,
+    trace_simulation,
+)
+from repro.workloads.kernels import fibonacci
+
+
+class TestTraceSimulation:
+    def test_collects_every_committed_uop(self):
+        traces = trace_simulation("w16", fibonacci(50),
+                                  max_instructions=500)
+        assert traces
+        # Timestamps are monotone within each instruction's lifecycle.
+        for t in traces:
+            assert t.renamed <= t.dispatched <= t.issued
+            assert t.issued < t.completed <= t.committed
+
+    def test_commit_order_is_program_order(self):
+        traces = trace_simulation("pr-2x8w", fibonacci(50),
+                                  max_instructions=500)
+        commits = [t.committed for t in traces]
+        assert commits == sorted(commits)
+
+    def test_pipeview_renders(self):
+        traces = trace_simulation("w16", fibonacci(30),
+                                  max_instructions=200)
+        text = format_pipeview(traces, start=0, count=8)
+        assert "R" in text and "C" in text and "|" in text
+        assert "cycles" in text.splitlines()[0]
+
+    def test_pipeview_empty_window(self):
+        assert "empty" in format_pipeview([], 0, 8)
+
+    def test_summary(self):
+        traces = trace_simulation("w16", fibonacci(30),
+                                  max_instructions=200)
+        summary = pipeline_summary(traces)
+        assert summary["instructions"] == len(traces)
+        assert summary["avg_lifetime_cycles"] > 0
+        assert pipeline_summary([]) == {}

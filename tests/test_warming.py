@@ -1,0 +1,76 @@
+"""Tests for functional warming (steady-state methodology)."""
+
+from repro import frontend_config, run_simulation
+from repro.core.processor import Processor
+from repro.core.warming import warm_processor
+from repro.workloads.suite import get_benchmark, oracle_stream
+
+
+def make_processor(config_name="pf-2x8w", bench="gzip", length=3000):
+    config = frontend_config(config_name)
+    program = get_benchmark(bench)
+    stream = oracle_stream(bench, length).stream
+    return Processor(config, program, stream), stream
+
+
+class TestWarmProcessor:
+    def test_trains_trace_predictor(self):
+        processor, stream = make_processor()
+        assert processor.trace_predictor.primary_occupancy == 0
+        warm_processor(processor, stream)
+        assert processor.trace_predictor.primary_occupancy > 0
+        assert processor.trace_predictor.secondary_occupancy > 0
+
+    def test_trains_bimodal(self):
+        processor, stream = make_processor()
+        warm_processor(processor, stream)
+        assert len(processor.bimodal) > 0
+
+    def test_fills_caches(self):
+        processor, stream = make_processor()
+        warm_processor(processor, stream)
+        first_pc = stream[0].pc
+        assert processor.memory.l1i.probe(first_pc) or \
+            processor.memory.l2.probe(first_pc)
+
+    def test_fills_trace_cache_for_tc(self):
+        processor, stream = make_processor(config_name="tc")
+        warm_processor(processor, stream)
+        assert processor.trace_cache.stats.get("tc.fills") == 0  # reset
+        # But the contents are there: a timed run should start hitting.
+        processor.run()
+        assert processor.stats.get("tc.hits") > 0
+
+    def test_resets_stats(self):
+        processor, stream = make_processor()
+        warm_processor(processor, stream)
+        assert processor.stats.get("l1i.fills") == 0
+        assert processor.stats.get("l2.fills") == 0
+
+    def test_speculative_history_cleared(self):
+        processor, stream = make_processor()
+        warm_processor(processor, stream)
+        assert processor.trace_predictor.snapshot_history() == ()
+
+
+class TestWarmingEffect:
+    def test_warming_reduces_mispredictions(self):
+        cold = run_simulation("pf-2x8w", "gzip", max_instructions=8000,
+                              warm=False)
+        hot = run_simulation("pf-2x8w", "gzip", max_instructions=8000,
+                             warm=True)
+        assert hot.counter("frontend.control_mispredicts") < \
+            cold.counter("frontend.control_mispredicts")
+        assert hot.ipc > cold.ipc
+
+    def test_warming_improves_tc_hit_rate(self):
+        cold = run_simulation("tc", "gzip", max_instructions=8000,
+                              warm=False)
+        hot = run_simulation("tc", "gzip", max_instructions=8000,
+                             warm=True)
+        assert hot.trace_cache_hit_rate > cold.trace_cache_hit_rate
+
+    def test_warm_run_still_commits_everything(self):
+        result = run_simulation("pr-4x4w", "mcf", max_instructions=5000)
+        assert not result.timed_out
+        assert result.committed > 0
