@@ -8,13 +8,11 @@ quantifies the worth of functional warming (cold vs steady state) and of
 the fragment-length heuristic.
 """
 
-import dataclasses
 import os
 
 from conftest import register_table
 
-from repro.config import FragmentConfig, frontend_config
-from repro.core.simulation import run_simulation
+from repro.experiments import SweepJob, prefetch, run_cached
 from repro.stats import format_table
 
 BENCH = os.environ.get("REPRO_ABLATION_BENCHMARK", "gzip")
@@ -25,13 +23,16 @@ def _length() -> int:
 
 
 def run_buffer_spectrum():
+    jobs = [SweepJob(
+        "pf-2x8w", BENCH, _length(),
+        overrides=(("frontend.num_fragment_buffers", buffers),),
+        label=f"pf-2x8w/{buffers}buf")
+        for buffers in (4, 8, 16, 32, 64)]
+    prefetch(jobs)
     rows = []
-    for buffers in (4, 8, 16, 32, 64):
-        config = frontend_config("pf-2x8w")
-        config = config.replace(frontend=dataclasses.replace(
-            config.frontend, num_fragment_buffers=buffers))
-        result = run_simulation(config, BENCH, max_instructions=_length(),
-                                config_name=f"pf-2x8w/{buffers}buf")
+    for job, buffers in zip(jobs, (4, 8, 16, 32, 64)):
+        result = run_cached(job.config_name, job.benchmark, job.length,
+                            overrides=job.overrides, label=job.label)
         rows.append([buffers, result.ipc, result.fetch_rate,
                      result.fragment_reuse_rate,
                      result.preconstructed_fraction])
@@ -54,17 +55,24 @@ def test_fragment_buffer_spectrum(benchmark):
     assert by_count[16][1] >= by_count[4][1] * 0.95
 
 
+def _fragment_length_overrides(max_length, limit):
+    return (("fragment.max_length", max_length),
+            ("fragment.cond_branch_limit", limit),
+            ("frontend.fragment_buffer_size", max_length))
+
+
 def run_fragment_length_ablation():
+    grid = ((8, 4), (16, 8), (32, 16))
+    prefetch([SweepJob("pf-2x8w", BENCH, _length(),
+                       overrides=_fragment_length_overrides(m, l),
+                       label=f"pf-2x8w/frag{m}")
+              for m, l in grid])
     rows = []
-    for max_length, limit in ((8, 4), (16, 8), (32, 16)):
-        config = frontend_config("pf-2x8w")
-        config = config.replace(
-            fragment=FragmentConfig(max_length=max_length,
-                                    cond_branch_limit=limit),
-            frontend=dataclasses.replace(
-                config.frontend, fragment_buffer_size=max_length))
-        result = run_simulation(config, BENCH, max_instructions=_length(),
-                                config_name=f"pf-2x8w/frag{max_length}")
+    for max_length, limit in grid:
+        result = run_cached(
+            "pf-2x8w", BENCH, _length(),
+            overrides=_fragment_length_overrides(max_length, limit),
+            label=f"pf-2x8w/frag{max_length}")
         rows.append([f"{max_length}/{limit}", result.ipc,
                      result.fetch_rate,
                      result.counter("commit.trained_fragments")])
@@ -82,12 +90,13 @@ def test_fragment_length_heuristic(benchmark):
 
 
 def run_warming_ablation():
+    configs = ("w16", "tc", "pr-2x8w")
+    prefetch([SweepJob(name, BENCH, _length(), warm=warm)
+              for name in configs for warm in (False, True)])
     rows = []
-    for config_name in ("w16", "tc", "pr-2x8w"):
-        cold = run_simulation(config_name, BENCH,
-                              max_instructions=_length(), warm=False)
-        hot = run_simulation(config_name, BENCH,
-                             max_instructions=_length(), warm=True)
+    for config_name in configs:
+        cold = run_cached(config_name, BENCH, _length(), warm=False)
+        hot = run_cached(config_name, BENCH, _length(), warm=True)
         rows.append([config_name, cold.ipc, hot.ipc, hot.ipc / cold.ipc])
     return rows
 
@@ -104,14 +113,15 @@ def test_warming_ablation(benchmark):
 
 def run_rename_solutions():
     """Section 4's two parallel-rename solutions, head to head."""
+    grid = (("pf-2x8w", "monolithic (serialised)"),
+            ("pd-2x8w", "solution 1: delay"),
+            ("pr-2x8w", "solution 2: live-out pred."),
+            ("pd-4x4w", "solution 1: delay 4x4w"),
+            ("pr-4x4w", "solution 2: live-outs 4x4w"))
+    prefetch([SweepJob(name, BENCH, _length()) for name, _ in grid])
     rows = []
-    for config_name, label in (("pf-2x8w", "monolithic (serialised)"),
-                               ("pd-2x8w", "solution 1: delay"),
-                               ("pr-2x8w", "solution 2: live-out pred."),
-                               ("pd-4x4w", "solution 1: delay 4x4w"),
-                               ("pr-4x4w", "solution 2: live-outs 4x4w")):
-        result = run_simulation(config_name, BENCH,
-                                max_instructions=_length())
+    for config_name, label in grid:
+        result = run_cached(config_name, BENCH, _length())
         rows.append([label, result.ipc, result.rename_rate,
                      100 * result.renamed_before_source_fraction])
     return rows
@@ -131,17 +141,17 @@ def test_rename_solutions(benchmark):
 
 def run_liveout_recovery():
     """Section 4.3: squash vs selective re-execution on mispredictions."""
-    import dataclasses
-
-    from repro.config import frontend_config
-
+    policies = ("squash", "reexecute")
+    prefetch([SweepJob("pr-4x4w", BENCH, _length(),
+                       overrides=(("frontend.liveout_recovery", policy),),
+                       label=f"pr-4x4w/{policy}")
+              for policy in policies])
     rows = []
-    for recovery in ("squash", "reexecute"):
-        config = frontend_config("pr-4x4w")
-        config = config.replace(frontend=dataclasses.replace(
-            config.frontend, liveout_recovery=recovery))
-        result = run_simulation(config, BENCH, max_instructions=_length(),
-                                config_name=f"pr-4x4w/{recovery}")
+    for recovery in policies:
+        result = run_cached(
+            "pr-4x4w", BENCH, _length(),
+            overrides=(("frontend.liveout_recovery", recovery),),
+            label=f"pr-4x4w/{recovery}")
         rows.append([recovery, result.ipc,
                      result.counter("rename.liveout_mispredicts"),
                      result.counter("rename.liveout_squashes"),

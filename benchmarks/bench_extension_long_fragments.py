@@ -9,13 +9,11 @@ longer fragment-selection limits (the trace cache cannot follow — its
 line size pins traces at 16 instructions).
 """
 
-import dataclasses
 import os
 
 from conftest import register_table
 
-from repro.config import FragmentConfig, frontend_config
-from repro.core.simulation import run_simulation
+from repro.experiments import SweepJob, prefetch, run_cached
 from repro.stats import format_table
 
 BENCH = os.environ.get("REPRO_ABLATION_BENCHMARK", "gzip")
@@ -25,18 +23,25 @@ def _length() -> int:
     return int(os.environ.get("REPRO_SIM_INSTRUCTIONS", "30000"))
 
 
+def _long_fragment_overrides(max_length, cond_limit):
+    return (("fragment.max_length", max_length),
+            ("fragment.cond_branch_limit", cond_limit),
+            ("frontend.fragment_buffer_size", max_length))
+
+
 def run_long_fragments():
+    grid = ((16, 8), (24, 12), (32, 16))
+    prefetch([SweepJob("pr-2x8w", BENCH, _length(),
+                       overrides=_long_fragment_overrides(m, c),
+                       label=f"pr-2x8w/frag{m}")
+              for m, c in grid]
+             + [SweepJob("tc", BENCH, _length())])
     rows = []
-    for max_length, cond_limit in ((16, 8), (24, 12), (32, 16)):
-        config = frontend_config("pr-2x8w")
-        config = config.replace(
-            fragment=FragmentConfig(max_length=max_length,
-                                    cond_branch_limit=cond_limit),
-            frontend=dataclasses.replace(
-                config.frontend, fragment_buffer_size=max_length))
-        result = run_simulation(
-            config, BENCH, max_instructions=_length(),
-            config_name=f"pr-2x8w/frag{max_length}")
+    for max_length, cond_limit in grid:
+        result = run_cached(
+            "pr-2x8w", BENCH, _length(),
+            overrides=_long_fragment_overrides(max_length, cond_limit),
+            label=f"pr-2x8w/frag{max_length}")
         rows.append([
             max_length, result.ipc, result.fetch_rate,
             result.counter("commit.insts")
@@ -44,7 +49,7 @@ def run_long_fragments():
             1000 * result.counter("frontend.control_mispredicts")
             / max(1, result.committed),
         ])
-    tc = run_simulation("tc", BENCH, max_instructions=_length())
+    tc = run_cached("tc", BENCH, _length())
     rows.append(["TC(16)", tc.ipc, tc.fetch_rate, 0.0, 0.0])
     return rows
 

@@ -25,6 +25,16 @@ def register_table(name: str, text: str) -> None:
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    from repro.experiments.runner import SWEEP_STATS
+
+    if SWEEP_STATS.get("sweep.jobs"):
+        terminalreporter.write_sep("=", "sweep runner")
+        terminalreporter.write_line(
+            f"jobs={int(SWEEP_STATS.get('sweep.jobs'))} "
+            f"memo_hits={int(SWEEP_STATS.get('sweep.memo_hits'))} "
+            f"disk_hits={int(SWEEP_STATS.get('sweep.disk_hits'))} "
+            f"executed={int(SWEEP_STATS.get('sweep.executed'))} "
+            f"exec_seconds={SWEEP_STATS.get('sweep.exec_seconds'):.1f}")
     if not _tables:
         return
     terminalreporter.write_sep("=", "paper tables & figures (reproduced)")

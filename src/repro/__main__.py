@@ -5,6 +5,8 @@ Subcommands:
 * ``run`` — simulate one (front-end, benchmark) pair and print metrics;
 * ``compare`` — run several front-ends on one benchmark side by side;
 * ``figure`` — regenerate one of the paper's tables/figures;
+* ``sweep`` — run a (configs x benchmarks) matrix on the parallel runner
+  with the persistent result cache, printing progress and a summary;
 * ``bench-info`` — show the synthetic suite's characteristics (Table 2).
 """
 
@@ -71,6 +73,49 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.common import (
+        experiment_benchmarks,
+        experiment_length,
+    )
+    from repro.experiments.runner import ResultCache, SweepJob, run_sweep
+
+    cache = ResultCache(enabled=False if args.no_cache else None)
+    if args.clear_cache:
+        removed = ResultCache(enabled=True).clear()
+        print(f"cleared {removed} cached result(s)")
+        return 0
+
+    benchmarks = args.benchmarks or experiment_benchmarks()
+    length = args.instructions or experiment_length()
+    jobs = [SweepJob(config_name=config, benchmark=bench, length=length)
+            for config in args.configs for bench in benchmarks]
+
+    done = [0]
+
+    def progress(job, result, seconds):
+        done[0] += 1
+        print(f"  [{done[0]}/{len(jobs)}] {job.describe():40} "
+              f"IPC={result.ipc:.2f}  ({seconds:.1f}s)", flush=True)
+
+    report = run_sweep(jobs, workers=args.workers, cache=cache,
+                       progress=progress)
+    rows = []
+    for config in args.configs:
+        for bench in benchmarks:
+            result = report.results[
+                SweepJob(config_name=config, benchmark=bench,
+                         length=length)]
+            row = _result_row(result)
+            rows.append([row[0], bench] + row[1:])
+    print(format_table(
+        ["front-end", "benchmark", "IPC", "fetch/cyc", "rename/cyc",
+         "util", "cycles"], rows))
+    print()
+    print(report.summary())
+    return 0
+
+
 def cmd_bench_info(args: argparse.Namespace) -> int:
     from repro.workloads.suite import characterize
     rows = []
@@ -115,6 +160,23 @@ def build_parser() -> argparse.ArgumentParser:
                            help="regenerate a paper table/figure")
     fig_p.add_argument("name", choices=sorted(FIGURES))
     fig_p.set_defaults(func=cmd_figure)
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a configs x benchmarks matrix on the parallel runner")
+    sweep_p.add_argument("--configs", nargs="+",
+                         default=list(PAPER_CONFIGS), choices=ALL_CONFIGS)
+    sweep_p.add_argument("--benchmarks", nargs="+", default=None,
+                         choices=BENCHMARK_NAMES)
+    sweep_p.add_argument("-n", "--instructions", type=int, default=None)
+    sweep_p.add_argument("-j", "--workers", type=int, default=None,
+                         help="worker processes "
+                              "(default: REPRO_SWEEP_WORKERS or CPU count)")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="bypass the on-disk result cache")
+    sweep_p.add_argument("--clear-cache", action="store_true",
+                         help="delete every cached result and exit")
+    sweep_p.set_defaults(func=cmd_sweep)
 
     info_p = sub.add_parser("bench-info",
                             help="synthetic suite characteristics")

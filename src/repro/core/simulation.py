@@ -11,7 +11,7 @@ This is the main public API::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.config import ProcessorConfig, frontend_config
 from repro.core.processor import Processor
@@ -119,7 +119,7 @@ class SimulationResult:
 
 
 def _resolve_config(config: Union[str, ProcessorConfig]
-                    ) -> (str, ProcessorConfig):
+                    ) -> Tuple[str, ProcessorConfig]:
     if isinstance(config, str):
         return config, frontend_config(config)
     return config.frontend.fetch_kind, config
@@ -152,7 +152,8 @@ def run_simulation(config: Union[str, ProcessorConfig],
     """
     resolved_name, processor_config = _resolve_config(config)
     config_name = config_name or resolved_name
-    length = max_instructions or suite.default_sim_instructions()
+    length = (suite.default_sim_instructions() if max_instructions is None
+              else max_instructions)
     if isinstance(benchmark, str):
         program = suite.get_benchmark(benchmark)
         oracle = suite.oracle_stream(benchmark, length).stream

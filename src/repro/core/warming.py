@@ -71,10 +71,9 @@ def warm_processor(processor: "Processor",
             memory.l1d.fill(record.ea)
 
     # Warming trained the predictors but also counted hits/misses and
-    # fills into the shared stats collector; reset those counters so the
-    # timed run starts clean.
-    for name in list(processor.stats.as_dict()):
-        processor.stats.set(name, 0.0)
+    # fills into the shared stats collector; reset it so the timed run
+    # starts clean, with no phantom zero-valued entries left behind.
+    processor.stats.reset()
 
     # Start the timed run with clean history registers; the retire-side
     # history rebuilds within a few fragments.

@@ -8,9 +8,18 @@ from repro.experiments.common import (
     clear_cache,
     experiment_benchmarks,
     experiment_length,
+    prefetch,
     run_cached,
     run_matrix,
     sweep_length,
+)
+from repro.experiments.runner import (
+    SWEEP_STATS,
+    ResultCache,
+    SweepJob,
+    SweepReport,
+    run_job,
+    run_sweep,
 )
 from repro.experiments.frontend_figs import (
     figure4,
@@ -38,6 +47,13 @@ __all__ = [
     "run_cached",
     "run_matrix",
     "clear_cache",
+    "prefetch",
+    "SweepJob",
+    "SweepReport",
+    "ResultCache",
+    "SWEEP_STATS",
+    "run_job",
+    "run_sweep",
     "experiment_benchmarks",
     "experiment_length",
     "sweep_length",

@@ -1,9 +1,13 @@
 """Shared infrastructure for the paper's experiments.
 
-Simulation results are memoized per (configuration, benchmark, length,
-storage, predictor-size) so experiments that share runs — Figures 4, 5
-and 8 all use the default-configuration matrix — pay for each simulation
-once per process.
+Simulation results are cached at two levels: an in-process memo (L1),
+keyed by :class:`~repro.experiments.runner.SweepJob`, so experiments that
+share runs — Figures 4, 5 and 8 all use the default-configuration matrix —
+pay for each simulation once per process; and the runner's persistent
+on-disk cache (L2, ``.repro_cache/``), so fresh processes don't re-pay
+simulations at all.  Matrix-shaped work (`run_matrix`, and the experiment
+modules' prefetches) additionally fans cache misses out over a
+``multiprocessing`` worker pool via :func:`repro.experiments.runner.run_sweep`.
 
 Environment knobs:
 
@@ -12,20 +16,23 @@ Environment knobs:
 * ``REPRO_SWEEP_INSTRUCTIONS`` — shorter length used by the cache-size
   and predictor-size sweeps (default: half the above);
 * ``REPRO_EXPERIMENT_BENCHMARKS`` — comma-separated benchmark subset
-  (default: the full 12-benchmark suite).
+  (default: the full 12-benchmark suite);
+* ``REPRO_SWEEP_WORKERS`` — worker-pool width (default: CPU count);
+* ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` — disk-cache location / kill
+  switch (see :mod:`repro.experiments.runner`).
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.config import frontend_config
-from repro.core.simulation import SimulationResult, run_simulation
+from repro.core.simulation import SimulationResult
+from repro.experiments.runner import SweepJob, run_job, run_sweep
 from repro.workloads.suite import BENCHMARK_NAMES, default_sim_instructions
 
-_CacheKey = Tuple[str, str, int, Optional[int], Optional[int]]
-_result_cache: Dict[_CacheKey, SimulationResult] = {}
+#: In-process memo (the L1 cache above the runner's disk cache).
+_result_cache: Dict[SweepJob, SimulationResult] = {}
 
 
 def experiment_benchmarks() -> List[str]:
@@ -54,30 +61,44 @@ def sweep_length() -> int:
 
 def run_cached(config_name: str, benchmark: str, length: int,
                total_l1_storage: Optional[int] = None,
-               predictor_entries: Optional[int] = None) -> SimulationResult:
-    """Memoized simulation run."""
-    key = (config_name, benchmark, length, total_l1_storage,
-           predictor_entries)
-    if key not in _result_cache:
-        config = frontend_config(config_name,
-                                 total_l1_storage=total_l1_storage)
-        if predictor_entries is not None:
-            config = config.replace(
-                trace_predictor=config.trace_predictor.scaled(
-                    predictor_entries))
-        _result_cache[key] = run_simulation(config, benchmark,
-                                            max_instructions=length,
-                                            config_name=config_name)
-    return _result_cache[key]
+               predictor_entries: Optional[int] = None,
+               overrides: Tuple[Tuple[str, Any], ...] = (),
+               warm: bool = True,
+               label: Optional[str] = None) -> SimulationResult:
+    """Memoized simulation run (L1 memo over the runner's disk cache)."""
+    job = SweepJob(config_name=config_name, benchmark=benchmark,
+                   length=length, total_l1_storage=total_l1_storage,
+                   predictor_entries=predictor_entries,
+                   overrides=overrides, warm=warm, label=label)
+    if job not in _result_cache:
+        _result_cache[job] = run_job(job)
+    return _result_cache[job]
+
+
+def prefetch(jobs: Sequence[SweepJob],
+             workers: Optional[int] = None) -> None:
+    """Populate the memo (and disk cache) for *jobs* with a parallel sweep.
+
+    Experiments call this before their `run_cached` loops so every miss is
+    computed on the worker pool instead of serially at first use.
+    """
+    run_sweep(jobs, workers=workers, memo=_result_cache)
 
 
 def run_matrix(config_names: List[str], benchmarks: List[str],
-               length: int) -> Dict[str, Dict[str, SimulationResult]]:
-    """Run every (config, benchmark) pair, memoized."""
-    return {name: {bench: run_cached(name, bench, length)
+               length: int, workers: Optional[int] = None
+               ) -> Dict[str, Dict[str, SimulationResult]]:
+    """Run every (config, benchmark) pair through the parallel runner."""
+    jobs = [SweepJob(config_name=name, benchmark=bench, length=length)
+            for name in config_names for bench in benchmarks]
+    report = run_sweep(jobs, workers=workers, memo=_result_cache)
+    return {name: {bench: report.results[
+                       SweepJob(config_name=name, benchmark=bench,
+                                length=length)]
                    for bench in benchmarks}
             for name in config_names}
 
 
 def clear_cache() -> None:
+    """Drop the in-process memo (the disk cache is left untouched)."""
     _result_cache.clear()

@@ -11,9 +11,11 @@ from typing import Dict, List, Optional
 from repro.experiments.common import (
     experiment_benchmarks,
     experiment_length,
+    prefetch,
     run_cached,
     run_matrix,
 )
+from repro.experiments.runner import SweepJob
 from repro.stats import format_table, harmonic_mean, percent_speedup
 
 #: Mechanisms shown in Figure 4 (fetch-slot utilization).
@@ -151,6 +153,8 @@ def text_statistics(length: Optional[int] = None,
     reuse, just-in-time fragment construction, and trace-cache hit rate."""
     length = length or experiment_length()
     benchmarks = benchmarks or experiment_benchmarks()
+    prefetch([SweepJob(config, bench, length)
+              for config in ("pf-2x8w", "tc") for bench in benchmarks])
     reuse = {}
     precon = {}
     tc_hit = {}

@@ -1,0 +1,429 @@
+"""Parallel sweep executor with a persistent on-disk result cache.
+
+Every figure in the reproduction is a matrix of independent
+``(configuration, benchmark, length, overrides)`` simulations, which makes
+the experiment layer embarrassingly parallel.  This module provides the
+machinery the rest of :mod:`repro.experiments` runs on:
+
+* :class:`SweepJob` — a picklable, hashable description of one simulation
+  (named configuration plus the override knobs the experiments use);
+* :class:`ResultCache` — a content-addressed JSON-per-result disk cache
+  under ``.repro_cache/`` (override with ``REPRO_CACHE_DIR``, disable
+  with ``REPRO_NO_CACHE``), keyed by a digest of the *resolved* processor
+  configuration plus the job parameters and a cache-schema version, so
+  stale entries are never served across config or format changes;
+* :func:`run_sweep` — fans pending jobs out over a ``multiprocessing``
+  pool (``REPRO_SWEEP_WORKERS`` sets the default width) and merges the
+  results back in job order, so a parallel sweep is counter-for-counter
+  identical to a serial one;
+* :func:`run_job` — the single-job path (disk cache + execute) that the
+  in-process memo in :mod:`repro.experiments.common` layers on top of.
+
+Observability: each sweep produces a :class:`SweepReport` whose
+:class:`~repro.stats.StatsCollector` carries job counts, cache hit/miss
+counters, per-job and total wall-clock timing and worker utilization;
+the same counters accumulate process-wide in :data:`SWEEP_STATS`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    MutableMapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.config import ProcessorConfig, frontend_config
+from repro.core.simulation import SimulationResult, run_simulation
+from repro.stats import StatsCollector
+
+#: Bump whenever the cached payload format *or* anything that invalidates
+#: old results (simulation semantics, counter meanings) changes.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: Process-wide accumulation of every sweep's counters (tests and the CLI
+#: read this to verify e.g. that a warm-cache sweep executed nothing).
+SWEEP_STATS = StatsCollector()
+
+
+# ---------------------------------------------------------------------------
+# Job description
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One simulation of the experiment matrix, described by value.
+
+    Only primitives — the job must be picklable for the worker pool and
+    hashable for the in-process memo.  ``overrides`` is a tuple of
+    ``(dotted.path, value)`` pairs applied to the resolved
+    :class:`~repro.config.ProcessorConfig` with ``dataclasses.replace``
+    (e.g. ``("frontend.num_fragment_buffers", 32)``).
+    """
+
+    config_name: str
+    benchmark: str
+    length: int
+    total_l1_storage: Optional[int] = None
+    predictor_entries: Optional[int] = None
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+    warm: bool = True
+    #: Display name recorded in the result (defaults to ``config_name``).
+    label: Optional[str] = None
+
+    def build_config(self) -> ProcessorConfig:
+        """Resolve the named configuration and apply every override."""
+        config = frontend_config(self.config_name,
+                                 total_l1_storage=self.total_l1_storage)
+        if self.predictor_entries is not None:
+            config = config.replace(
+                trace_predictor=config.trace_predictor.scaled(
+                    self.predictor_entries))
+        for path, value in self.overrides:
+            config = _replace_path(config, path.split("."), value)
+        return config
+
+    def cache_key(self) -> str:
+        """Content-addressed cache key for this job.
+
+        Includes a digest of the fully resolved configuration, so cached
+        results go stale automatically when configuration defaults (or
+        the meaning of a named configuration) change between versions.
+        """
+        config_digest = hashlib.sha256(
+            repr(self.build_config()).encode()).hexdigest()
+        payload = json.dumps({
+            "schema": CACHE_SCHEMA_VERSION,
+            "config_name": self.config_name,
+            "benchmark": self.benchmark,
+            "length": self.length,
+            "total_l1_storage": self.total_l1_storage,
+            "predictor_entries": self.predictor_entries,
+            "overrides": [[path, value] for path, value in self.overrides],
+            "warm": self.warm,
+            "label": self.label,
+            "config_digest": config_digest,
+        }, sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def describe(self) -> str:
+        parts = [self.label or self.config_name, self.benchmark,
+                 f"n={self.length}"]
+        if self.total_l1_storage is not None:
+            parts.append(f"l1={self.total_l1_storage // 1024}KB")
+        if self.predictor_entries is not None:
+            parts.append(f"pred={self.predictor_entries}")
+        for path, value in self.overrides:
+            parts.append(f"{path}={value}")
+        if not self.warm:
+            parts.append("cold")
+        return "/".join(parts)
+
+
+def _replace_path(obj, parts: List[str], value):
+    """Functional update of a nested dataclass field by dotted path."""
+    if len(parts) == 1:
+        return dataclasses.replace(obj, **{parts[0]: value})
+    child = _replace_path(getattr(obj, parts[0]), parts[1:], value)
+    return dataclasses.replace(obj, **{parts[0]: child})
+
+
+# ---------------------------------------------------------------------------
+# Disk cache
+
+
+class ResultCache:
+    """Content-addressed JSON-per-result cache under one directory.
+
+    Each entry is a single ``<key>.json`` file holding the schema version,
+    a human-readable description of the job, and the full result payload.
+    Writes are atomic (temp file + rename) so concurrent workers and
+    interrupted sweeps never leave a torn entry.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None,
+                 enabled: Optional[bool] = None) -> None:
+        if directory is None:
+            directory = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.directory = Path(directory)
+        if enabled is None:
+            enabled = not os.environ.get(NO_CACHE_ENV)
+        self.enabled = enabled
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for *key*, or None (miss / disabled / stale)."""
+        if not self.enabled:
+            return None
+        try:
+            payload = json.loads(self._path(key).read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        return _result_from_payload(payload["result"])
+
+    def store(self, key: str, job: SweepJob,
+              result: SimulationResult) -> None:
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "job": job.describe(),
+            "result": _result_to_payload(result),
+        }
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+def _result_to_payload(result: SimulationResult) -> Dict[str, Any]:
+    return {
+        "benchmark": result.benchmark,
+        "config_name": result.config_name,
+        "cycles": result.cycles,
+        "committed": result.committed,
+        "counters": dict(result.counters),
+    }
+
+
+def _result_from_payload(payload: Dict[str, Any]) -> SimulationResult:
+    return SimulationResult(
+        benchmark=payload["benchmark"],
+        config_name=payload["config_name"],
+        cycles=payload["cycles"],
+        committed=payload["committed"],
+        counters={name: float(value)
+                  for name, value in payload["counters"].items()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Execution
+
+
+def _execute_job(job: SweepJob) -> Tuple[Dict[str, Any], float]:
+    """Run one job (worker-side); returns (result payload, seconds).
+
+    Runs in a pool worker for parallel sweeps and inline for serial ones —
+    the exact same code path, which is what makes parallel output
+    bit-identical to serial.
+    """
+    start = time.perf_counter()
+    result = run_simulation(job.build_config(), job.benchmark,
+                            max_instructions=job.length,
+                            config_name=job.label or job.config_name,
+                            warm=job.warm)
+    return _result_to_payload(result), time.perf_counter() - start
+
+
+def default_workers() -> int:
+    """Worker-pool width: ``REPRO_SWEEP_WORKERS`` or the CPU count."""
+    override = os.environ.get(WORKERS_ENV)
+    if override:
+        return max(1, int(override))
+    return os.cpu_count() or 1
+
+
+@dataclass
+class SweepReport:
+    """Results plus observability for one :func:`run_sweep` call."""
+
+    jobs: List[SweepJob]
+    results: Dict[SweepJob, SimulationResult]
+    stats: StatsCollector = field(default_factory=StatsCollector)
+    job_seconds: Dict[SweepJob, float] = field(default_factory=dict)
+
+    @property
+    def executed(self) -> int:
+        return int(self.stats.get("sweep.executed"))
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self.stats.get("sweep.memo_hits")
+                   + self.stats.get("sweep.disk_hits"))
+
+    def summary(self) -> str:
+        stats = self.stats
+        lines = [
+            f"jobs          {int(stats.get('sweep.jobs'))}",
+            f"memo hits     {int(stats.get('sweep.memo_hits'))}",
+            f"disk hits     {int(stats.get('sweep.disk_hits'))}",
+            f"executed      {int(stats.get('sweep.executed'))}",
+            f"workers       {int(stats.get('sweep.workers'))}",
+            f"wall seconds  {stats.get('sweep.wall_seconds'):.2f}",
+            f"job seconds   {stats.get('sweep.exec_seconds'):.2f}",
+            f"utilization   {stats.get('sweep.utilization'):.2f}",
+        ]
+        return "sweep summary\n" + "\n".join("  " + line for line in lines)
+
+
+def run_job(job: SweepJob,
+            cache: Optional[ResultCache] = None,
+            stats: Optional[StatsCollector] = None) -> SimulationResult:
+    """Run one job through the disk cache (the serial, single-job path)."""
+    cache = cache if cache is not None else ResultCache()
+    key = job.cache_key()
+    cached = cache.load(key)
+    for collector in (stats, SWEEP_STATS):
+        if collector is not None:
+            collector.add("sweep.jobs")
+            collector.add("sweep.disk_hits" if cached is not None
+                          else "sweep.executed")
+    if cached is not None:
+        return cached
+    payload, seconds = _execute_job(job)
+    result = _result_from_payload(payload)
+    cache.store(key, job, result)
+    for collector in (stats, SWEEP_STATS):
+        if collector is not None:
+            collector.add("sweep.exec_seconds", seconds)
+    return result
+
+
+def run_sweep(jobs: Sequence[SweepJob],
+              workers: Optional[int] = None,
+              memo: Optional[MutableMapping[SweepJob,
+                                            SimulationResult]] = None,
+              cache: Optional[ResultCache] = None,
+              progress: Optional[Callable[[SweepJob, SimulationResult,
+                                           float], None]] = None
+              ) -> SweepReport:
+    """Run every job, fanning cache misses out over a process pool.
+
+    Results are merged back in job order, so the report is deterministic
+    regardless of worker scheduling.  The lookup order per job is:
+
+    1. *memo* — the caller's in-process L1 (e.g. the experiment-layer
+       memo), consulted and updated in place when given;
+    2. the on-disk :class:`ResultCache` (L2, persistent across processes);
+    3. execution — inline for one pending job or ``workers == 1``,
+       otherwise over ``multiprocessing.Pool(workers)``.
+    """
+    start = time.perf_counter()
+    stats = StatsCollector()
+    report = SweepReport(jobs=list(jobs), results={}, stats=stats)
+    stats.add("sweep.jobs", len(report.jobs))
+
+    cache = cache if cache is not None else ResultCache()
+    unique: List[SweepJob] = []
+    seen = set()
+    for job in report.jobs:
+        if job not in seen:
+            seen.add(job)
+            unique.append(job)
+
+    pending: List[SweepJob] = []
+    for job in unique:
+        if memo is not None and job in memo:
+            stats.add("sweep.memo_hits")
+            report.results[job] = memo[job]
+            continue
+        cached = cache.load(job.cache_key())
+        if cached is not None:
+            stats.add("sweep.disk_hits")
+            report.results[job] = cached
+            if memo is not None:
+                memo[job] = cached
+            continue
+        pending.append(job)
+
+    workers = workers if workers is not None else default_workers()
+    workers = max(1, min(workers, len(pending)) if pending else 1)
+    stats.add("sweep.executed", len(pending))
+    stats.set("sweep.workers", workers)
+
+    if pending:
+        if workers == 1:
+            outcomes: Iterable = map(_execute_job, pending)
+        else:
+            pool = multiprocessing.Pool(workers)
+            try:
+                # imap (ordered) keeps the merge deterministic while
+                # letting `progress` fire as jobs finish.
+                outcomes = pool.imap(_execute_job, pending)
+                outcomes = list(outcomes)
+            finally:
+                pool.close()
+                pool.join()
+        for job, (payload, seconds) in zip(pending, outcomes):
+            result = _result_from_payload(payload)
+            cache.store(job.cache_key(), job, result)
+            report.results[job] = result
+            report.job_seconds[job] = seconds
+            stats.add("sweep.exec_seconds", seconds)
+            if memo is not None:
+                memo[job] = result
+            if progress is not None:
+                progress(job, result, seconds)
+
+    wall = time.perf_counter() - start
+    stats.set("sweep.wall_seconds", wall)
+    if pending and wall > 0:
+        stats.set("sweep.utilization",
+                  stats.get("sweep.exec_seconds") / (workers * wall))
+    SWEEP_STATS.merge(stats)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Generic helper for non-simulation fan-out (e.g. Table 2 characterization)
+
+
+def parallel_map(fn: Callable, items: Sequence,
+                 workers: Optional[int] = None) -> List:
+    """Order-preserving parallel map over a process pool.
+
+    *fn* must be picklable (module-level).  Falls back to a plain map for
+    one worker or one item, keeping results identical either way.
+    """
+    items = list(items)
+    workers = workers if workers is not None else default_workers()
+    workers = max(1, min(workers, len(items)) if items else 1)
+    if workers == 1:
+        return [fn(item) for item in items]
+    pool = multiprocessing.Pool(workers)
+    try:
+        return pool.map(fn, items)
+    finally:
+        pool.close()
+        pool.join()

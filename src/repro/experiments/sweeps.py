@@ -7,9 +7,11 @@ from typing import Dict, List, Optional, Sequence
 from repro.config import FragmentConfig, LiveOutPredictorConfig
 from repro.experiments.common import (
     experiment_benchmarks,
+    prefetch,
     run_cached,
     sweep_length,
 )
+from repro.experiments.runner import SweepJob
 from repro.frontend.fragments import carve_stream
 from repro.predictors.liveout import LiveOutPredictor, compute_liveouts
 from repro.stats import format_table, series_table
@@ -95,6 +97,11 @@ def figure9(length: Optional[int] = None,
     """
     length = length or sweep_length()
     benchmarks = benchmarks or experiment_benchmarks()
+    prefetch([SweepJob("w16", bench, length, total_l1_storage=64 * KB)
+              for bench in benchmarks]
+             + [SweepJob(config, bench, length, total_l1_storage=storage)
+                for config in configs for storage in storages
+                for bench in benchmarks])
     baseline = {bench: run_cached("w16", bench, length,
                                   total_l1_storage=64 * KB).ipc
                 for bench in benchmarks}
@@ -148,6 +155,10 @@ def figure10(length: Optional[int] = None,
     """
     length = length or sweep_length()
     benchmarks = benchmarks or experiment_benchmarks()
+    prefetch([SweepJob("w16", bench, length) for bench in benchmarks]
+             + [SweepJob(config, bench, length, predictor_entries=entries)
+                for config in configs for entries in entries_grid
+                for bench in benchmarks])
     baseline = {bench: run_cached("w16", bench, length).ipc
                 for bench in benchmarks}
     series: Dict[str, List[float]] = {}

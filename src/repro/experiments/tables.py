@@ -6,6 +6,7 @@ from typing import Dict, List, Optional
 
 from repro.config import ProcessorConfig
 from repro.experiments.common import experiment_benchmarks, experiment_length
+from repro.experiments.runner import parallel_map
 from repro.stats import format_table
 from repro.workloads.suite import characterize
 
@@ -55,14 +56,24 @@ def table1(config: Optional[ProcessorConfig] = None) -> str:
         ["Parameter", "Value"], rows)
 
 
+def _characterize_job(args):
+    name, length = args
+    return characterize(name, length)
+
+
 def table2(length: Optional[int] = None,
            benchmarks: Optional[List[str]] = None) -> Dict[str, Dict]:
-    """Measure Table 2: benchmark characteristics of the synthetic suite."""
+    """Measure Table 2: benchmark characteristics of the synthetic suite.
+
+    Characterization of each benchmark is independent, so the suite fans
+    out over the runner's worker pool.
+    """
     length = length or experiment_length()
     benchmarks = benchmarks or experiment_benchmarks()
+    characteristics = parallel_map(
+        _characterize_job, [(name, length) for name in benchmarks])
     rows = {}
-    for name in benchmarks:
-        measured = characterize(name, length)
+    for name, measured in zip(benchmarks, characteristics):
         rows[name] = {
             "avg_fragment_length": measured.avg_fragment_length,
             "paper_avg_fragment_length": PAPER_TABLE2.get(name),

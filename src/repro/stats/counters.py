@@ -61,5 +61,17 @@ class StatsCollector:
         for name, value in other._counters.items():
             self._counters[name] += value
 
+    def reset(self) -> None:
+        """Forget every counter (no phantom zero-valued entries remain).
+
+        Unlike ``set(name, 0.0)`` per counter, names disappear entirely,
+        so ``__contains__``, :meth:`as_dict` and :meth:`with_prefix` see a
+        collector indistinguishable from a fresh one.
+        """
+        self._counters.clear()
+
+    # ``clear`` mirrors the dict/set vocabulary.
+    clear = reset
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StatsCollector({len(self._counters)} counters)"

@@ -162,7 +162,8 @@ def oracle_stream(name: str,
     The cache keeps the longest stream requested so far per benchmark and
     serves shorter requests by slicing it.
     """
-    length = max_instructions or default_sim_instructions()
+    length = (default_sim_instructions() if max_instructions is None
+              else max_instructions)
     cached = None
     for (cached_name, cached_len), result in _stream_cache.items():
         if cached_name == name and cached_len >= length:

@@ -25,6 +25,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.benchmarks is None and args.workers is None
+        assert not args.no_cache and not args.clear_cache
+        assert "w16" in args.configs
+
+    def test_sweep_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--benchmarks", "bogus"])
+
 
 class TestCommands:
     def test_run_prints_metrics(self, capsys):
@@ -57,3 +67,34 @@ class TestCommands:
     def test_cold_run(self, capsys):
         assert main(["run", "w16", "gzip", "-n", "1500", "--cold"]) == 0
         assert "IPC" in capsys.readouterr().out
+
+    def test_sweep_runs_matrix_and_reports(self, capsys, tmp_path,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ["sweep", "--configs", "w16", "tc",
+                "--benchmarks", "gzip", "mcf", "-n", "1500",
+                "--workers", "2"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sweep summary" in out
+        assert "executed      4" in out
+        # Warm cache: the repeat sweep must execute nothing.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "executed      0" in out
+        assert "disk hits     4" in out
+
+    def test_sweep_clear_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["sweep", "--configs", "w16", "--benchmarks", "gzip",
+                     "-n", "1500"]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--clear-cache"]) == 0
+        assert "cleared 1 cached result(s)" in capsys.readouterr().out
+
+    def test_sweep_no_cache_leaves_disk_empty(self, capsys, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["sweep", "--configs", "w16", "--benchmarks", "gzip",
+                     "-n", "1500", "--no-cache"]) == 0
+        assert not list(tmp_path.glob("*.json"))

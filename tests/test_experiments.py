@@ -49,6 +49,28 @@ class TestCommon:
         small = run_cached("w16", "gzip", LENGTH, total_l1_storage=8192)
         assert default is not small
 
+    def test_run_cached_distinguishes_predictor_entries(self):
+        default = run_cached("w16", "gzip", LENGTH)
+        scaled = run_cached("w16", "gzip", LENGTH, predictor_entries=1024)
+        assert default is not scaled
+        assert scaled is run_cached("w16", "gzip", LENGTH,
+                                    predictor_entries=1024)
+
+    def test_run_cached_distinguishes_overrides(self):
+        default = run_cached("pf-2x8w", "gzip", LENGTH)
+        overridden = run_cached(
+            "pf-2x8w", "gzip", LENGTH,
+            overrides=(("frontend.num_fragment_buffers", 4),))
+        assert default is not overridden
+        assert overridden is run_cached(
+            "pf-2x8w", "gzip", LENGTH,
+            overrides=(("frontend.num_fragment_buffers", 4),))
+
+    def test_run_cached_distinguishes_warm(self):
+        warm = run_cached("w16", "gzip", LENGTH)
+        cold = run_cached("w16", "gzip", LENGTH, warm=False)
+        assert warm is not cold
+
     def test_experiment_benchmarks_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_EXPERIMENT_BENCHMARKS", "gzip, mcf")
         assert experiment_benchmarks() == ["gzip", "mcf"]
@@ -120,3 +142,47 @@ class TestFigures:
         assert set(data["fragment_reuse"]) == set(BENCHES)
         assert 0 <= data["mean_tc_hit_rate"] <= 1
         assert "In-text statistics" in format_text_statistics(data)
+
+
+class TestFigure8MatrixDeterminism:
+    """The PR's acceptance criterion: a 4-worker parallel sweep of the
+    Figure 8 matrix is counter-for-counter identical to the serial path,
+    and a warm disk cache re-sweeps with zero simulations executed."""
+
+    def test_parallel_equals_serial_and_warm_cache(self, tmp_path):
+        from repro.experiments.frontend_figs import FIG8_CONFIGS
+        from repro.experiments.runner import ResultCache, SweepJob, run_sweep
+
+        jobs = [SweepJob(config, bench, LENGTH)
+                for config in ["w16"] + list(FIG8_CONFIGS)
+                for bench in BENCHES]
+        cache = ResultCache(tmp_path, enabled=True)
+        parallel = run_sweep(jobs, workers=4, cache=cache)
+        serial = run_sweep(jobs, workers=1,
+                           cache=ResultCache(tmp_path / "none",
+                                             enabled=False))
+        for job in jobs:
+            left, right = parallel.results[job], serial.results[job]
+            assert left.cycles == right.cycles
+            assert left.committed == right.committed
+            assert left.counters == right.counters
+        warm = run_sweep(jobs, workers=4, cache=cache)
+        assert warm.executed == 0
+        assert int(warm.stats.get("sweep.disk_hits")) == len(jobs)
+
+
+class TestMaxInstructionsEdge:
+    def test_zero_is_not_replaced_by_suite_default(self):
+        """max_instructions=0 must not silently become the 30k default;
+        an empty stream is an explicit error."""
+        from repro.core.simulation import run_simulation
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            run_simulation("w16", "gzip", max_instructions=0)
+
+    def test_small_explicit_length_respected(self):
+        from repro.core.simulation import run_simulation
+
+        result = run_simulation("w16", "gzip", max_instructions=50)
+        assert result.committed == 50

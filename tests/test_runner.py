@@ -1,0 +1,217 @@
+"""Tests for the parallel sweep runner and its persistent result cache."""
+
+import json
+
+import pytest
+
+from repro.core.simulation import SimulationResult
+from repro.experiments.runner import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    SweepJob,
+    default_workers,
+    parallel_map,
+    run_job,
+    run_sweep,
+)
+
+LENGTH = 1500
+
+
+def make_result(**kwargs):
+    defaults = dict(benchmark="gzip", config_name="w16", cycles=100,
+                    committed=400, counters={"fetch.insts": 600.0})
+    defaults.update(kwargs)
+    return SimulationResult(**defaults)
+
+
+class TestSweepJob:
+    def test_hashable_and_equal_by_value(self):
+        a = SweepJob("w16", "gzip", LENGTH)
+        b = SweepJob("w16", "gzip", LENGTH)
+        assert a == b and hash(a) == hash(b)
+
+    def test_cache_key_stable(self):
+        a = SweepJob("w16", "gzip", LENGTH)
+        b = SweepJob("w16", "gzip", LENGTH)
+        assert a.cache_key() == b.cache_key()
+
+    def test_cache_key_distinguishes_every_field(self):
+        base = SweepJob("w16", "gzip", LENGTH)
+        variants = [
+            SweepJob("tc", "gzip", LENGTH),
+            SweepJob("w16", "mcf", LENGTH),
+            SweepJob("w16", "gzip", LENGTH + 1),
+            SweepJob("w16", "gzip", LENGTH, total_l1_storage=8192),
+            SweepJob("w16", "gzip", LENGTH, predictor_entries=4096),
+            SweepJob("w16", "gzip", LENGTH,
+                     overrides=(("frontend.num_fragment_buffers", 8),)),
+            SweepJob("w16", "gzip", LENGTH, warm=False),
+            SweepJob("w16", "gzip", LENGTH, label="other"),
+        ]
+        keys = {job.cache_key() for job in variants}
+        assert base.cache_key() not in keys
+        assert len(keys) == len(variants)
+
+    def test_build_config_applies_overrides(self):
+        job = SweepJob("pf-2x8w", "gzip", LENGTH,
+                       overrides=(("frontend.num_fragment_buffers", 8),
+                                  ("fragment.max_length", 32)))
+        config = job.build_config()
+        assert config.frontend.num_fragment_buffers == 8
+        assert config.fragment.max_length == 32
+
+    def test_describe_mentions_overrides(self):
+        job = SweepJob("w16", "gzip", LENGTH, total_l1_storage=8192,
+                       overrides=(("fragment.max_length", 32),))
+        text = job.describe()
+        assert "w16" in text and "gzip" in text
+        assert "l1=8KB" in text and "fragment.max_length=32" in text
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        result = make_result()
+        cache.store("k1", SweepJob("w16", "gzip", LENGTH), result)
+        loaded = cache.load("k1")
+        assert loaded is not None and loaded is not result
+        assert loaded == result
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path, enabled=True).load("nope") is None
+
+    def test_disabled_cache_never_stores(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=False)
+        cache.store("k1", SweepJob("w16", "gzip", LENGTH), make_result())
+        assert len(ResultCache(tmp_path, enabled=True)) == 0
+        assert cache.load("k1") is None
+
+    def test_no_cache_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert not ResultCache().enabled
+
+    def test_cache_dir_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        cache = ResultCache()
+        assert cache.directory == tmp_path / "alt"
+        assert cache.enabled
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        cache.store("k1", SweepJob("w16", "gzip", LENGTH), make_result())
+        path = tmp_path / "k1.json"
+        payload = json.loads(path.read_text())
+        payload["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert cache.load("k1") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        (tmp_path / "k1.json").write_text("{not json")
+        assert ResultCache(tmp_path, enabled=True).load("k1") is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        cache.store("k1", SweepJob("w16", "gzip", LENGTH), make_result())
+        cache.store("k2", SweepJob("tc", "gzip", LENGTH), make_result())
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestRunJob:
+    def test_executes_then_hits_disk(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        job = SweepJob("w16", "gzip", LENGTH)
+        first = run_job(job, cache=cache)
+        assert first.committed > 0
+        assert len(cache) == 1
+        second = run_job(job, cache=cache)
+        assert second is not first
+        assert second == first
+
+    def test_label_becomes_config_name(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        job = SweepJob("w16", "gzip", LENGTH, label="w16/custom")
+        assert run_job(job, cache=cache).config_name == "w16/custom"
+
+
+class TestRunSweep:
+    def test_parallel_identical_to_serial(self, tmp_path):
+        """Sweep results must be bit-identical regardless of worker count."""
+        jobs = [SweepJob(config, bench, LENGTH)
+                for config in ("w16", "tc") for bench in ("gzip", "mcf")]
+        parallel = run_sweep(jobs, workers=2,
+                             cache=ResultCache(tmp_path, enabled=True))
+        serial = run_sweep(jobs, workers=1,
+                           cache=ResultCache(tmp_path / "x", enabled=False))
+        for job in jobs:
+            assert parallel.results[job] == serial.results[job]
+
+    def test_warm_disk_cache_executes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        jobs = [SweepJob("w16", bench, LENGTH)
+                for bench in ("gzip", "mcf")]
+        cold = run_sweep(jobs, workers=2, cache=cache)
+        assert cold.executed == len(jobs)
+        warm = run_sweep(jobs, workers=2, cache=cache)
+        assert warm.executed == 0
+        assert int(warm.stats.get("sweep.disk_hits")) == len(jobs)
+        for job in jobs:
+            assert warm.results[job] == cold.results[job]
+
+    def test_memo_is_consulted_and_filled(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        memo = {}
+        jobs = [SweepJob("w16", "gzip", LENGTH)]
+        first = run_sweep(jobs, workers=1, memo=memo, cache=cache)
+        assert jobs[0] in memo
+        second = run_sweep(jobs, workers=1, memo=memo, cache=cache)
+        assert int(second.stats.get("sweep.memo_hits")) == 1
+        assert second.results[jobs[0]] is memo[jobs[0]]
+        assert first.results[jobs[0]] is memo[jobs[0]]
+
+    def test_duplicate_jobs_run_once(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        job = SweepJob("w16", "gzip", LENGTH)
+        report = run_sweep([job, job, job], workers=2, cache=cache)
+        assert report.executed == 1
+        assert int(report.stats.get("sweep.jobs")) == 3
+
+    def test_progress_callback_and_timing(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        seen = []
+        jobs = [SweepJob("w16", "gzip", LENGTH)]
+        report = run_sweep(jobs, workers=1, cache=cache,
+                           progress=lambda j, r, s: seen.append((j, s)))
+        assert [j for j, _ in seen] == jobs
+        assert all(s >= 0 for _, s in seen)
+        assert report.job_seconds[jobs[0]] > 0
+        assert report.stats.get("sweep.wall_seconds") > 0
+
+    def test_empty_sweep(self, tmp_path):
+        report = run_sweep([], cache=ResultCache(tmp_path, enabled=True))
+        assert report.results == {} and report.executed == 0
+
+
+class TestHelpers:
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS")
+        assert default_workers() >= 1
+
+    def test_parallel_map_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, workers=4) == \
+            [x * x for x in items]
+        assert parallel_map(_square, items, workers=1) == \
+            [x * x for x in items]
+
+    def test_parallel_map_empty(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+
+def _square(x):
+    return x * x

@@ -67,3 +67,28 @@ class TestDerivedMetrics:
 
     def test_counter_accessor_defaults(self):
         assert make_result().counter("anything") == 0.0
+
+
+class TestZeroDenominators:
+    """Every ratio property must be well-defined on an empty result."""
+
+    def test_all_ratios_defined_with_no_counters(self):
+        result = make_result(cycles=0, committed=0)
+        assert result.ipc == 0.0
+        assert result.fetch_rate == 0.0
+        assert result.rename_rate == 0.0
+        assert result.slot_utilization == 0.0
+        assert result.trace_cache_hit_rate == 0.0
+        assert result.fragment_reuse_rate == 0.0
+        assert result.preconstructed_fraction == 0.0
+        assert result.liveout_accuracy == 1.0  # no lookups -> perfect
+        assert result.renamed_before_source_fraction == 0.0
+        assert result.l1i_miss_rate == 0.0
+        assert not result.timed_out
+
+    def test_zero_cycles_with_nonzero_counters(self):
+        result = make_result(cycles=0, committed=0,
+                             **{"fetch.insts": 10, "rename.insts": 5})
+        assert result.ipc == 0.0
+        assert result.fetch_rate == 0.0
+        assert result.rename_rate == 0.0

@@ -36,6 +36,22 @@ class TestStatsCollector:
         stats.add("denom", 2)
         assert stats.ratio("num", "denom") == 2.5
 
+    def test_reset_leaves_no_phantom_entries(self):
+        stats = StatsCollector()
+        stats.add("fetch.insts", 10)
+        stats.set("l1i.fills", 3)
+        stats.reset()
+        assert "fetch.insts" not in stats
+        assert stats.as_dict() == {}
+        assert stats.with_prefix("l1i") == {}
+        assert stats.get("fetch.insts") == 0.0
+
+    def test_clear_is_reset(self):
+        stats = StatsCollector()
+        stats.add("a")
+        stats.clear()
+        assert "a" not in stats
+
     def test_with_prefix(self):
         stats = StatsCollector()
         stats.add("fetch.insts", 10)

@@ -47,6 +47,15 @@ class TestWarmProcessor:
         assert processor.stats.get("l1i.fills") == 0
         assert processor.stats.get("l2.fills") == 0
 
+    def test_reset_leaves_no_phantom_counters(self):
+        """Warming must not leave zero-valued entries behind — they would
+        pollute __contains__, as_dict() and with_prefix()."""
+        processor, stream = make_processor()
+        warm_processor(processor, stream)
+        assert processor.stats.as_dict() == {}
+        assert "l1i.fills" not in processor.stats
+        assert processor.stats.with_prefix("l1i") == {}
+
     def test_speculative_history_cleared(self):
         processor, stream = make_processor()
         warm_processor(processor, stream)
