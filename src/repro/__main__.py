@@ -99,13 +99,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               f"IPC={result.ipc:.2f}  ({seconds:.1f}s)", flush=True)
 
     report = run_sweep(jobs, workers=args.workers, cache=cache,
-                       progress=progress)
+                       progress=progress, retries=args.retries,
+                       timeout=args.timeout)
     rows = []
     for config in args.configs:
         for bench in benchmarks:
-            result = report.results[
-                SweepJob(config_name=config, benchmark=bench,
-                         length=length)]
+            job = SweepJob(config_name=config, benchmark=bench,
+                           length=length)
+            result = report.results.get(job)
+            if result is None:
+                failure = report.failures.get(job)
+                rows.append([config, bench,
+                             "FAILED" if failure is None
+                             else f"FAILED:{failure.error_type}",
+                             "-", "-", "-", "-"])
+                continue
             row = _result_row(result)
             rows.append([row[0], bench] + row[1:])
     print(format_table(
@@ -113,7 +121,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
          "util", "cycles"], rows))
     print()
     print(report.summary())
-    return 0
+    return 1 if report.failures else 0
 
 
 def cmd_bench_info(args: argparse.Namespace) -> int:
@@ -176,6 +184,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bypass the on-disk result cache")
     sweep_p.add_argument("--clear-cache", action="store_true",
                          help="delete every cached result and exit")
+    sweep_p.add_argument("--retries", type=int, default=None,
+                         help="retries per failed job "
+                              "(default: REPRO_SWEEP_RETRIES or 2)")
+    sweep_p.add_argument("--timeout", type=float, default=None,
+                         help="per-job wall-clock timeout in seconds; "
+                              "0 disables "
+                              "(default: REPRO_JOB_TIMEOUT or none)")
     sweep_p.set_defaults(func=cmd_sweep)
 
     info_p = sub.add_parser("bench-info",

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.config import ProcessorConfig
+from repro.core.invariants import InvariantChecker, PipelineWatchdog
 from repro.core.uop import MicroOp, PlaceholderProducer, UopState
 from repro.backend.core import OutOfOrderCore
 from repro.emulator.stream import DynamicInstruction
@@ -51,11 +52,16 @@ from repro.rename.parallel import ParallelRenamer
 from repro.stats import StatsCollector
 
 
+#: Sentinel for "resolve from the environment" (None means "disabled").
+_FROM_ENV = object()
+
+
 class Processor:
     """One simulated processor instance (one benchmark run)."""
 
     def __init__(self, config: ProcessorConfig, program: Program,
-                 oracle: List[DynamicInstruction]):
+                 oracle: List[DynamicInstruction],
+                 watchdog=_FROM_ENV, invariants=_FROM_ENV):
         self.config = config
         self.program = program
         self.stats = StatsCollector()
@@ -103,6 +109,15 @@ class Processor:
         #: When set (by tracing tools), every committed uop is appended.
         self.uop_log: Optional[List[MicroOp]] = None
 
+        #: Forward-progress watchdog (None = disabled) and opt-in
+        #: per-cycle state audits (see :mod:`repro.core.invariants`).
+        self.watchdog: Optional[PipelineWatchdog] = (
+            PipelineWatchdog.from_env() if watchdog is _FROM_ENV
+            else watchdog)
+        self.invariants: Optional[InvariantChecker] = (
+            InvariantChecker.from_env() if invariants is _FROM_ENV
+            else invariants)
+
         # Commit-side fragment carver (predictor training).
         self._carve_records: List[DynamicInstruction] = []
         self._carve_dirs: List[bool] = []
@@ -137,10 +152,22 @@ class Processor:
     # -- main loop ---------------------------------------------------------
 
     def run(self, max_cycles: Optional[int] = None) -> "Processor":
-        """Simulate until the oracle stream is fully committed."""
-        limit = max_cycles or (len(self._oracle) * 30 + 20_000)
+        """Simulate until the oracle stream is fully committed.
+
+        Raises :class:`~repro.errors.DeadlockError` if the pipeline stops
+        committing (livelock) and :class:`~repro.errors.InvariantError`
+        if the opt-in per-cycle audits find inconsistent state.
+        """
+        # max_cycles=0 must mean "run zero cycles", not "use the default".
+        limit = (len(self._oracle) * 30 + 20_000) if max_cycles is None \
+            else max_cycles
+        watchdog, invariants = self.watchdog, self.invariants
         while not self._done and self.now < limit:
             self.step()
+            if watchdog is not None:
+                watchdog.observe(self)
+            if invariants is not None:
+                invariants.check(self)
         if not self._done:
             self.stats.set("sim.timeout", 1)
         self.stats.set("sim.cycles", self.now)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
 from repro.config import ProcessorConfig, frontend_config
+from repro.core.invariants import InvariantChecker
 from repro.core.processor import Processor
 from repro.core.warming import warm_processor
 from repro.emulator.machine import Machine
@@ -130,7 +131,9 @@ def run_simulation(config: Union[str, ProcessorConfig],
                    max_instructions: Optional[int] = None,
                    max_cycles: Optional[int] = None,
                    config_name: Optional[str] = None,
-                   warm: bool = True) -> SimulationResult:
+                   warm: bool = True,
+                   invariant_checks: Optional[bool] = None
+                   ) -> SimulationResult:
     """Simulate *benchmark* on the given front-end configuration.
 
     Args:
@@ -146,9 +149,20 @@ def run_simulation(config: Union[str, ProcessorConfig],
         warm: functionally warm predictors and caches with the stream
             before the timed run (steady-state methodology; see
             :mod:`repro.core.warming`).  Default True.
+        invariant_checks: force the per-cycle pipeline audits on (True)
+            or off (False); None defers to ``REPRO_INVARIANT_CHECKS``.
+            The forward-progress watchdog is independent of this flag and
+            controlled by ``REPRO_WATCHDOG_CYCLES`` (0 disables).
 
     Returns:
         A :class:`SimulationResult` with every counter the models emit.
+
+    Raises:
+        DeadlockError: the pipeline livelocked (no commits for the
+            watchdog's stall window) — a simulator bug, not a property
+            of the program.
+        InvariantError: an enabled per-cycle audit found inconsistent
+            pipeline state.
     """
     resolved_name, processor_config = _resolve_config(config)
     config_name = config_name or resolved_name
@@ -163,7 +177,12 @@ def run_simulation(config: Union[str, ProcessorConfig],
         oracle = Machine(program).run(length).stream
         bench_name = program.name
 
-    processor = Processor(processor_config, program, oracle)
+    if invariant_checks is None:
+        processor = Processor(processor_config, program, oracle)
+    else:
+        checker = InvariantChecker() if invariant_checks else None
+        processor = Processor(processor_config, program, oracle,
+                              invariants=checker)
     if warm:
         warm_processor(processor, oracle)
     processor.run(max_cycles=max_cycles)

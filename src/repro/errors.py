@@ -40,3 +40,40 @@ class SimulationError(ReproError):
     This always indicates a bug in the simulator rather than a property of
     the simulated program, so it should never be silently swallowed.
     """
+
+
+class InvariantError(SimulationError):
+    """A per-cycle pipeline audit found structurally inconsistent state.
+
+    Raised by :mod:`repro.core.invariants` with the cycle at which the
+    audit fired and a diagnostic dump of the pipeline (fragments in
+    flight, buffer occupancy, commit/oracle cursors) so the failure is
+    debuggable from the exception alone.
+    """
+
+    def __init__(self, message: str, cycle: int | None = None,
+                 dump: str | None = None):
+        self.cycle = cycle
+        self.dump = dump
+        if cycle is not None:
+            message = f"cycle {cycle}: {message}"
+        if dump:
+            message = f"{message}\n{dump}"
+        super().__init__(message)
+
+
+class DeadlockError(InvariantError):
+    """The pipeline stopped making forward progress (no-commit livelock).
+
+    Raised by the forward-progress watchdog well before the ``max_cycles``
+    safety bound, so a livelocked simulation fails loudly with a
+    cycle-stamped pipeline dump instead of silently timing out.
+    """
+
+
+class SweepError(ReproError):
+    """One or more sweep jobs failed after exhausting their retries.
+
+    Raised by :meth:`repro.experiments.runner.SweepReport.raise_failures`;
+    the per-job details live in the report's ``failures`` mapping.
+    """

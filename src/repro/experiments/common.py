@@ -19,7 +19,10 @@ Environment knobs:
   (default: the full 12-benchmark suite);
 * ``REPRO_SWEEP_WORKERS`` — worker-pool width (default: CPU count);
 * ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` — disk-cache location / kill
-  switch (see :mod:`repro.experiments.runner`).
+  switch (see :mod:`repro.experiments.runner`);
+* ``REPRO_SWEEP_RETRIES`` / ``REPRO_JOB_TIMEOUT`` /
+  ``REPRO_SWEEP_BACKOFF`` — fault-tolerance knobs for the sweep runner
+  (retries per failed job, per-job wall-clock timeout, backoff base).
 """
 
 from __future__ import annotations
@@ -81,6 +84,9 @@ def prefetch(jobs: Sequence[SweepJob],
 
     Experiments call this before their `run_cached` loops so every miss is
     computed on the worker pool instead of serially at first use.
+    Best-effort: a job that fails all its retries is simply left out of
+    the memo — the authoritative `run_cached` path re-executes it and
+    surfaces the error with full context.
     """
     run_sweep(jobs, workers=workers, memo=_result_cache)
 
@@ -88,10 +94,15 @@ def prefetch(jobs: Sequence[SweepJob],
 def run_matrix(config_names: List[str], benchmarks: List[str],
                length: int, workers: Optional[int] = None
                ) -> Dict[str, Dict[str, SimulationResult]]:
-    """Run every (config, benchmark) pair through the parallel runner."""
+    """Run every (config, benchmark) pair through the parallel runner.
+
+    Raises :class:`~repro.errors.SweepError` if any job failed after all
+    retries — the figure pipelines need a complete matrix.
+    """
     jobs = [SweepJob(config_name=name, benchmark=bench, length=length)
             for name in config_names for bench in benchmarks]
     report = run_sweep(jobs, workers=workers, memo=_result_cache)
+    report.raise_failures()
     return {name: {bench: report.results[
                        SweepJob(config_name=name, benchmark=bench,
                                 length=length)]

@@ -19,10 +19,29 @@ machinery the rest of :mod:`repro.experiments` runs on:
 * :func:`run_job` — the single-job path (disk cache + execute) that the
   in-process memo in :mod:`repro.experiments.common` layers on top of.
 
+Fault tolerance: a sweep survives individual job failures.  Each job
+gets a wall-clock timeout (``REPRO_JOB_TIMEOUT`` / ``--timeout``; a
+crashed worker whose result silently never arrives is bounded by the
+same mechanism), bounded retries with exponential backoff
+(``REPRO_SWEEP_RETRIES`` / ``--retries``, ``REPRO_SWEEP_BACKOFF``), and
+failed pool jobs are re-executed inline in the parent.  When
+``multiprocessing`` is unavailable or the pool cannot be created, the
+sweep degrades to serial execution instead of crashing.  Jobs that
+still fail after every retry become structured :class:`JobFailure`
+records on the report (``SweepReport.failures``) rather than a
+sweep-wide exception; callers that need all results call
+:meth:`SweepReport.raise_failures`.  Pools are context-managed and
+terminated on the error path, so a failing sweep never leaks or hangs
+on stuck workers.
+
 Observability: each sweep produces a :class:`SweepReport` whose
 :class:`~repro.stats.StatsCollector` carries job counts, cache hit/miss
-counters, per-job and total wall-clock timing and worker utilization;
-the same counters accumulate process-wide in :data:`SWEEP_STATS`.
+counters, per-job and total wall-clock timing, worker utilization and
+the failure/recovery counters (``sweep.retries``, ``sweep.timeouts``,
+``sweep.worker_errors``, ``sweep.failures``, ``sweep.recovered``,
+``sweep.degraded``, ``sweep.cache_corrupt``); the same counters
+accumulate process-wide in :data:`SWEEP_STATS`.  Deterministic fault
+injection for all of these paths lives in :mod:`repro.faults`.
 """
 
 from __future__ import annotations
@@ -39,7 +58,6 @@ from typing import (
     Any,
     Callable,
     Dict,
-    Iterable,
     List,
     MutableMapping,
     Optional,
@@ -47,8 +65,10 @@ from typing import (
     Tuple,
 )
 
+from repro import faults
 from repro.config import ProcessorConfig, frontend_config
 from repro.core.simulation import SimulationResult, run_simulation
+from repro.errors import SweepError
 from repro.stats import StatsCollector
 
 #: Bump whenever the cached payload format *or* anything that invalidates
@@ -61,6 +81,21 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 NO_CACHE_ENV = "REPRO_NO_CACHE"
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+RETRIES_ENV = "REPRO_SWEEP_RETRIES"
+TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
+BACKOFF_ENV = "REPRO_SWEEP_BACKOFF"
+
+#: Retries per job after its first attempt (``REPRO_SWEEP_RETRIES``).
+DEFAULT_RETRIES = 2
+
+#: Base of the exponential retry backoff, seconds (doubles per retry).
+DEFAULT_BACKOFF = 0.05
+
+#: Bounded wait for a pool result when no explicit job timeout is set.
+#: A worker that dies mid-job (OOM kill, segfault) loses its task
+#: *silently* — the pool repopulates but the result never arrives — so
+#: some bound must always exist or a single crash hangs the sweep.
+CRASH_GUARD_SECONDS = 600.0
 
 #: Process-wide accumulation of every sweep's counters (tests and the CLI
 #: read this to verify e.g. that a warm-cache sweep executed nothing).
@@ -160,6 +195,13 @@ class ResultCache:
     a human-readable description of the job, and the full result payload.
     Writes are atomic (temp file + rename) so concurrent workers and
     interrupted sweeps never leave a torn entry.
+
+    A corrupt entry (torn by a crash mid-``os.replace`` on exotic
+    filesystems, truncated by a full disk, or hand-edited) is
+    *quarantined* on load — renamed to ``<key>.json.corrupt`` and
+    counted as ``sweep.cache_corrupt`` — so the job re-executes and the
+    repaired entry is rewritten, instead of re-parsing the same broken
+    file on every run forever.
     """
 
     def __init__(self, directory: Optional[os.PathLike] = None,
@@ -174,17 +216,42 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
-    def load(self, key: str) -> Optional[SimulationResult]:
-        """The cached result for *key*, or None (miss / disabled / stale)."""
+    def load(self, key: str,
+             stats: Optional[StatsCollector] = None
+             ) -> Optional[SimulationResult]:
+        """The cached result for *key*, or None (miss / disabled / stale).
+
+        Corrupt entries are quarantined (see class docstring) and count
+        as a miss; *stats*, when given, receives the
+        ``sweep.cache_corrupt`` increment alongside :data:`SWEEP_STATS`.
+        """
         if not self.enabled:
             return None
+        path = self._path(key)
         try:
-            payload = json.loads(self._path(key).read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
             return None
-        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+        try:
+            payload = json.loads(text)
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                return None  # stale, not corrupt: a rewrite will replace it
+            return _result_from_payload(payload["result"])
+        except (ValueError, KeyError, TypeError, AttributeError):
+            self._quarantine(path, stats)
             return None
-        return _result_from_payload(payload["result"])
+
+    @staticmethod
+    def _quarantine(path: Path,
+                    stats: Optional[StatsCollector] = None) -> None:
+        quarantined = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantined)
+        except OSError:  # pragma: no cover - e.g. concurrent quarantine
+            pass
+        for collector in (stats, SWEEP_STATS):
+            if collector is not None:
+                collector.add("sweep.cache_corrupt")
 
     def store(self, key: str, job: SweepJob,
               result: SimulationResult) -> None:
@@ -196,18 +263,25 @@ class ResultCache:
             "job": job.describe(),
             "result": _result_to_payload(result),
         }
+        text = json.dumps(payload, sort_keys=True, indent=1)
+        plan = faults.active_plan()
+        if plan is not None:
+            text = plan.on_cache_write(job.describe(), text)
         path = self._path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        tmp.write_text(text)
         os.replace(tmp, path)
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry (and quarantined corpse); returns the
+        number of live entries removed."""
         removed = 0
         if self.directory.is_dir():
             for path in self.directory.glob("*.json"):
                 path.unlink()
                 removed += 1
+            for path in self.directory.glob("*.json.corrupt"):
+                path.unlink()
         return removed
 
     def __len__(self) -> int:
@@ -241,19 +315,83 @@ def _result_from_payload(payload: Dict[str, Any]) -> SimulationResult:
 # Execution
 
 
-def _execute_job(job: SweepJob) -> Tuple[Dict[str, Any], float]:
+def _execute_job(job: SweepJob,
+                 attempt: int = 0) -> Tuple[Dict[str, Any], float]:
     """Run one job (worker-side); returns (result payload, seconds).
 
     Runs in a pool worker for parallel sweeps and inline for serial ones —
     the exact same code path, which is what makes parallel output
-    bit-identical to serial.
+    bit-identical to serial.  *attempt* numbers re-executions of the same
+    job so the fault-injection plan (if any) can behave deterministically
+    across processes.
     """
+    plan = faults.active_plan()
+    if plan is not None:
+        plan.on_execute(job.describe(), attempt)
     start = time.perf_counter()
     result = run_simulation(job.build_config(), job.benchmark,
                             max_instructions=job.length,
                             config_name=job.label or job.config_name,
                             warm=job.warm)
     return _result_to_payload(result), time.perf_counter() - start
+
+
+def _pool_task(task: Tuple[SweepJob, int]) -> Tuple:
+    """Worker entry point: never raises across the pipe.
+
+    Exceptions become structured ``("error", type, message)`` outcomes so
+    one bad job cannot abort the whole ``imap``/``apply_async`` stream;
+    successes are ``("ok", payload, seconds)``.
+    """
+    job, attempt = task
+    try:
+        payload, seconds = _execute_job(job, attempt)
+        return ("ok", payload, seconds)
+    except Exception as exc:
+        return ("error", type(exc).__name__, str(exc))
+
+
+def _make_pool(workers: int) -> Optional[multiprocessing.pool.Pool]:
+    """A worker pool, or None when multiprocessing is unavailable.
+
+    Pool creation fails on platforms without working semaphores/fork
+    support (``ImportError``/``OSError``); the sweep then degrades to
+    serial in-process execution instead of crashing.
+    """
+    try:
+        return multiprocessing.Pool(workers)
+    except (ImportError, OSError, ValueError):
+        return None
+
+
+def _attempt(job: SweepJob, attempt: int,
+             timeout: Optional[float]) -> Tuple:
+    """One inline attempt at *job*; returns a structured outcome tuple.
+
+    With a timeout configured the job runs in a fresh single-worker pool
+    so a hung simulation can actually be killed (``terminate``); without
+    one — or when multiprocessing is unavailable — it runs in-process.
+    Outcomes: ``("ok", payload, seconds)``, ``("error", type, message)``
+    or ``("timeout", "TimeoutError", message)``.
+    """
+    if timeout is not None:
+        pool = _make_pool(1)
+        if pool is not None:
+            with pool:  # __exit__ terminates: a hung worker dies here
+                try:
+                    return pool.apply_async(
+                        _pool_task, ((job, attempt),)).get(timeout)
+                except multiprocessing.TimeoutError:
+                    return ("timeout", "TimeoutError",
+                            f"{job.describe()} produced no result within "
+                            f"{timeout:g}s (attempt {attempt})")
+                except Exception as exc:
+                    return ("error", type(exc).__name__, str(exc))
+    try:
+        payload, seconds = _execute_job(job, attempt)
+        return ("ok", payload, seconds)
+    except Exception as exc:
+        return ("error", type(exc).__name__, str(exc))
 
 
 def default_workers() -> int:
@@ -264,6 +402,50 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
+def default_retries() -> int:
+    """Retries per failed job: ``REPRO_SWEEP_RETRIES`` or 2."""
+    override = os.environ.get(RETRIES_ENV)
+    if override:
+        return max(0, int(override))
+    return DEFAULT_RETRIES
+
+
+def default_job_timeout() -> Optional[float]:
+    """Per-job wall-clock timeout in seconds: ``REPRO_JOB_TIMEOUT``.
+
+    Unset or 0 means no explicit timeout (pool waits are still bounded
+    by :data:`CRASH_GUARD_SECONDS` so a crashed worker cannot hang the
+    sweep forever).
+    """
+    override = os.environ.get(TIMEOUT_ENV)
+    if override:
+        value = float(override)
+        return value if value > 0 else None
+    return None
+
+
+def default_backoff() -> float:
+    """Retry backoff base in seconds: ``REPRO_SWEEP_BACKOFF`` or 0.05."""
+    override = os.environ.get(BACKOFF_ENV)
+    if override:
+        return max(0.0, float(override))
+    return DEFAULT_BACKOFF
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured record of one job that failed all of its attempts."""
+
+    job: SweepJob
+    error_type: str
+    message: str
+    attempts: int
+
+    def describe(self) -> str:
+        return (f"{self.job.describe()}: {self.error_type}: "
+                f"{self.message} (after {self.attempts} attempt(s))")
+
+
 @dataclass
 class SweepReport:
     """Results plus observability for one :func:`run_sweep` call."""
@@ -272,6 +454,8 @@ class SweepReport:
     results: Dict[SweepJob, SimulationResult]
     stats: StatsCollector = field(default_factory=StatsCollector)
     job_seconds: Dict[SweepJob, float] = field(default_factory=dict)
+    #: Jobs that failed every attempt, with the final error per job.
+    failures: Dict[SweepJob, JobFailure] = field(default_factory=dict)
 
     @property
     def executed(self) -> int:
@@ -281,6 +465,21 @@ class SweepReport:
     def cache_hits(self) -> int:
         return int(self.stats.get("sweep.memo_hits")
                    + self.stats.get("sweep.disk_hits"))
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+    def raise_failures(self) -> None:
+        """Raise :class:`~repro.errors.SweepError` if any job failed.
+
+        For callers (the figure pipelines) that need every result and
+        prefer one aggregate exception over per-job checks.
+        """
+        if self.failures:
+            details = "; ".join(f.describe() for f in self.failures.values())
+            raise SweepError(
+                f"{len(self.failures)} sweep job(s) failed: {details}")
 
     def summary(self) -> str:
         stats = self.stats
@@ -293,7 +492,16 @@ class SweepReport:
             f"wall seconds  {stats.get('sweep.wall_seconds'):.2f}",
             f"job seconds   {stats.get('sweep.exec_seconds'):.2f}",
             f"utilization   {stats.get('sweep.utilization'):.2f}",
+            f"retries       {int(stats.get('sweep.retries'))}",
+            f"timeouts      {int(stats.get('sweep.timeouts'))}",
+            f"recovered     {int(stats.get('sweep.recovered'))}",
+            f"cache corrupt {int(stats.get('sweep.cache_corrupt'))}",
+            f"failures      {len(self.failures)}",
         ]
+        if stats.get("sweep.degraded"):
+            lines.append("degraded      serial (multiprocessing unavailable)")
+        for failure in self.failures.values():
+            lines.append(f"FAILED  {failure.describe()}")
         return "sweep summary\n" + "\n".join("  " + line for line in lines)
 
 
@@ -303,7 +511,7 @@ def run_job(job: SweepJob,
     """Run one job through the disk cache (the serial, single-job path)."""
     cache = cache if cache is not None else ResultCache()
     key = job.cache_key()
-    cached = cache.load(key)
+    cached = cache.load(key, stats=stats)
     for collector in (stats, SWEEP_STATS):
         if collector is not None:
             collector.add("sweep.jobs")
@@ -326,7 +534,10 @@ def run_sweep(jobs: Sequence[SweepJob],
                                             SimulationResult]] = None,
               cache: Optional[ResultCache] = None,
               progress: Optional[Callable[[SweepJob, SimulationResult,
-                                           float], None]] = None
+                                           float], None]] = None,
+              retries: Optional[int] = None,
+              timeout: Optional[float] = None,
+              backoff: Optional[float] = None
               ) -> SweepReport:
     """Run every job, fanning cache misses out over a process pool.
 
@@ -336,13 +547,27 @@ def run_sweep(jobs: Sequence[SweepJob],
     1. *memo* — the caller's in-process L1 (e.g. the experiment-layer
        memo), consulted and updated in place when given;
     2. the on-disk :class:`ResultCache` (L2, persistent across processes);
-    3. execution — inline for one pending job or ``workers == 1``,
-       otherwise over ``multiprocessing.Pool(workers)``.
+    3. execution — inline for ``workers == 1`` (or when multiprocessing
+       is unavailable), otherwise over ``multiprocessing.Pool(workers)``.
+
+    Execution is fault tolerant: a job whose pool attempt raises, times
+    out (*timeout* seconds of wall clock waiting on its result, env
+    ``REPRO_JOB_TIMEOUT``) or loses its worker is re-attempted inline up
+    to *retries* times (env ``REPRO_SWEEP_RETRIES``) with exponential
+    backoff (*backoff* base seconds, env ``REPRO_SWEEP_BACKOFF``); a job
+    that fails every attempt becomes a :class:`JobFailure` in
+    ``report.failures`` instead of aborting the sweep.  ``timeout=0``
+    disables the explicit timeout.
     """
     start = time.perf_counter()
     stats = StatsCollector()
     report = SweepReport(jobs=list(jobs), results={}, stats=stats)
     stats.add("sweep.jobs", len(report.jobs))
+
+    retries = default_retries() if retries is None else max(0, retries)
+    timeout = default_job_timeout() if timeout is None else \
+        (timeout if timeout > 0 else None)
+    backoff = default_backoff() if backoff is None else max(0.0, backoff)
 
     cache = cache if cache is not None else ResultCache()
     unique: List[SweepJob] = []
@@ -358,7 +583,7 @@ def run_sweep(jobs: Sequence[SweepJob],
             stats.add("sweep.memo_hits")
             report.results[job] = memo[job]
             continue
-        cached = cache.load(job.cache_key())
+        cached = cache.load(job.cache_key(), stats=stats)
         if cached is not None:
             stats.add("sweep.disk_hits")
             report.results[job] = cached
@@ -372,29 +597,99 @@ def run_sweep(jobs: Sequence[SweepJob],
     stats.add("sweep.executed", len(pending))
     stats.set("sweep.workers", workers)
 
+    done: set = set()
+    attempts: Dict[SweepJob, int] = {job: 0 for job in pending}
+    last_error: Dict[SweepJob, Tuple[str, str]] = {}
+    retry_queue: List[SweepJob] = []
+
+    def merge(job: SweepJob, payload: Dict[str, Any],
+              seconds: float) -> None:
+        """Fold one successful outcome into the report (job order for
+        the pool phase, recovery order for retried jobs)."""
+        done.add(job)
+        result = _result_from_payload(payload)
+        cache.store(job.cache_key(), job, result)
+        report.results[job] = result
+        report.job_seconds[job] = seconds
+        stats.add("sweep.exec_seconds", seconds)
+        stats.maximum("sweep.max_attempts", attempts[job])
+        if memo is not None:
+            memo[job] = result
+        if progress is not None:
+            progress(job, result, seconds)
+
     if pending:
-        if workers == 1:
-            outcomes: Iterable = map(_execute_job, pending)
+        pool = _make_pool(workers) if workers > 1 else None
+        if workers > 1 and pool is None:
+            stats.set("sweep.degraded", 1)
+        if pool is None:
+            # Serial (or degraded) path: every job goes through the
+            # inline attempt loop below, first attempt included.
+            retry_queue = list(pending)
         else:
-            pool = multiprocessing.Pool(workers)
-            try:
-                # imap (ordered) keeps the merge deterministic while
-                # letting `progress` fire as jobs finish.
-                outcomes = pool.imap(_execute_job, pending)
-                outcomes = list(outcomes)
-            finally:
-                pool.close()
-                pool.join()
-        for job, (payload, seconds) in zip(pending, outcomes):
-            result = _result_from_payload(payload)
-            cache.store(job.cache_key(), job, result)
-            report.results[job] = result
-            report.job_seconds[job] = seconds
-            stats.add("sweep.exec_seconds", seconds)
-            if memo is not None:
-                memo[job] = result
-            if progress is not None:
-                progress(job, result, seconds)
+            # The pool is context-managed: __exit__ calls terminate(),
+            # so an error path (or a worker still chewing on a hung or
+            # timed-out job) cannot block in close()/join() or leak
+            # worker processes.
+            wait = timeout if timeout is not None else CRASH_GUARD_SECONDS
+            with pool:
+                handles = [(job, pool.apply_async(_pool_task, ((job, 0),)))
+                           for job in pending]
+                for job, handle in handles:
+                    attempts[job] = 1
+                    try:
+                        outcome = handle.get(wait)
+                    except multiprocessing.TimeoutError:
+                        # Either the job overran its budget or its worker
+                        # died and the result will never arrive; both are
+                        # retried inline.
+                        stats.add("sweep.timeouts" if timeout is not None
+                                  else "sweep.worker_crashes")
+                        last_error[job] = (
+                            "TimeoutError",
+                            f"no result within {wait:g}s (worker hung, "
+                            f"overloaded or crashed)")
+                        retry_queue.append(job)
+                        continue
+                    except Exception as exc:
+                        stats.add("sweep.worker_crashes")
+                        last_error[job] = (type(exc).__name__, str(exc))
+                        retry_queue.append(job)
+                        continue
+                    if outcome[0] == "ok":
+                        merge(job, outcome[1], outcome[2])
+                    else:
+                        stats.add("sweep.worker_errors")
+                        last_error[job] = (outcome[1], outcome[2])
+                        retry_queue.append(job)
+
+    # Inline (re-)execution: first attempts on the serial path, recovery
+    # attempts for everything the pool could not finish.
+    for job in retry_queue:
+        while job not in done and attempts[job] <= retries:
+            n = attempts[job]
+            if n:  # a retry, not a first attempt
+                stats.add("sweep.retries")
+                delay = backoff * (2 ** (n - 1))
+                if delay > 0:
+                    time.sleep(delay)
+            attempts[job] = n + 1
+            outcome = _attempt(job, n, timeout)
+            if outcome[0] == "ok":
+                if n:
+                    stats.add("sweep.recovered")
+                merge(job, outcome[1], outcome[2])
+            else:
+                stats.add("sweep.timeouts" if outcome[0] == "timeout"
+                          else "sweep.worker_errors")
+                last_error[job] = (outcome[1], outcome[2])
+        if job not in done:
+            error_type, message = last_error.get(
+                job, ("UnknownError", "no attempt recorded"))
+            report.failures[job] = JobFailure(
+                job=job, error_type=error_type, message=message,
+                attempts=attempts[job])
+            stats.add("sweep.failures")
 
     wall = time.perf_counter() - start
     stats.set("sweep.wall_seconds", wall)
@@ -419,11 +714,10 @@ def parallel_map(fn: Callable, items: Sequence,
     items = list(items)
     workers = workers if workers is not None else default_workers()
     workers = max(1, min(workers, len(items)) if items else 1)
-    if workers == 1:
+    pool = _make_pool(workers) if workers > 1 else None
+    if pool is None:
         return [fn(item) for item in items]
-    pool = multiprocessing.Pool(workers)
-    try:
+    # Context-managed: terminate() on exit, so an exception mid-map
+    # cannot hang in close()/join() behind unfinished jobs.
+    with pool:
         return pool.map(fn, items)
-    finally:
-        pool.close()
-        pool.join()

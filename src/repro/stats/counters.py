@@ -30,6 +30,17 @@ class StatsCollector:
         """Set counter *name* to an absolute value."""
         self._counters[name] = value
 
+    def maximum(self, name: str, value: float) -> None:
+        """Raise counter *name* to *value* if it is currently lower.
+
+        Used for high-water marks (e.g. the sweep runner's worst-case
+        attempt count) that must survive :meth:`merge` sensibly — merging
+        adds, so high-water marks should be read per collection; this
+        helper just keeps the update race-free and self-documenting.
+        """
+        if value > self._counters.get(name, float("-inf")):
+            self._counters[name] = value
+
     def get(self, name: str) -> float:
         """Current value of *name* (0 if never touched)."""
         return self._counters.get(name, 0.0)

@@ -1,0 +1,148 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import (
+    FAULTS_ENV,
+    FaultPlan,
+    FaultSpec,
+    FaultSpecError,
+    InjectedFault,
+    active_plan,
+    install,
+    uninstall,
+)
+
+
+class TestParsing:
+    def test_parse_single_directive(self):
+        plan = FaultPlan.parse("worker_exception match=gzip attempts=0")
+        assert len(plan.specs) == 1
+        spec = plan.specs[0]
+        assert spec.kind == "worker_exception"
+        assert spec.match == "gzip"
+        assert spec.attempts == frozenset({0})
+
+    def test_parse_multiple_directives(self):
+        plan = FaultPlan.parse(
+            "worker_exception match=gzip; "
+            "slow_job seconds=0.25 attempts=*; "
+            "truncated_write keep=0.3")
+        kinds = [spec.kind for spec in plan.specs]
+        assert kinds == ["worker_exception", "slow_job", "truncated_write"]
+        assert plan.specs[1].attempts is None
+        assert plan.specs[1].seconds == 0.25
+        assert plan.specs[2].keep == 0.3
+
+    def test_parse_attempt_list(self):
+        plan = FaultPlan.parse("worker_exception attempts=0,2")
+        assert plan.specs[0].attempts == frozenset({0, 2})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse("explode match=gzip")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse("slow_job minutes=5")
+
+    def test_malformed_option_rejected(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse("slow_job seconds")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse("slow_job seconds=fast")
+
+    def test_injected_fault_is_a_repro_error(self):
+        assert issubclass(InjectedFault, ReproError)
+
+
+class TestMatching:
+    def test_match_substring_and_attempts(self):
+        spec = FaultSpec(kind="worker_exception", match="gzip",
+                         attempts=frozenset({0}))
+        assert spec.applies("w16/gzip/n=1500", 0)
+        assert not spec.applies("w16/gzip/n=1500", 1)
+        assert not spec.applies("w16/mcf/n=1500", 0)
+
+    def test_attempts_wildcard(self):
+        spec = FaultSpec(kind="worker_exception", attempts=None)
+        for attempt in range(5):
+            assert spec.applies("anything", attempt)
+
+    def test_seeded_rate_is_deterministic_and_partial(self):
+        spec = FaultSpec(kind="worker_exception", rate=0.5, seed=7)
+        jobs = [f"w16/bench{i}/n=1000" for i in range(200)]
+        first = [spec.applies(job, 0) for job in jobs]
+        second = [spec.applies(job, 0) for job in jobs]
+        assert first == second, "seeded selection must be deterministic"
+        hits = sum(first)
+        assert 40 < hits < 160, f"rate=0.5 selected {hits}/200"
+
+    def test_different_seeds_select_differently(self):
+        a = FaultSpec(kind="worker_exception", rate=0.5, seed=1)
+        b = FaultSpec(kind="worker_exception", rate=0.5, seed=2)
+        jobs = [f"bench{i}" for i in range(100)]
+        assert [a.applies(j, 0) for j in jobs] != \
+            [b.applies(j, 0) for j in jobs]
+
+    def test_rate_extremes(self):
+        never = FaultSpec(kind="worker_exception", rate=0.0)
+        always = FaultSpec(kind="worker_exception", rate=1.0)
+        assert not never.applies("job", 0)
+        assert always.applies("job", 0)
+
+
+class TestInjection:
+    def test_worker_exception_raises(self):
+        plan = FaultPlan.parse("worker_exception match=gzip attempts=0")
+        with pytest.raises(InjectedFault):
+            plan.on_execute("w16/gzip/n=1500", 0)
+        plan.on_execute("w16/gzip/n=1500", 1)  # retry passes
+        plan.on_execute("w16/mcf/n=1500", 0)   # other jobs untouched
+
+    def test_slow_job_sleeps(self):
+        import time
+        plan = FaultPlan.parse("slow_job seconds=0.05 attempts=0")
+        start = time.perf_counter()
+        plan.on_execute("w16/gzip/n=1500", 0)
+        assert time.perf_counter() - start >= 0.05
+
+    def test_truncated_write_mutates_payload(self):
+        plan = FaultPlan.parse("truncated_write keep=0.5")
+        text = "x" * 100
+        assert plan.on_cache_write("job", text) == "x" * 50
+        clean = FaultPlan.parse("worker_exception match=other")
+        assert clean.on_cache_write("job", text) == text
+
+
+class TestEnvPlumbing:
+    def test_no_env_means_no_plan(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert active_plan() is None
+
+    def test_env_round_trip(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "worker_exception match=abc")
+        plan = active_plan()
+        assert plan is not None and plan.specs[0].match == "abc"
+        monkeypatch.setenv(FAULTS_ENV, "worker_exception match=xyz")
+        plan = active_plan()
+        assert plan is not None and plan.specs[0].match == "xyz"
+
+    def test_install_uninstall(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        install("slow_job seconds=0.1")
+        try:
+            plan = active_plan()
+            assert plan is not None and plan.specs[0].kind == "slow_job"
+        finally:
+            uninstall()
+        assert active_plan() is None
+
+    def test_install_validates_before_exporting(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        with pytest.raises(FaultSpecError):
+            install("not_a_fault")
+        assert active_plan() is None

@@ -138,6 +138,17 @@ def test_max_cycles_timeout_flag():
     assert result.cycles == 50
 
 
+def test_max_cycles_zero_runs_zero_cycles():
+    """Regression: max_cycles=0 used to fall through the falsy-default
+    (`max_cycles or ...`) to the full cycle budget; it must mean
+    "simulate zero cycles", exactly like max_instructions=0."""
+    result = run_simulation("w16", "gzip", max_instructions=3000,
+                            max_cycles=0)
+    assert result.cycles == 0
+    assert result.committed == 0
+    assert result.timed_out
+
+
 def test_no_livelock_under_heavy_icache_thrash():
     """Regression: under extreme I-cache pressure a fragment's miss data
     must be consumed via fill bypass even if the line is re-evicted while

@@ -1,14 +1,21 @@
 """Tests for the parallel sweep runner and its persistent result cache."""
 
 import json
+import multiprocessing
 
 import pytest
 
+from repro import faults
 from repro.core.simulation import SimulationResult
+from repro.errors import SweepError
 from repro.experiments.runner import (
     CACHE_SCHEMA_VERSION,
+    JobFailure,
     ResultCache,
     SweepJob,
+    default_backoff,
+    default_job_timeout,
+    default_retries,
     default_workers,
     parallel_map,
     run_job,
@@ -16,6 +23,12 @@ from repro.experiments.runner import (
 )
 
 LENGTH = 1500
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_faults(monkeypatch):
+    """Keep every test hermetic against an inherited REPRO_FAULTS."""
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
 
 
 def make_result(**kwargs):
@@ -112,6 +125,45 @@ class TestResultCache:
         (tmp_path / "k1.json").write_text("{not json")
         assert ResultCache(tmp_path, enabled=True).load("k1") is None
 
+    def test_corrupt_entry_is_quarantined(self, tmp_path):
+        """A broken entry must be renamed aside (and counted), not left
+        in place to be re-parsed unsuccessfully on every future run."""
+        from repro.stats import StatsCollector
+        (tmp_path / "k1.json").write_text("{not json")
+        cache = ResultCache(tmp_path, enabled=True)
+        stats = StatsCollector()
+        assert cache.load("k1", stats=stats) is None
+        assert not (tmp_path / "k1.json").exists()
+        assert (tmp_path / "k1.json.corrupt").read_text() == "{not json"
+        assert stats.get("sweep.cache_corrupt") == 1
+        # The slot is reusable: a fresh store round-trips again.
+        result = make_result()
+        cache.store("k1", SweepJob("w16", "gzip", LENGTH), result)
+        assert cache.load("k1") == result
+
+    def test_missing_result_keys_are_corrupt(self, tmp_path):
+        payload = {"schema": CACHE_SCHEMA_VERSION, "result": {}}
+        (tmp_path / "k1.json").write_text(json.dumps(payload))
+        assert ResultCache(tmp_path, enabled=True).load("k1") is None
+        assert (tmp_path / "k1.json.corrupt").exists()
+
+    def test_schema_mismatch_is_not_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        cache.store("k1", SweepJob("w16", "gzip", LENGTH), make_result())
+        payload = json.loads((tmp_path / "k1.json").read_text())
+        payload["schema"] = CACHE_SCHEMA_VERSION + 1
+        (tmp_path / "k1.json").write_text(json.dumps(payload))
+        assert cache.load("k1") is None
+        assert (tmp_path / "k1.json").exists()  # stale, not corrupt
+
+    def test_clear_removes_quarantined_files(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=True)
+        cache.store("k1", SweepJob("w16", "gzip", LENGTH), make_result())
+        (tmp_path / "k2.json").write_text("{broken")
+        assert cache.load("k2") is None
+        assert cache.clear() == 1
+        assert list(tmp_path.iterdir()) == []
+
     def test_clear(self, tmp_path):
         cache = ResultCache(tmp_path, enabled=True)
         cache.store("k1", SweepJob("w16", "gzip", LENGTH), make_result())
@@ -195,12 +247,186 @@ class TestRunSweep:
         assert report.results == {} and report.executed == 0
 
 
+class TestFaultTolerance:
+    """Every recovery path of the fault-tolerant runner, exercised via
+    the deterministic fault-injection harness in repro.faults."""
+
+    JOBS = [SweepJob("w16", bench, LENGTH) for bench in ("gzip", "mcf")]
+
+    def test_worker_exception_recovers_inline(self, tmp_path, monkeypatch):
+        """A job that blows up in its pool worker is re-executed inline
+        and the sweep still produces every result."""
+        monkeypatch.setenv(faults.FAULTS_ENV,
+                           "worker_exception match=gzip attempts=0")
+        report = run_sweep(self.JOBS, workers=2, backoff=0.0,
+                           cache=ResultCache(tmp_path, enabled=True))
+        assert not report.failures
+        assert len(report.results) == len(self.JOBS)
+        assert int(report.stats.get("sweep.retries")) >= 1
+        assert int(report.stats.get("sweep.recovered")) == 1
+        assert int(report.stats.get("sweep.worker_errors")) >= 1
+
+    def test_recovered_results_match_clean_run(self, tmp_path, monkeypatch):
+        clean = run_sweep(self.JOBS, workers=1,
+                          cache=ResultCache(tmp_path / "clean",
+                                            enabled=True))
+        monkeypatch.setenv(faults.FAULTS_ENV,
+                           "worker_exception match=w16 attempts=0")
+        faulty = run_sweep(self.JOBS, workers=2, backoff=0.0,
+                           cache=ResultCache(tmp_path / "faulty",
+                                             enabled=True))
+        assert not faulty.failures
+        for job in self.JOBS:
+            assert faulty.results[job] == clean.results[job]
+
+    def test_persistent_failure_is_structured(self, tmp_path, monkeypatch):
+        """A job failing every attempt becomes a JobFailure record, not a
+        sweep-wide crash; the other jobs still succeed."""
+        monkeypatch.setenv(faults.FAULTS_ENV,
+                           "worker_exception match=gzip attempts=*")
+        report = run_sweep(self.JOBS, workers=2, retries=1, backoff=0.0,
+                           cache=ResultCache(tmp_path, enabled=True))
+        assert len(report.results) == 1
+        assert len(report.failures) == 1
+        failure = report.failures[self.JOBS[0]]
+        assert isinstance(failure, JobFailure)
+        assert failure.error_type == "InjectedFault"
+        assert failure.attempts == 2  # first attempt + one retry
+        assert "gzip" in failure.describe()
+        assert int(report.stats.get("sweep.failures")) == 1
+        with pytest.raises(SweepError, match="InjectedFault"):
+            report.raise_failures()
+
+    def test_timeout_then_retry_succeeds(self, tmp_path, monkeypatch):
+        """A job that overruns its wall-clock budget on the first attempt
+        is killed and retried; the retry (not slowed) succeeds."""
+        monkeypatch.setenv(faults.FAULTS_ENV,
+                           "slow_job match=gzip seconds=30 attempts=0")
+        report = run_sweep(self.JOBS, workers=2, timeout=4.0, backoff=0.0,
+                           cache=ResultCache(tmp_path, enabled=True))
+        assert not report.failures
+        assert len(report.results) == len(self.JOBS)
+        assert int(report.stats.get("sweep.timeouts")) >= 1
+        assert int(report.stats.get("sweep.recovered")) == 1
+
+    def test_persistent_timeout_is_structured_failure(self, tmp_path,
+                                                      monkeypatch):
+        """slow on every attempt -> retries also time out -> JobFailure
+        with TimeoutError, and the sweep itself never hangs."""
+        monkeypatch.setenv(faults.FAULTS_ENV,
+                           "slow_job match=gzip seconds=30 attempts=*")
+        report = run_sweep(self.JOBS, workers=2, retries=1, timeout=2.0,
+                           backoff=0.0,
+                           cache=ResultCache(tmp_path, enabled=True))
+        assert len(report.failures) == 1
+        failure = report.failures[self.JOBS[0]]
+        assert failure.error_type == "TimeoutError"
+        assert report.results[self.JOBS[1]] is not None
+
+    def test_worker_crash_recovers_inline(self, tmp_path, monkeypatch):
+        """A worker that dies mid-job (os._exit) loses its task silently;
+        the bounded wait notices and the job re-executes inline."""
+        monkeypatch.setenv(faults.FAULTS_ENV,
+                           "worker_crash match=mcf attempts=0")
+        report = run_sweep(self.JOBS, workers=2, timeout=6.0, backoff=0.0,
+                           cache=ResultCache(tmp_path, enabled=True))
+        assert not report.failures
+        assert len(report.results) == len(self.JOBS)
+        assert int(report.stats.get("sweep.recovered")) == 1
+
+    def test_corrupt_cache_entry_quarantined_and_reexecuted(
+            self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path, enabled=True)
+        first = run_sweep(self.JOBS, workers=1, cache=cache)
+        corrupted = faults.corrupt_entry(cache, self.JOBS[0])
+        assert corrupted is not None
+        second = run_sweep(self.JOBS, workers=1, cache=cache)
+        assert not second.failures
+        assert second.executed == 1  # only the corrupt entry re-executes
+        assert int(second.stats.get("sweep.disk_hits")) == 1
+        assert int(second.stats.get("sweep.cache_corrupt")) == 1
+        assert second.results[self.JOBS[0]] == first.results[self.JOBS[0]]
+        assert corrupted.with_name(corrupted.name + ".corrupt").exists()
+
+    def test_truncated_cache_write_heals_on_next_sweep(self, tmp_path,
+                                                       monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "truncated_write match=gzip")
+        cache = ResultCache(tmp_path, enabled=True)
+        run_sweep(self.JOBS, workers=1, cache=cache)
+        monkeypatch.delenv(faults.FAULTS_ENV)
+        report = run_sweep(self.JOBS, workers=1, cache=cache)
+        assert not report.failures
+        assert report.executed == 1  # the truncated entry re-executed
+        assert int(report.stats.get("sweep.cache_corrupt")) == 1
+        # Healed: a third sweep is all disk hits.
+        third = run_sweep(self.JOBS, workers=1, cache=cache)
+        assert third.executed == 0
+
+    def test_degrades_to_serial_without_multiprocessing(self, tmp_path,
+                                                        monkeypatch):
+        """When no pool can be created the sweep runs serial inline
+        instead of crashing."""
+        from repro.experiments import runner as runner_mod
+        monkeypatch.setattr(runner_mod, "_make_pool", lambda workers: None)
+        report = run_sweep(self.JOBS, workers=2,
+                           cache=ResultCache(tmp_path, enabled=True))
+        assert not report.failures
+        assert len(report.results) == len(self.JOBS)
+        assert int(report.stats.get("sweep.degraded")) == 1
+
+    def test_no_worker_processes_leak(self, tmp_path, monkeypatch):
+        """After a sweep with hung (timed-out) jobs, every pool process
+        must be gone — terminate() on the error path, no zombies."""
+        import time
+        monkeypatch.setenv(faults.FAULTS_ENV,
+                           "slow_job match=gzip seconds=60 attempts=*")
+        report = run_sweep(self.JOBS, workers=2, retries=0, timeout=2.0,
+                           backoff=0.0,
+                           cache=ResultCache(tmp_path, enabled=True))
+        assert len(report.failures) == 1
+        deadline = time.time() + 10
+        while multiprocessing.active_children() and time.time() < deadline:
+            time.sleep(0.1)
+        assert not multiprocessing.active_children()
+
+    def test_failed_jobs_keep_report_order_and_summary(self, tmp_path,
+                                                       monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV,
+                           "worker_exception match=gzip attempts=*")
+        report = run_sweep(self.JOBS, workers=1, retries=0, backoff=0.0,
+                           cache=ResultCache(tmp_path, enabled=True))
+        summary = report.summary()
+        assert "failures      1" in summary
+        assert "FAILED" in summary and "InjectedFault" in summary
+        assert report.failed == 1
+
+
 class TestHelpers:
     def test_default_workers_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
         assert default_workers() == 3
         monkeypatch.delenv("REPRO_SWEEP_WORKERS")
         assert default_workers() >= 1
+
+    def test_default_retries_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_RETRIES", "5")
+        assert default_retries() == 5
+        monkeypatch.delenv("REPRO_SWEEP_RETRIES")
+        assert default_retries() == 2
+
+    def test_default_timeout_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOB_TIMEOUT", raising=False)
+        assert default_job_timeout() is None
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "12.5")
+        assert default_job_timeout() == 12.5
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "0")
+        assert default_job_timeout() is None
+
+    def test_default_backoff_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_BACKOFF", "0.25")
+        assert default_backoff() == 0.25
+        monkeypatch.delenv("REPRO_SWEEP_BACKOFF")
+        assert default_backoff() == 0.05
 
     def test_parallel_map_preserves_order(self):
         items = list(range(20))
