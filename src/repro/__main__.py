@@ -3,16 +3,25 @@
 Subcommands:
 
 * ``run`` — simulate one (front-end, benchmark) pair and print metrics;
+  ``--pipeview[=N]`` renders the classic pipeline diagram of the last N
+  committed instructions, ``--sample N`` prints cycle-sampled gauge
+  summaries, ``--json`` emits the result as JSON;
 * ``compare`` — run several front-ends on one benchmark side by side;
 * ``figure`` — regenerate one of the paper's tables/figures;
 * ``sweep`` — run a (configs x benchmarks) matrix on the parallel runner
-  with the persistent result cache, printing progress and a summary;
+  with the persistent result cache, printing progress and a summary
+  (``--json`` for machine-readable output);
+* ``trace`` — record a fragment-lifecycle event trace and export it as
+  Chrome trace-event JSON for Perfetto / ``chrome://tracing``;
+* ``profile`` — attribute the simulator's own wall-clock to pipeline
+  phases (self-profiling);
 * ``bench-info`` — show the synthetic suite's characteristics (Table 2).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import PAPER_CONFIGS, run_simulation
@@ -40,13 +49,68 @@ def _result_row(result):
             result.rename_rate, result.slot_utilization, result.cycles]
 
 
+def _result_payload(result):
+    """A SimulationResult as a JSON-ready dict (``--json`` output)."""
+    return {
+        "benchmark": result.benchmark,
+        "config": result.config_name,
+        "cycles": result.cycles,
+        "committed": result.committed,
+        "ipc": result.ipc,
+        "fetch_rate": result.fetch_rate,
+        "rename_rate": result.rename_rate,
+        "slot_utilization": result.slot_utilization,
+        "counters": dict(result.counters),
+    }
+
+
+def _make_observability(args: argparse.Namespace):
+    """An Observability bundle for the run-style commands, or None.
+
+    Built only when a CLI knob asks for it, so a plain ``repro run``
+    still lets ``run_simulation`` consult the ``REPRO_OBS_*``
+    environment (its default behaviour when *observability* is None).
+    """
+    sample = getattr(args, "sample", None)
+    if not sample:
+        return None
+    from repro.config import ObservabilityConfig
+    from repro.obs import Observability
+    return Observability(ObservabilityConfig(sample_interval=sample))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.trace import (
+        UopTrace,
+        format_pipeview,
+        pipeline_summary,
+    )
+
+    obs = _make_observability(args)
+    uop_log = [] if args.pipeview is not None else None
     result = run_simulation(args.config, args.benchmark,
                             max_instructions=args.instructions,
-                            warm=not args.cold)
+                            warm=not args.cold, observability=obs,
+                            uop_log=uop_log)
+    traces = ([UopTrace.from_uop(uop) for uop in uop_log]
+              if uop_log is not None else [])
+    if args.json:
+        payload = _result_payload(result)
+        if traces:
+            payload["pipeline"] = pipeline_summary(traces)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(format_table(
         ["front-end", "IPC", "fetch/cyc", "rename/cyc", "util", "cycles"],
         [_result_row(result)]))
+    if obs is not None and obs.metrics is not None:
+        print()
+        print(obs.metrics.summary_text())
+    if args.pipeview is not None:
+        print()
+        count = args.pipeview
+        start = max(0, len(traces) - count)
+        print(format_pipeview(traces, start=start, count=count))
     if args.counters:
         print()
         for name, value in sorted(result.counters.items()):
@@ -92,15 +156,28 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             for config in args.configs for bench in benchmarks]
 
     done = [0]
+    # Progress goes to stderr under --json so stdout stays parseable.
+    progress_out = sys.stderr if args.json else sys.stdout
 
     def progress(job, result, seconds):
         done[0] += 1
         print(f"  [{done[0]}/{len(jobs)}] {job.describe():40} "
-              f"IPC={result.ipc:.2f}  ({seconds:.1f}s)", flush=True)
+              f"IPC={result.ipc:.2f}  ({seconds:.1f}s)",
+              flush=True, file=progress_out)
 
     report = run_sweep(jobs, workers=args.workers, cache=cache,
                        progress=progress, retries=args.retries,
                        timeout=args.timeout)
+    if args.json:
+        payload = {
+            "results": [_result_payload(result)
+                        for job, result in report.results.items()],
+            "failures": [failure.describe()
+                         for failure in report.failures.values()],
+            "summary": report.stats.as_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if report.failures else 0
     rows = []
     for config in args.configs:
         for bench in benchmarks:
@@ -122,6 +199,58 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print()
     print(report.summary())
     return 1 if report.failures else 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.config import ObservabilityConfig, frontend_config
+    from repro.obs import Observability, validate_chrome_trace
+
+    obs = Observability(ObservabilityConfig(
+        trace=True, trace_limit=args.limit,
+        sample_interval=args.sample or 0))
+    result = run_simulation(args.config, args.benchmark,
+                            max_instructions=args.instructions,
+                            warm=not args.cold, observability=obs)
+    sequencers = frontend_config(args.config).frontend.sequencers
+    payload = obs.export_trace(
+        args.output, process_name=f"{args.config}/{args.benchmark}",
+        sequencers=sequencers)
+    events = validate_chrome_trace(payload)
+    print(format_table(
+        ["front-end", "IPC", "fetch/cyc", "rename/cyc", "util", "cycles"],
+        [_result_row(result)]))
+    print()
+    print(f"wrote {args.output}: {events} trace events "
+          f"({obs.tracer.dropped} dropped at the {args.limit} cap)")
+    print("load it in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.config import ObservabilityConfig
+    from repro.obs import Observability
+
+    obs = Observability(ObservabilityConfig(
+        profile=True, sample_interval=args.sample or 0))
+    result = run_simulation(args.config, args.benchmark,
+                            max_instructions=args.instructions,
+                            warm=not args.cold, observability=obs)
+    if args.json:
+        payload = _result_payload(result)
+        payload["profile"] = obs.profiler.as_dict()
+        if obs.metrics is not None:
+            payload["metrics"] = obs.metrics.as_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(format_table(
+        ["front-end", "IPC", "fetch/cyc", "rename/cyc", "util", "cycles"],
+        [_result_row(result)]))
+    print()
+    print(obs.profiler.report())
+    if obs.metrics is not None:
+        print()
+        print(obs.metrics.summary_text())
+    return 0
 
 
 def cmd_bench_info(args: argparse.Namespace) -> int:
@@ -154,6 +283,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip functional warming")
     run_p.add_argument("--counters", action="store_true",
                        help="dump every raw counter")
+    run_p.add_argument("--pipeview", nargs="?", type=int, const=32,
+                       default=None, metavar="N",
+                       help="render the pipeline diagram of the last N "
+                            "committed instructions (default 32)")
+    run_p.add_argument("--sample", type=int, default=None, metavar="N",
+                       help="sample pipeline gauges every N cycles and "
+                            "print the time-series summary")
+    run_p.add_argument("--json", action="store_true",
+                       help="emit the result as JSON")
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="compare front-ends")
@@ -191,7 +329,44 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-job wall-clock timeout in seconds; "
                               "0 disables "
                               "(default: REPRO_JOB_TIMEOUT or none)")
+    sweep_p.add_argument("--json", action="store_true",
+                         help="emit results and summary as JSON "
+                              "(progress goes to stderr)")
     sweep_p.set_defaults(func=cmd_sweep)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="record a Perfetto-compatible pipeline event trace")
+    trace_p.add_argument("config", choices=ALL_CONFIGS)
+    trace_p.add_argument("benchmark")
+    trace_p.add_argument("-n", "--instructions", type=int, default=2000,
+                         help="instructions to simulate (default 2000; "
+                              "traces grow fast)")
+    trace_p.add_argument("-o", "--output", default="repro-trace.json",
+                         help="trace file path (default repro-trace.json)")
+    trace_p.add_argument("--limit", type=int, default=200_000,
+                         help="maximum trace events (default 200000)")
+    trace_p.add_argument("--sample", type=int, default=None, metavar="N",
+                         help="also record gauge counter tracks every "
+                              "N cycles")
+    trace_p.add_argument("--cold", action="store_true",
+                         help="skip functional warming")
+    trace_p.set_defaults(func=cmd_trace)
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="attribute simulator wall-clock to pipeline phases")
+    prof_p.add_argument("config", choices=ALL_CONFIGS)
+    prof_p.add_argument("benchmark")
+    prof_p.add_argument("-n", "--instructions", type=int, default=None)
+    prof_p.add_argument("--sample", type=int, default=None, metavar="N",
+                        help="also sample pipeline gauges every N cycles")
+    prof_p.add_argument("--cold", action="store_true",
+                        help="skip functional warming")
+    prof_p.add_argument("--json", action="store_true",
+                        help="emit the result, profile and metrics as "
+                             "JSON")
+    prof_p.set_defaults(func=cmd_profile)
 
     info_p = sub.add_parser("bench-info",
                             help="synthetic suite characteristics")

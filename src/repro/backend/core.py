@@ -80,6 +80,11 @@ class OutOfOrderCore:
     def window_free(self) -> int:
         return self.config.window_size - self._reserved
 
+    @property
+    def window_used(self) -> int:
+        """Reserved window entries (the ROB-fill observability gauge)."""
+        return self._reserved
+
     def reserve(self, count: int, fragment_seq: int) -> bool:
         """Reserve *count* window entries for a fragment."""
         if count > self.window_free:

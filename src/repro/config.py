@@ -20,6 +20,7 @@ Named front-end configurations (``w16``, ``tc``, ``tc2x``, ``pf-2x8w``,
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -260,6 +261,70 @@ class BackEndConfig:
         _positive("issue width", self.issue_width)
         if self.dispatch_latency < 0:
             raise ConfigError("dispatch latency cannot be negative")
+
+
+#: Environment knobs for :class:`ObservabilityConfig.from_env`.
+OBS_SAMPLE_ENV = "REPRO_OBS_SAMPLE"
+OBS_RING_ENV = "REPRO_OBS_RING"
+OBS_TRACE_ENV = "REPRO_OBS_TRACE"
+OBS_TRACE_LIMIT_ENV = "REPRO_OBS_TRACE_LIMIT"
+OBS_PROFILE_ENV = "REPRO_OBS_PROFILE"
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Opt-in observability for one simulation (:mod:`repro.obs`).
+
+    Deliberately *not* part of :class:`ProcessorConfig`: observability
+    never changes simulated behaviour, so it must not perturb result
+    identity or the sweep runner's content-addressed cache keys.
+    Everything defaults to off; the default path costs nothing.
+    """
+
+    #: Sample gauges every N cycles into ring-buffered time series
+    #: (0 disables the metrics recorder).
+    sample_interval: int = 0
+    #: Samples retained per time series (older samples are evicted but
+    #: stay in the running min/mean/max/histogram summaries).
+    ring_capacity: int = 4096
+    #: Record pipeline lifecycle events for Chrome/Perfetto export.
+    trace: bool = False
+    #: Drop events beyond this count (counted in ``obs.trace.dropped``).
+    trace_limit: int = 200_000
+    #: Write the exported trace here when the simulation finishes
+    #: (implies ``trace``); how ``REPRO_OBS_TRACE=t.json repro run ...``
+    #: works without touching the CLI.
+    trace_path: Optional[str] = None
+    #: Attribute simulator wall-clock to pipeline phases.
+    profile: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sample_interval < 0:
+            raise ConfigError("sample interval cannot be negative")
+        _positive("ring capacity", self.ring_capacity)
+        _positive("trace event limit", self.trace_limit)
+        if self.trace_path and not self.trace:
+            object.__setattr__(self, "trace", True)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.sample_interval or self.trace or self.profile)
+
+    @classmethod
+    def from_env(cls) -> "ObservabilityConfig":
+        """Build from ``REPRO_OBS_*`` (all unset means disabled)."""
+        trace_value = os.environ.get(OBS_TRACE_ENV, "")
+        truthy = trace_value.lower() in ("1", "true", "yes", "on")
+        return cls(
+            sample_interval=int(os.environ.get(OBS_SAMPLE_ENV, 0) or 0),
+            ring_capacity=int(
+                os.environ.get(OBS_RING_ENV, 0) or 0) or 4096,
+            trace=bool(trace_value),
+            trace_limit=int(
+                os.environ.get(OBS_TRACE_LIMIT_ENV, 0) or 0) or 200_000,
+            trace_path=None if (truthy or not trace_value) else trace_value,
+            profile=bool(os.environ.get(OBS_PROFILE_ENV)),
+        )
 
 
 @dataclass(frozen=True)

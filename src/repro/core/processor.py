@@ -22,7 +22,11 @@ exactly the mis-speculation window, as in an execution-driven simulator.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+    from repro.obs.profiling import PhaseProfiler
 
 from repro.config import ProcessorConfig
 from repro.core.invariants import InvariantChecker, PipelineWatchdog
@@ -61,10 +65,15 @@ class Processor:
 
     def __init__(self, config: ProcessorConfig, program: Program,
                  oracle: List[DynamicInstruction],
-                 watchdog=_FROM_ENV, invariants=_FROM_ENV):
+                 watchdog=_FROM_ENV, invariants=_FROM_ENV,
+                 obs: Optional["Observability"] = None):
         self.config = config
         self.program = program
         self.stats = StatsCollector()
+
+        #: Opt-in observability (see :mod:`repro.obs`); None = disabled.
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else None
 
         if config.frontend.fragment_buffer_size < config.fragment.max_length:
             raise ConfigError(
@@ -162,16 +171,35 @@ class Processor:
         limit = (len(self._oracle) * 30 + 20_000) if max_cycles is None \
             else max_cycles
         watchdog, invariants = self.watchdog, self.invariants
-        while not self._done and self.now < limit:
-            self.step()
-            if watchdog is not None:
-                watchdog.observe(self)
-            if invariants is not None:
-                invariants.check(self)
+        obs = self.obs
+        metrics = obs.metrics if obs is not None else None
+        profiler = obs.profiler if obs is not None else None
+        if profiler is None:
+            while not self._done and self.now < limit:
+                self.step()
+                if metrics is not None:
+                    metrics.maybe_sample(self)
+                if watchdog is not None:
+                    watchdog.observe(self)
+                if invariants is not None:
+                    invariants.check(self)
+        else:
+            while not self._done and self.now < limit:
+                self._step_profiled(profiler)
+                t0 = profiler.start()
+                if metrics is not None:
+                    metrics.maybe_sample(self)
+                if watchdog is not None:
+                    watchdog.observe(self)
+                if invariants is not None:
+                    invariants.check(self)
+                profiler.stop("observe", t0)
         if not self._done:
             self.stats.set("sim.timeout", 1)
         self.stats.set("sim.cycles", self.now)
         self.stats.set("sim.committed", self._committed)
+        if obs is not None:
+            obs.finalize(self)
         return self
 
     def step(self) -> None:
@@ -201,6 +229,46 @@ class Processor:
         self._release_renamed_buffers()
         self._fetch()
 
+    def _step_profiled(self, prof: "PhaseProfiler") -> None:
+        """:meth:`step` with per-phase wall-clock attribution.
+
+        A verbatim copy of :meth:`step` bracketed with profiler probes —
+        the default path must contain no timing calls at all, and the
+        parity test in tests/test_obs.py fails if the two ever diverge.
+        """
+        self.now += 1
+        t0 = prof.start()
+        completed = self.core.cycle(self.now)
+        self._handle_completions(completed)
+        prof.stop("execute", t0)
+        t0 = prof.start()
+        self._commit()
+        prof.stop("commit", t0)
+        t0 = prof.start()
+        renamed = self.renamer.cycle(self.now, self.fragments,
+                                     self._make_uop)
+        if renamed:
+            wrong = sum(1 for u in renamed if u.record is None)
+            if wrong:
+                self.stats.add("rename.wrongpath_insts", wrong)
+            self.core.dispatch(renamed, self.now)
+        if self.config.frontend.liveout_recovery == "squash":
+            mispredict = getattr(self.renamer,
+                                 "pending_liveout_mispredict", None)
+            if mispredict is not None:
+                self._liveout_squash(mispredict)
+        else:
+            for mispredict in getattr(self.renamer,
+                                      "pending_liveout_mispredicts", ()):
+                self._pending_reexec.add(mispredict.seq)
+        if self._pending_reexec:
+            self._drain_pending_reexec()
+        self._release_renamed_buffers()
+        prof.stop("rename", t0)
+        t0 = prof.start()
+        self._fetch()
+        prof.stop("fetch", t0)
+
     # -- fetch stage -------------------------------------------------------
 
     def _fetch(self) -> None:
@@ -215,6 +283,8 @@ class Processor:
         if not self.buffers.allocate(fragment, self.now):
             raise SimulationError("buffer allocation failed despite check")
         self.fragments.append(fragment)
+        if self._tracer is not None:
+            self._tracer.fragment_predicted(fragment, self.now)
         if fragment.reused:
             self.stats.add("fetch.reused_insts", fragment.static_frag.length)
         else:
@@ -344,6 +414,8 @@ class Processor:
         target = uop.redirect_target
         uop.redirect_target = None
         self.stats.add("frontend.recoveries")
+        if self._tracer is not None:
+            self._tracer.recovery(fragment, position, target, self.now)
 
         # Truncate the source fragment after the mispredicted instruction.
         for younger in fragment.uops[position + 1:]:
@@ -355,6 +427,8 @@ class Processor:
         if fragment.construct_cycle < 0:
             fragment.construct_cycle = self.now
         fragment.rename_done = True
+        if fragment.rename_done_cycle < 0:
+            fragment.rename_done_cycle = self.now
         fragment.internal_writers = {}
         for survivor in fragment.uops:
             dest = survivor.inst.dest_reg()
@@ -408,11 +482,15 @@ class Processor:
                              retain=fragment.complete
                              and fragment.truncated_at is None)
         self.stats.add("frontend.fragments_squashed")
+        if self._tracer is not None:
+            self._tracer.fragment_squashed(fragment, self.now)
 
     def _liveout_squash(self, fragment: FragmentInFlight) -> None:
         """Live-out misprediction: younger fragments re-rename from their
         buffers (Section 4.3 — "all future fragments are squashed")."""
         self.stats.add("rename.liveout_squashes")
+        if self._tracer is not None:
+            self._tracer.liveout_mispredict(fragment, self.now, "squash")
         for candidate in self.fragments:
             if candidate.seq <= fragment.seq or candidate.squashed:
                 continue
@@ -456,6 +534,8 @@ class Processor:
         cost of selective re-execution).
         """
         self.stats.add("rename.liveout_reexec_events")
+        if self._tracer is not None:
+            self._tracer.liveout_mispredict(fragment, self.now, "reexecute")
         map_state: dict = dict(fragment.outgoing_actual or {})
 
         # Rebind the fragment's placeholders to the true final producers
@@ -585,6 +665,8 @@ class Processor:
         if fragment.buffer_index is not None:
             self.buffers.release(fragment, self.now, retain=True)
         self.stats.add("commit.fragments")
+        if self._tracer is not None:
+            self._tracer.fragment_retired(fragment, self.now)
 
     # -- commit-side carver (predictor training) ----------------------------
 

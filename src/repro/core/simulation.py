@@ -11,14 +11,16 @@ This is the main public API::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.config import ProcessorConfig, frontend_config
 from repro.core.invariants import InvariantChecker
 from repro.core.processor import Processor
+from repro.core.uop import MicroOp
 from repro.core.warming import warm_processor
 from repro.emulator.machine import Machine
 from repro.isa.program import Program
+from repro.obs import Observability
 from repro.workloads import suite
 
 
@@ -132,7 +134,9 @@ def run_simulation(config: Union[str, ProcessorConfig],
                    max_cycles: Optional[int] = None,
                    config_name: Optional[str] = None,
                    warm: bool = True,
-                   invariant_checks: Optional[bool] = None
+                   invariant_checks: Optional[bool] = None,
+                   observability: Optional[Observability] = None,
+                   uop_log: Optional[List[MicroOp]] = None
                    ) -> SimulationResult:
     """Simulate *benchmark* on the given front-end configuration.
 
@@ -153,6 +157,14 @@ def run_simulation(config: Union[str, ProcessorConfig],
             or off (False); None defers to ``REPRO_INVARIANT_CHECKS``.
             The forward-progress watchdog is independent of this flag and
             controlled by ``REPRO_WATCHDOG_CYCLES`` (0 disables).
+        observability: an :class:`~repro.obs.Observability` bundle
+            (metrics sampling / event tracing / self-profiling); None
+            defers to the ``REPRO_OBS_*`` environment knobs, which all
+            default to off.  Summaries are folded into the result's
+            counters under ``obs.*``.
+        uop_log: when a list is supplied, every committed
+            :class:`~repro.core.uop.MicroOp` is appended to it (the
+            pipeview path; see :mod:`repro.core.trace`).
 
     Returns:
         A :class:`SimulationResult` with every counter the models emit.
@@ -177,12 +189,17 @@ def run_simulation(config: Union[str, ProcessorConfig],
         oracle = Machine(program).run(length).stream
         bench_name = program.name
 
+    if observability is None:
+        observability = Observability.from_env()
     if invariant_checks is None:
-        processor = Processor(processor_config, program, oracle)
+        processor = Processor(processor_config, program, oracle,
+                              obs=observability)
     else:
         checker = InvariantChecker() if invariant_checks else None
         processor = Processor(processor_config, program, oracle,
-                              invariants=checker)
+                              invariants=checker, obs=observability)
+    if uop_log is not None:
+        processor.uop_log = uop_log
     if warm:
         warm_processor(processor, oracle)
     processor.run(max_cycles=max_cycles)

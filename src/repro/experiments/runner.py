@@ -227,19 +227,34 @@ class ResultCache:
         """
         if not self.enabled:
             return None
-        path = self._path(key)
+        start = time.perf_counter()
         try:
-            text = path.read_text()
-        except OSError:
-            return None
-        try:
-            payload = json.loads(text)
-            if payload.get("schema") != CACHE_SCHEMA_VERSION:
-                return None  # stale, not corrupt: a rewrite will replace it
-            return _result_from_payload(payload["result"])
-        except (ValueError, KeyError, TypeError, AttributeError):
-            self._quarantine(path, stats)
-            return None
+            path = self._path(key)
+            try:
+                text = path.read_text()
+            except OSError:
+                return None
+            try:
+                payload = json.loads(text)
+                if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                    # Stale, not corrupt: a rewrite will replace it.
+                    return None
+                return _result_from_payload(payload["result"])
+            except (ValueError, KeyError, TypeError, AttributeError):
+                self._quarantine(path, stats)
+                return None
+        finally:
+            self._time("load", time.perf_counter() - start, stats)
+
+    @staticmethod
+    def _time(op: str, seconds: float,
+              stats: Optional[StatsCollector] = None) -> None:
+        """Attribute cache-layer wall clock (self-profiling; near-free:
+        two perf_counter calls per cache touch)."""
+        for collector in (stats, SWEEP_STATS):
+            if collector is not None:
+                collector.add(f"sweep.cache_{op}_seconds", seconds)
+                collector.add(f"sweep.cache_{op}s")
 
     @staticmethod
     def _quarantine(path: Path,
@@ -254,9 +269,11 @@ class ResultCache:
                 collector.add("sweep.cache_corrupt")
 
     def store(self, key: str, job: SweepJob,
-              result: SimulationResult) -> None:
+              result: SimulationResult,
+              stats: Optional[StatsCollector] = None) -> None:
         if not self.enabled:
             return
+        start = time.perf_counter()
         self.directory.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
@@ -271,6 +288,7 @@ class ResultCache:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(text)
         os.replace(tmp, path)
+        self._time("store", time.perf_counter() - start, stats)
 
     def clear(self) -> int:
         """Delete every cache entry (and quarantined corpse); returns the
@@ -491,6 +509,8 @@ class SweepReport:
             f"workers       {int(stats.get('sweep.workers'))}",
             f"wall seconds  {stats.get('sweep.wall_seconds'):.2f}",
             f"job seconds   {stats.get('sweep.exec_seconds'):.2f}",
+            f"cache seconds "
+            f"{stats.get('sweep.cache_load_seconds') + stats.get('sweep.cache_store_seconds'):.2f}",
             f"utilization   {stats.get('sweep.utilization'):.2f}",
             f"retries       {int(stats.get('sweep.retries'))}",
             f"timeouts      {int(stats.get('sweep.timeouts'))}",
@@ -521,7 +541,7 @@ def run_job(job: SweepJob,
         return cached
     payload, seconds = _execute_job(job)
     result = _result_from_payload(payload)
-    cache.store(key, job, result)
+    cache.store(key, job, result, stats=stats)
     for collector in (stats, SWEEP_STATS):
         if collector is not None:
             collector.add("sweep.exec_seconds", seconds)
@@ -608,7 +628,7 @@ def run_sweep(jobs: Sequence[SweepJob],
         the pool phase, recovery order for retried jobs)."""
         done.add(job)
         result = _result_from_payload(payload)
-        cache.store(job.cache_key(), job, result)
+        cache.store(job.cache_key(), job, result, stats=stats)
         report.results[job] = result
         report.job_seconds[job] = seconds
         stats.add("sweep.exec_seconds", seconds)

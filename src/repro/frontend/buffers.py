@@ -36,6 +36,8 @@ class FragmentInFlight:
         "outgoing_predicted", "outgoing_actual",
         "mispredict_position", "mispredict_target",
         "committed_count", "records",
+        "alloc_cycle", "fetch_start_cycle", "fetch_sequencer",
+        "rename_done_cycle",
     )
 
     def __init__(self, seq: int, key: FragmentKey,
@@ -53,6 +55,11 @@ class FragmentInFlight:
         self.complete = False
         self.construct_cycle = -1         # cycle fetch completed
         self.reused = False
+        # Lifecycle stamps (observability; -1 = never happened).
+        self.alloc_cycle = -1             # cycle a buffer was allocated
+        self.fetch_start_cycle = -1       # cycle fetch first touched it
+        self.fetch_sequencer = -1         # sequencer that fetched it
+        self.rename_done_cycle = -1       # cycle rename completed
         #: Cycle until which fetch of this fragment waits on a cache miss.
         self.fetch_stall_until = -1
         #: Line address of the outstanding miss; when the wait ends the
@@ -122,6 +129,7 @@ class FragmentInFlight:
         self.read_count = 0
         self.rename_started_cycle = -1
         self.rename_done = False
+        self.rename_done_cycle = -1
         self.phase1_done = False
         self.phase1_cycle = -1
         self.incoming_map = None
@@ -165,6 +173,9 @@ class FragmentBufferArray:
     def free_count(self) -> int:
         return sum(1 for b in self._buffers if b.occupant is None)
 
+    def occupied_count(self) -> int:
+        return sum(1 for b in self._buffers if b.occupant is not None)
+
     def allocate(self, fragment: FragmentInFlight, now: int) -> bool:
         """Assign a buffer to *fragment*; returns False when all are busy.
 
@@ -184,6 +195,7 @@ class FragmentBufferArray:
             fragment.fetch_cursor = len(fragment.static_frag.traversed_pcs)
             fragment.complete = True
             fragment.construct_cycle = now
+            fragment.fetch_start_cycle = now
             self.stats.add("fragbuf.reuses")
         else:
             # Prefer the buffer freed longest ago, preserving recently
@@ -193,6 +205,7 @@ class FragmentBufferArray:
         buffer.retained_key = None
         buffer.retained_frag = None
         fragment.buffer_index = buffer.index
+        fragment.alloc_cycle = now
         self.stats.add("fragbuf.allocations")
         return True
 

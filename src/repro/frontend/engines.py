@@ -89,6 +89,10 @@ class FillEngine:
         """Drop any queued/active fragments that have been squashed."""
         raise NotImplementedError
 
+    def busy_sequencers(self, now: int) -> int:
+        """Sequencers with fetchable work this cycle (observability)."""
+        raise NotImplementedError
+
 
 class SequentialFillEngine(FillEngine):
     """W16: a single full-width sequencer, single-ported cache.
@@ -130,6 +134,10 @@ class SequentialFillEngine(FillEngine):
         if self._current is not None and self._current.squashed:
             self._current = None
 
+    def busy_sequencers(self, now: int) -> int:
+        return int(self._current is not None
+                   and self._current.fetch_stall_until <= now)
+
 
 class TraceCacheFillEngine(FillEngine):
     """TC: trace-cache probe, W16 fill path on misses."""
@@ -170,6 +178,7 @@ class TraceCacheFillEngine(FillEngine):
                     fragment.static_frag.traversed_pcs)
                 fragment.complete = True
                 fragment.construct_cycle = now
+                fragment.fetch_start_cycle = now
                 self.stats.add("fetch.slots", 16)
                 self.stats.add("fetch.insts", length)
                 return length
@@ -187,6 +196,10 @@ class TraceCacheFillEngine(FillEngine):
         self._queue = deque(f for f in self._queue if not f.squashed)
         if self._filling is not None and self._filling.squashed:
             self._filling = None
+
+    def busy_sequencers(self, now: int) -> int:
+        return int(self._filling is not None
+                   and self._filling.fetch_stall_until <= now)
 
 
 class ParallelFillEngine(FillEngine):
@@ -229,3 +242,9 @@ class ParallelFillEngine(FillEngine):
 
     def squash(self) -> None:
         self._pending = [f for f in self._pending if not f.squashed]
+
+    def busy_sequencers(self, now: int) -> int:
+        fetchable = sum(1 for f in self._pending
+                        if not (f.squashed or f.complete)
+                        and f.fetch_stall_until <= now)
+        return min(fetchable, len(self._sequencers))

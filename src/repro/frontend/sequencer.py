@@ -52,6 +52,9 @@ class Sequencer:
         fetched (non-NOP).  Marks the fragment stalled on a cache miss."""
         if fragment.complete or fragment.squashed:
             return 0
+        if fragment.fetch_start_cycle < 0:
+            fragment.fetch_start_cycle = now
+            fragment.fetch_sequencer = self.index
         if now < fragment.fetch_stall_until:
             self.stats.add("fetch.miss_stall_cycles")
             return 0

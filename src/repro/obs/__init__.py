@@ -1,0 +1,113 @@
+"""Opt-in simulator observability (:class:`ObservabilityConfig`).
+
+Three pillars, all off by default and near-free when disabled:
+
+* :class:`~repro.obs.metrics.MetricsRecorder` — cycle-sampled gauges
+  (buffer occupancy, window fill, busy sequencers, rename/dispatch
+  queue depth, in-flight fragments) in ring-buffered time series with
+  running min/mean/max/histogram summaries;
+* :class:`~repro.obs.tracing.EventTracer` — pipeline lifecycle events
+  exported as Chrome trace-event JSON for Perfetto/``chrome://tracing``;
+* :class:`~repro.obs.profiling.PhaseProfiler` — simulator wall-clock
+  attributed to pipeline phases.
+
+Usage::
+
+    from repro.config import ObservabilityConfig
+    from repro.obs import Observability
+
+    obs = Observability(ObservabilityConfig(sample_interval=100,
+                                            trace=True))
+    result = run_simulation("pr-2x8w", "gcc", observability=obs)
+    payload = obs.tracer.export(process_name="pr-2x8w/gcc")
+
+Environment knobs (read by :meth:`ObservabilityConfig.from_env`, which
+the default ``run_simulation`` path consults): ``REPRO_OBS_SAMPLE``
+(gauge sample interval in cycles), ``REPRO_OBS_RING`` (ring capacity),
+``REPRO_OBS_TRACE`` (truthy, or a path to auto-export the trace to),
+``REPRO_OBS_TRACE_LIMIT`` (event cap), ``REPRO_OBS_PROFILE`` (truthy).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Optional
+
+from repro.config import ObservabilityConfig
+from repro.obs.metrics import MetricsRecorder, TimeSeries
+from repro.obs.profiling import PhaseProfiler
+from repro.obs.tracing import EventTracer, validate_chrome_trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.processor import Processor
+
+__all__ = [
+    "Observability",
+    "ObservabilityConfig",
+    "MetricsRecorder",
+    "TimeSeries",
+    "EventTracer",
+    "PhaseProfiler",
+    "validate_chrome_trace",
+]
+
+
+class Observability:
+    """Bundles the three pillars for one simulation run."""
+
+    def __init__(self, config: Optional[ObservabilityConfig] = None):
+        self.config = config or ObservabilityConfig()
+        self.tracer: Optional[EventTracer] = (
+            EventTracer(limit=self.config.trace_limit)
+            if self.config.trace else None)
+        self.metrics: Optional[MetricsRecorder] = (
+            MetricsRecorder(self.config.sample_interval,
+                            capacity=self.config.ring_capacity,
+                            tracer=self.tracer)
+            if self.config.sample_interval else None)
+        self.profiler: Optional[PhaseProfiler] = (
+            PhaseProfiler() if self.config.profile else None)
+
+    @property
+    def enabled(self) -> bool:
+        return (self.metrics is not None or self.tracer is not None
+                or self.profiler is not None)
+
+    @classmethod
+    def from_env(cls) -> Optional["Observability"]:
+        """An instance per ``REPRO_OBS_*``, or None when all knobs are
+        off — so the default simulation path allocates nothing."""
+        config = ObservabilityConfig.from_env()
+        return cls(config) if config.enabled else None
+
+    def finalize(self, processor: "Processor") -> None:
+        """Fold summaries into the processor's stats (and auto-export).
+
+        Called by ``Processor.run`` when it finishes, so every counter
+        lands in the :class:`~repro.core.simulation.SimulationResult`.
+        All obs counters are ``set`` (gauge semantics): merging result
+        collectors keeps the last writer rather than summing summaries.
+        """
+        stats = processor.stats
+        if self.metrics is not None:
+            self.metrics.to_counters(stats)
+        if self.tracer is not None:
+            stats.set("obs.trace.events", len(self.tracer.events))
+            stats.set("obs.trace.dropped", self.tracer.dropped)
+        if self.profiler is not None:
+            self.profiler.to_counters(stats)
+        if self.tracer is not None and self.config.trace_path:
+            self.export_trace(self.config.trace_path,
+                              process_name=processor.program.name,
+                              sequencers=processor.config.frontend.sequencers)
+
+    def export_trace(self, path: str, process_name: str = "repro",
+                     sequencers: int = 1) -> dict:
+        """Write the Chrome trace-event JSON to *path*; returns it."""
+        if self.tracer is None:
+            raise ValueError("tracing is not enabled")
+        payload = self.tracer.export(process_name=process_name,
+                                     sequencers=sequencers)
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        return payload

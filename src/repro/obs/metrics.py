@@ -1,0 +1,174 @@
+"""Cycle-sampled time-series metrics.
+
+A :class:`MetricsRecorder` snapshots a fixed set of pipeline gauges every
+N cycles — fragment-buffer occupancy, instruction-window fill, busy
+sequencers, rename-queue depth, dispatch-queue depth, in-flight fragment
+count — into per-gauge :class:`TimeSeries` ring buffers.  Each series
+keeps the last ``capacity`` samples for plotting/export plus *running*
+min/mean/max and a power-of-two histogram over every sample ever taken,
+so the summaries are exact even after the ring has wrapped.
+
+The recorder is pull-based: the processor's run loop calls
+:meth:`MetricsRecorder.maybe_sample` once per cycle and the recorder
+reads the gauges it needs off the processor.  Nothing in the pipeline
+models pushes to it, so the disabled path costs one ``is not None``
+check per cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.stats import StatsCollector, format_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.processor import Processor
+    from repro.obs.tracing import EventTracer
+
+
+def _bucket_label(index: int) -> str:
+    """Label of power-of-two histogram bucket *index* (0, 1, 2-3, 4-7...)."""
+    if index <= 1:
+        return str(index)
+    lo = 1 << (index - 1)
+    hi = (1 << index) - 1
+    return f"{lo}-{hi}"
+
+
+class TimeSeries:
+    """One gauge's history: a sample ring plus exact running summaries."""
+
+    __slots__ = ("name", "_ring", "count", "total", "vmin", "vmax",
+                 "_histogram")
+
+    def __init__(self, name: str, capacity: int):
+        self.name = name
+        self._ring: deque = deque(maxlen=capacity)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+        #: Power-of-two buckets: index 0 holds zeros, index k holds
+        #: values in [2^(k-1), 2^k).  Gauges are small non-negative ints.
+        self._histogram: Dict[int, int] = {}
+
+    def append(self, cycle: int, value: float) -> None:
+        self._ring.append((cycle, value))
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+        bucket = int(value).bit_length() if value >= 1 else 0
+        self._histogram[bucket] = self._histogram.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def last(self) -> float:
+        return self._ring[-1][1] if self._ring else 0.0
+
+    def samples(self) -> List[Tuple[int, float]]:
+        """The retained (cycle, value) samples, oldest first."""
+        return list(self._ring)
+
+    def histogram(self) -> Dict[str, int]:
+        """Sample counts per power-of-two bucket, labelled by range."""
+        return {_bucket_label(index): count
+                for index, count in sorted(self._histogram.items())}
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "samples": self.count,
+            "min": self.vmin if self.count else 0.0,
+            "mean": self.mean,
+            "max": self.vmax if self.count else 0.0,
+            "histogram": self.histogram(),
+            "ring": [[cycle, value] for cycle, value in self._ring],
+        }
+
+
+class MetricsRecorder:
+    """Samples pipeline gauges every ``interval`` cycles."""
+
+    #: The gauges sampled off the processor, in presentation order.
+    GAUGES = (
+        "fragbuf.occupancy",
+        "window.used",
+        "sequencers.busy",
+        "rename.queue",
+        "dispatch.queue",
+        "fragments.in_flight",
+    )
+
+    def __init__(self, interval: int, capacity: int = 4096,
+                 tracer: Optional["EventTracer"] = None):
+        if interval <= 0:
+            raise ValueError("sample interval must be positive")
+        self.interval = interval
+        self.capacity = capacity
+        #: When set, every sample is mirrored as a Chrome counter event,
+        #: so Perfetto shows the gauges as counter tracks over the trace.
+        self.tracer = tracer
+        self.series: Dict[str, TimeSeries] = {
+            name: TimeSeries(name, capacity) for name in self.GAUGES}
+
+    def maybe_sample(self, processor: "Processor") -> None:
+        if processor.now % self.interval:
+            return
+        self.sample(processor)
+
+    def sample(self, processor: "Processor") -> None:
+        """Snapshot every gauge at the processor's current cycle."""
+        now = processor.now
+        fragments = processor.fragments
+        values = (
+            processor.buffers.occupied_count(),
+            processor.core.window_used,
+            processor.engine.busy_sequencers(now),
+            sum(f.renameable_count() for f in fragments),
+            processor.core.in_flight_dispatch(),
+            len(fragments),
+        )
+        for name, value in zip(self.GAUGES, values):
+            self.series[name].append(now, value)
+            if self.tracer is not None:
+                self.tracer.counter(name, now, value)
+
+    # -- reporting ---------------------------------------------------------
+
+    def to_counters(self, stats: StatsCollector) -> None:
+        """Fold each series' summary into *stats* as ``obs.*`` gauges."""
+        for name, series in self.series.items():
+            if not series.count:
+                continue
+            stats.set(f"obs.{name}.samples", series.count)
+            stats.set(f"obs.{name}.min", series.vmin)
+            stats.set(f"obs.{name}.mean", series.mean)
+            stats.set(f"obs.{name}.max", series.vmax)
+
+    def summary_text(self) -> str:
+        """Fixed-width summary table for the ``repro`` text reports."""
+        rows = []
+        for name in self.GAUGES:
+            series = self.series[name]
+            if not series.count:
+                continue
+            rows.append([name, series.count, series.vmin, series.mean,
+                         series.vmax, series.last])
+        if not rows:
+            return "(no samples recorded)"
+        return format_table(
+            ["gauge", "samples", "min", "mean", "max", "last"], rows,
+            float_fmt="{:.2f}")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"interval": self.interval,
+                "capacity": self.capacity,
+                "series": {name: series.as_dict()
+                           for name, series in self.series.items()}}

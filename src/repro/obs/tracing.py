@@ -1,0 +1,228 @@
+"""Structured pipeline event tracing with Chrome trace-event export.
+
+The :class:`EventTracer` records fragment lifecycle events — predicted,
+fetch start/done, renamed, squashed — plus control recoveries, live-out
+mispredictions and commits, and exports them in the Chrome trace-event
+JSON format, loadable in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.
+
+Mapping onto the trace model:
+
+* one simulated cycle = one microsecond of trace time (``ts`` is the
+  cycle number);
+* each fragment is an async span (``ph: b``/``e``, ``cat: fragment``,
+  ``id``: the fragment sequence number) from prediction to
+  retirement/squash, so overlapping fragments nest naturally;
+* the fetch of each fragment is a complete event (``ph: X``) on the
+  track of the sequencer that fetched it (``tid`` = sequencer index),
+  so per-sequencer utilization is visible at a glance;
+* rename is an async span per fragment (``cat: rename``), overlapping
+  freely for the parallel renamers;
+* recoveries, live-out mispredictions, squashes and fragment commits
+  are instant events (``ph: i``) on a dedicated events track;
+* gauge samples (when the metrics recorder is also enabled) become
+  counter events (``ph: C``) and render as counter tracks.
+
+Events are capped at ``limit``; overflow is counted, never raised.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.frontend.buffers import FragmentInFlight
+
+#: tid of the instant-event track (sequencers occupy 0..N-1).
+EVENTS_TID = 90
+#: tid of the rename track.
+RENAME_TID = 91
+#: tid hosting counter events.
+COUNTER_TID = 92
+
+#: Chrome trace-event phases this module emits (and the validator knows).
+KNOWN_PHASES = ("b", "e", "X", "i", "C", "M")
+
+
+class EventTracer:
+    """Records pipeline lifecycle events for Chrome/Perfetto export."""
+
+    def __init__(self, limit: int = 200_000, pid: int = 1):
+        self.limit = limit
+        self.pid = pid
+        self.events: List[Dict[str, Any]] = []
+        self.dropped = 0
+        self._sequencer_tids: set = set()
+
+    # -- low-level emission ------------------------------------------------
+
+    def _emit(self, **event: Any) -> None:
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        event["pid"] = self.pid
+        self.events.append(event)
+
+    def instant(self, name: str, ts: int,
+                args: Optional[Dict[str, Any]] = None,
+                tid: int = EVENTS_TID) -> None:
+        event: Dict[str, Any] = {"name": name, "cat": "event", "ph": "i",
+                                 "ts": ts, "tid": tid, "s": "t"}
+        if args:
+            event["args"] = args
+        self._emit(**event)
+
+    def counter(self, name: str, ts: int, value: float) -> None:
+        self._emit(name=name, cat="gauge", ph="C", ts=ts,
+                   tid=COUNTER_TID, args={"value": value})
+
+    # -- fragment lifecycle ------------------------------------------------
+
+    def fragment_predicted(self, fragment: "FragmentInFlight",
+                           now: int) -> None:
+        """The front-end predicted and allocated a buffer for *fragment*."""
+        self._emit(name=f"frag {fragment.key.start_pc:#x}",
+                   cat="fragment", ph="b", id=fragment.seq,
+                   ts=now, tid=EVENTS_TID,
+                   args={"seq": fragment.seq,
+                         "pc": fragment.key.start_pc,
+                         "length": fragment.static_frag.length,
+                         "reused": fragment.reused})
+
+    def fragment_retired(self, fragment: "FragmentInFlight",
+                         now: int) -> None:
+        """*fragment* fully committed; emit its sub-spans and close it."""
+        self._fetch_span(fragment)
+        self._rename_span(fragment, now)
+        self.instant("commit", now,
+                     {"seq": fragment.seq,
+                      "committed": fragment.committed_count})
+        self._emit(name=f"frag {fragment.key.start_pc:#x}",
+                   cat="fragment", ph="e", id=fragment.seq,
+                   ts=now, tid=EVENTS_TID,
+                   args={"committed": fragment.committed_count})
+
+    def fragment_squashed(self, fragment: "FragmentInFlight",
+                          now: int) -> None:
+        self._fetch_span(fragment)
+        self.instant("squash", now, {"seq": fragment.seq})
+        self._emit(name=f"frag {fragment.key.start_pc:#x}",
+                   cat="fragment", ph="e", id=fragment.seq,
+                   ts=now, tid=EVENTS_TID, args={"squashed": True})
+
+    def _fetch_span(self, fragment: "FragmentInFlight") -> None:
+        """Fetch as a complete event on the fetching sequencer's track.
+
+        Uses the cycle stamps recorded on the fragment: buffer reuses and
+        trace-cache hits complete in their allocation cycle, so their
+        spans collapse to the minimum one-cycle duration.
+        """
+        if fragment.construct_cycle < 0:
+            return  # squashed before fetch delivered anything
+        start = fragment.fetch_start_cycle
+        if start < 0:
+            start = fragment.construct_cycle
+        tid = max(fragment.fetch_sequencer, 0)
+        self._sequencer_tids.add(tid)
+        self._emit(name=f"fetch {fragment.key.start_pc:#x}",
+                   cat="fetch", ph="X", ts=start,
+                   dur=max(fragment.construct_cycle - start, 1), tid=tid,
+                   args={"seq": fragment.seq,
+                         "insts": fragment.fetched_count,
+                         "reused": fragment.reused})
+
+    def _rename_span(self, fragment: "FragmentInFlight", now: int) -> None:
+        if fragment.rename_started_cycle < 0:
+            return
+        end = fragment.rename_done_cycle
+        if end < fragment.rename_started_cycle:
+            end = now
+        self._emit(name=f"rename {fragment.key.start_pc:#x}",
+                   cat="rename", ph="b", id=fragment.seq,
+                   ts=fragment.rename_started_cycle, tid=RENAME_TID,
+                   args={"seq": fragment.seq})
+        self._emit(name=f"rename {fragment.key.start_pc:#x}",
+                   cat="rename", ph="e", id=fragment.seq,
+                   ts=end, tid=RENAME_TID)
+
+    # -- non-fragment events -----------------------------------------------
+
+    def recovery(self, fragment: "FragmentInFlight", position: int,
+                 target: int, now: int) -> None:
+        self.instant("recovery", now,
+                     {"seq": fragment.seq, "position": position,
+                      "target": target})
+
+    def liveout_mispredict(self, fragment: "FragmentInFlight",
+                           now: int, policy: str) -> None:
+        self.instant("liveout-mispredict", now,
+                     {"seq": fragment.seq, "policy": policy})
+
+    # -- export ------------------------------------------------------------
+
+    def export(self, process_name: str = "repro",
+               sequencers: int = 1) -> Dict[str, Any]:
+        """The complete trace as a Chrome trace-event JSON object."""
+        metadata: List[Dict[str, Any]] = [{
+            "name": "process_name", "ph": "M", "pid": self.pid, "tid": 0,
+            "ts": 0, "args": {"name": process_name},
+        }]
+        tids = set(range(sequencers)) | self._sequencer_tids
+        names = {tid: f"sequencer {tid}" for tid in sorted(tids)}
+        names[EVENTS_TID] = "pipeline events"
+        names[RENAME_TID] = "rename"
+        names[COUNTER_TID] = "gauges"
+        for tid, name in names.items():
+            metadata.append({"name": "thread_name", "ph": "M",
+                             "pid": self.pid, "tid": tid, "ts": 0,
+                             "args": {"name": name}})
+        return {"traceEvents": metadata + self.events,
+                "displayTimeUnit": "ms",
+                "otherData": {"clock": "1 cycle = 1 us",
+                              "dropped_events": self.dropped}}
+
+
+def validate_chrome_trace(payload: Any) -> int:
+    """Validate *payload* against the Chrome trace-event schema subset
+    this tracer emits; returns the event count.
+
+    Checks the structural requirements Perfetto's importer relies on:
+    a ``traceEvents`` list whose entries all carry ``name``/``ph``/
+    ``pid``/``tid``/numeric ``ts``, async events an ``id``, complete
+    events a non-negative ``dur``, counter/metadata events ``args``.
+    Raises :class:`ValueError` on the first violation.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("trace payload must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    open_spans: Dict[Any, int] = {}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where} is not an object")
+        ph = event.get("ph")
+        if ph not in KNOWN_PHASES:
+            raise ValueError(f"{where}: unknown phase {ph!r}")
+        for field in ("name", "pid", "tid"):
+            if field not in event:
+                raise ValueError(f"{where}: missing {field!r}")
+        if not isinstance(event.get("ts"), (int, float)):
+            raise ValueError(f"{where}: ts must be a number")
+        if ph in ("b", "e"):
+            if "id" not in event:
+                raise ValueError(f"{where}: async event missing id")
+            key = (event.get("cat"), event["id"])
+            open_spans[key] = open_spans.get(key, 0) + (1 if ph == "b"
+                                                        else -1)
+            if open_spans[key] < 0:
+                raise ValueError(f"{where}: async end before begin "
+                                 f"for {key}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where}: complete event needs dur >= 0")
+        if ph in ("C", "M") and not isinstance(event.get("args"), dict):
+            raise ValueError(f"{where}: {ph} event needs args")
+    return len(events)

@@ -56,6 +56,7 @@ class MonolithicRenamer:
                 budget -= 1
             if fragment.read_count >= fragment.length:
                 fragment.rename_done = True
+                fragment.rename_done_cycle = now
                 continue
             # In-order rename cannot skip past unfetched instructions.
             break

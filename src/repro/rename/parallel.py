@@ -192,7 +192,7 @@ class ParallelRenamer:
             renamed.append(uop)
         if (fragment.read_count >= fragment.length
                 and not fragment.rename_done):
-            self._finish_fragment(fragment)
+            self._finish_fragment(fragment, now)
         return renamed
 
     def _handle_dest(self, fragment: FragmentInFlight, uop: MicroOp,
@@ -217,7 +217,8 @@ class ParallelRenamer:
                 self._flag_mispredict(fragment, "cond3")
         fragment.internal_writers[dest] = uop
 
-    def _finish_fragment(self, fragment: FragmentInFlight) -> None:
+    def _finish_fragment(self, fragment: FragmentInFlight,
+                         now: int) -> None:
         prediction = fragment.liveout_prediction
         if prediction is None:
             self._resolve_cold_placeholders(fragment)
@@ -231,6 +232,7 @@ class ParallelRenamer:
         outgoing.update(fragment.internal_writers)
         fragment.outgoing_actual = outgoing
         fragment.rename_done = True
+        fragment.rename_done_cycle = now
 
     def _resolve_cold_placeholders(self, fragment: FragmentInFlight) -> None:
         """Bind a cold fragment's pass-through placeholders now that its

@@ -21,23 +21,36 @@ class StatsCollector:
 
     def __init__(self) -> None:
         self._counters: Dict[str, float] = defaultdict(float)
+        #: Names written through :meth:`set` — point-in-time gauges
+        #: (worker counts, wall-clock seconds, utilization).  Merging a
+        #: gauge overwrites (last writer wins) instead of summing.
+        self._gauges: set = set()
+        #: Names written through :meth:`maximum` — high-water marks.
+        #: Merging takes the max of both sides.
+        self._highwater: set = set()
 
     def add(self, name: str, amount: float = 1.0) -> None:
         """Increment counter *name* by *amount*."""
         self._counters[name] += amount
 
     def set(self, name: str, value: float) -> None:
-        """Set counter *name* to an absolute value."""
+        """Set gauge *name* to an absolute value.
+
+        ``set`` marks the name as a gauge: :meth:`merge` overwrites it
+        (last writer wins) rather than summing, so point-in-time values
+        like ``sweep.workers`` or ``sweep.utilization`` stay meaningful
+        when sweeps accumulate into a process-wide collector.
+        """
         self._counters[name] = value
+        self._gauges.add(name)
 
     def maximum(self, name: str, value: float) -> None:
-        """Raise counter *name* to *value* if it is currently lower.
+        """Raise high-water mark *name* to *value* if currently lower.
 
-        Used for high-water marks (e.g. the sweep runner's worst-case
-        attempt count) that must survive :meth:`merge` sensibly — merging
-        adds, so high-water marks should be read per collection; this
-        helper just keeps the update race-free and self-documenting.
+        ``maximum`` marks the name as a high-water mark: :meth:`merge`
+        takes the larger of both sides instead of summing.
         """
+        self._highwater.add(name)
         if value > self._counters.get(name, float("-inf")):
             self._counters[name] = value
 
@@ -68,9 +81,26 @@ class StatsCollector:
         return dict(self._counters)
 
     def merge(self, other: "StatsCollector") -> None:
-        """Accumulate every counter from *other* into this collector."""
+        """Fold every counter from *other* into this collector.
+
+        Plain event counters (written with :meth:`add`) sum.  Gauges
+        (written with :meth:`set`) overwrite — last writer wins — and
+        high-water marks (written with :meth:`maximum`) take the max,
+        in both cases as classified by *other*.  Summing a gauge like
+        ``sweep.workers`` across merges would turn "8 workers" into
+        "24 workers after three sweeps", which is never the question
+        being asked.
+        """
         for name, value in other._counters.items():
-            self._counters[name] += value
+            if name in other._gauges:
+                self._counters[name] = value
+                self._gauges.add(name)
+            elif name in other._highwater:
+                self._highwater.add(name)
+                if value > self._counters.get(name, float("-inf")):
+                    self._counters[name] = value
+            else:
+                self._counters[name] += value
 
     def reset(self) -> None:
         """Forget every counter (no phantom zero-valued entries remain).
@@ -80,6 +110,8 @@ class StatsCollector:
         collector indistinguishable from a fresh one.
         """
         self._counters.clear()
+        self._gauges.clear()
+        self._highwater.clear()
 
     # ``clear`` mirrors the dict/set vocabulary.
     clear = reset

@@ -1,8 +1,11 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
+from repro.obs import validate_chrome_trace
 
 
 class TestParser:
@@ -34,6 +37,25 @@ class TestParser:
     def test_sweep_rejects_unknown_benchmark(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--benchmarks", "bogus"])
+
+    def test_pipeview_flag_forms(self):
+        args = build_parser().parse_args(["run", "w16", "gzip"])
+        assert args.pipeview is None
+        args = build_parser().parse_args(["run", "w16", "gzip",
+                                          "--pipeview"])
+        assert args.pipeview == 32
+        args = build_parser().parse_args(["run", "w16", "gzip",
+                                          "--pipeview=8"])
+        assert args.pipeview == 8
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "pr-2x8w", "gzip"])
+        assert args.output == "repro-trace.json"
+        assert args.limit == 200_000 and args.sample is None
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "w16", "gzip"])
+        assert args.sample is None and not args.json
 
 
 class TestCommands:
@@ -98,3 +120,63 @@ class TestCommands:
         assert main(["sweep", "--configs", "w16", "--benchmarks", "gzip",
                      "-n", "1500", "--no-cache"]) == 0
         assert not list(tmp_path.glob("*.json"))
+
+
+class TestObservabilityCommands:
+    def test_run_json(self, capsys):
+        assert main(["run", "w16", "gzip", "-n", "1500", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"] == "w16"
+        assert payload["cycles"] > 0 and payload["ipc"] > 0
+        assert "fetch.insts" in payload["counters"]
+
+    def test_run_pipeview_renders_diagram(self, capsys):
+        assert main(["run", "w16", "gzip", "-n", "1500",
+                     "--pipeview=6"]) == 0
+        out = capsys.readouterr().out
+        assert "R=rename" in out and "C=commit" in out
+        # Six instruction rows between the |...| cycle rails.
+        assert sum(1 for line in out.splitlines()
+                   if line.rstrip().endswith("|")) == 6
+
+    def test_run_json_with_pipeview_summary(self, capsys):
+        assert main(["run", "w16", "gzip", "-n", "1500", "--json",
+                     "--pipeview"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pipeline"]["instructions"] > 0
+        assert payload["pipeline"]["avg_lifetime_cycles"] > 0
+
+    def test_run_sample_prints_gauge_summary(self, capsys):
+        assert main(["run", "pr-2x8w", "gzip", "-n", "1500",
+                     "--sample", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "gauge" in out and "window.used" in out
+
+    def test_trace_writes_valid_chrome_json(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "pr-2x8w", "gzip", "-n", "1500",
+                     "-o", str(path), "--sample", "50"]) == 0
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) > 0
+        assert "perfetto" in capsys.readouterr().out
+
+    def test_profile_reports_phases(self, capsys):
+        assert main(["profile", "w16", "gzip", "-n", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "fetch" in out and "us/call" in out
+
+    def test_profile_json(self, capsys):
+        assert main(["profile", "w16", "gzip", "-n", "1500",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["profile"]) >= {"execute", "commit",
+                                           "rename", "fetch"}
+
+    def test_sweep_json(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["sweep", "--configs", "w16", "--benchmarks", "gzip",
+                     "-n", "1500", "--workers", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["results"]) == 1
+        assert payload["failures"] == []
+        assert payload["summary"]["sweep.jobs"] == 1

@@ -1,0 +1,268 @@
+"""Tests for the observability layer (:mod:`repro.obs`).
+
+Covers the three pillars — cycle-sampled metrics, Chrome trace-event
+export, phase self-profiling — plus the guarantees the layer makes:
+sampling cadence, ring truncation with exact summaries, trace schema
+validity, and result identity with observability on or off.
+"""
+
+import json
+import types
+
+import pytest
+
+from repro.config import ObservabilityConfig
+from repro.core.simulation import run_simulation
+from repro.errors import ConfigError
+from repro.obs import (
+    EventTracer,
+    MetricsRecorder,
+    Observability,
+    PhaseProfiler,
+    TimeSeries,
+    validate_chrome_trace,
+)
+
+
+def _stub_processor(now: int):
+    """Just enough processor surface for MetricsRecorder.sample()."""
+    fragment = types.SimpleNamespace(renameable_count=lambda: 2)
+    return types.SimpleNamespace(
+        now=now,
+        fragments=[fragment, fragment],
+        buffers=types.SimpleNamespace(occupied_count=lambda: 3),
+        core=types.SimpleNamespace(window_used=7,
+                                   in_flight_dispatch=lambda: 1),
+        engine=types.SimpleNamespace(busy_sequencers=lambda now: 2),
+    )
+
+
+class TestObservabilityConfig:
+    def test_disabled_by_default(self):
+        config = ObservabilityConfig()
+        assert not config.enabled
+        assert Observability(config).enabled is False
+
+    def test_any_pillar_enables(self):
+        assert ObservabilityConfig(sample_interval=10).enabled
+        assert ObservabilityConfig(trace=True).enabled
+        assert ObservabilityConfig(profile=True).enabled
+
+    def test_trace_path_implies_trace(self):
+        config = ObservabilityConfig(trace_path="t.json")
+        assert config.trace
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ConfigError):
+            ObservabilityConfig(sample_interval=-1)
+
+    def test_from_env_defaults_off(self, monkeypatch):
+        for name in ("REPRO_OBS_SAMPLE", "REPRO_OBS_TRACE",
+                     "REPRO_OBS_PROFILE"):
+            monkeypatch.delenv(name, raising=False)
+        assert not ObservabilityConfig.from_env().enabled
+        assert Observability.from_env() is None
+
+    def test_from_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_SAMPLE", "50")
+        monkeypatch.setenv("REPRO_OBS_TRACE", "1")
+        monkeypatch.setenv("REPRO_OBS_PROFILE", "1")
+        config = ObservabilityConfig.from_env()
+        assert config.sample_interval == 50
+        assert config.trace and config.trace_path is None
+        assert config.profile
+
+    def test_from_env_trace_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_TRACE", "/tmp/out.json")
+        config = ObservabilityConfig.from_env()
+        assert config.trace and config.trace_path == "/tmp/out.json"
+
+
+class TestTimeSeries:
+    def test_ring_truncates_but_summaries_are_exact(self):
+        series = TimeSeries("g", capacity=4)
+        for cycle, value in enumerate(range(10)):
+            series.append(cycle, value)
+        # The ring holds only the newest 4 samples...
+        assert series.samples() == [(6, 6), (7, 7), (8, 8), (9, 9)]
+        # ...but the running summaries still cover all 10.
+        assert series.count == 10
+        assert series.vmin == 0 and series.vmax == 9
+        assert series.mean == pytest.approx(4.5)
+        assert series.last == 9
+
+    def test_histogram_power_of_two_buckets(self):
+        series = TimeSeries("g", capacity=16)
+        for value in (0, 1, 2, 3, 4, 7, 8):
+            series.append(0, value)
+        assert series.histogram() == {"0": 1, "1": 1, "2-3": 2,
+                                      "4-7": 2, "8-15": 1}
+
+    def test_empty_series(self):
+        series = TimeSeries("g", capacity=4)
+        assert series.mean == 0.0 and series.last == 0.0
+        assert series.as_dict()["min"] == 0.0
+
+
+class TestMetricsRecorder:
+    def test_sampling_cadence(self):
+        recorder = MetricsRecorder(interval=10, capacity=64)
+        for now in range(1, 101):
+            recorder.maybe_sample(_stub_processor(now))
+        series = recorder.series["window.used"]
+        assert series.count == 10
+        assert [cycle for cycle, _ in series.samples()] == \
+            [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+
+    def test_gauge_values_read_off_processor(self):
+        recorder = MetricsRecorder(interval=1, capacity=8)
+        recorder.sample(_stub_processor(5))
+        assert recorder.series["fragbuf.occupancy"].last == 3
+        assert recorder.series["window.used"].last == 7
+        assert recorder.series["sequencers.busy"].last == 2
+        assert recorder.series["rename.queue"].last == 4
+        assert recorder.series["dispatch.queue"].last == 1
+        assert recorder.series["fragments.in_flight"].last == 2
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            MetricsRecorder(interval=0)
+
+    def test_to_counters_and_summary(self):
+        recorder = MetricsRecorder(interval=1, capacity=8)
+        recorder.sample(_stub_processor(1))
+        from repro.stats import StatsCollector
+        stats = StatsCollector()
+        recorder.to_counters(stats)
+        assert stats["obs.window.used.samples"] == 1
+        assert stats["obs.window.used.max"] == 7
+        text = recorder.summary_text()
+        assert "window.used" in text and "mean" in text
+
+    def test_samples_mirrored_to_tracer_as_counters(self):
+        tracer = EventTracer(limit=100)
+        recorder = MetricsRecorder(interval=1, capacity=8, tracer=tracer)
+        recorder.sample(_stub_processor(1))
+        counter_events = [e for e in tracer.events if e["ph"] == "C"]
+        assert len(counter_events) == len(MetricsRecorder.GAUGES)
+
+
+class TestEventTracer:
+    def test_limit_counts_dropped_events(self):
+        tracer = EventTracer(limit=2)
+        for i in range(5):
+            tracer.instant("e", ts=i)
+        assert len(tracer.events) == 2 and tracer.dropped == 3
+
+    def test_export_is_schema_valid(self):
+        tracer = EventTracer(limit=100)
+        tracer.instant("squash", ts=4, args={"seq": 1})
+        tracer.counter("window.used", ts=5, value=12)
+        payload = tracer.export(process_name="test", sequencers=2)
+        count = validate_chrome_trace(payload)
+        assert count == len(payload["traceEvents"])
+        names = {e["args"]["name"] for e in payload["traceEvents"]
+                 if e["name"] == "thread_name"}
+        assert {"sequencer 0", "sequencer 1", "pipeline events",
+                "rename", "gauges"} <= names
+
+    def test_validator_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="unknown phase"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "Z", "pid": 1, "tid": 0, "ts": 0}]})
+
+    def test_validator_rejects_end_before_begin(self):
+        with pytest.raises(ValueError, match="end before begin"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "e", "cat": "fragment", "id": 7,
+                 "pid": 1, "tid": 0, "ts": 0}]})
+
+    def test_validator_rejects_complete_without_dur(self):
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "X", "pid": 1, "tid": 0, "ts": 0}]})
+
+    def test_validator_rejects_missing_ts(self):
+        with pytest.raises(ValueError, match="ts"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "i", "pid": 1, "tid": 0}]})
+
+
+class TestPhaseProfiler:
+    def test_accumulates_per_phase(self):
+        profiler = PhaseProfiler()
+        t0 = profiler.start()
+        profiler.stop("fetch", t0)
+        profiler.stop("fetch", profiler.start())
+        profiler.stop("rename", profiler.start())
+        assert profiler.calls["fetch"] == 2
+        assert profiler.calls["rename"] == 1
+        assert profiler.seconds["fetch"] >= 0.0
+        assert profiler.total_seconds == pytest.approx(
+            sum(profiler.seconds.values()))
+
+    def test_report_lists_phases(self):
+        profiler = PhaseProfiler()
+        profiler.stop("fetch", profiler.start())
+        report = profiler.report()
+        assert "fetch" in report and "us/call" in report
+        assert "total" in report
+
+
+class TestSimulationIntegration:
+    CONFIG = "pr-2x8w"
+    BENCH = "gzip"
+    N = 1500
+
+    def _run(self, obs=None):
+        return run_simulation(self.CONFIG, self.BENCH,
+                              max_instructions=self.N,
+                              observability=obs)
+
+    def test_full_stack_folds_counters(self, tmp_path):
+        path = tmp_path / "trace.json"
+        obs = Observability(ObservabilityConfig(
+            sample_interval=50, trace=True, profile=True,
+            trace_path=str(path)))
+        result = self._run(obs)
+        assert result.counter("obs.window.used.samples") > 0
+        assert result.counter("obs.trace.events") > 0
+        assert result.counter("obs.profile.total_seconds") > 0
+        for phase in ("execute", "commit", "rename", "fetch"):
+            assert result.counter(f"obs.profile.{phase}.calls") == \
+                result.cycles
+        # trace_path auto-exported a schema-valid trace on finalize.
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) > 0
+
+    def test_observability_does_not_perturb_results(self):
+        """The acceptance criterion: enabling every pillar leaves the
+        simulated outcome bit-identical (profiled step() is a verbatim
+        copy; metrics/tracing only read state)."""
+        baseline = self._run()
+        obs = Observability(ObservabilityConfig(
+            sample_interval=20, trace=True, profile=True))
+        observed = self._run(obs)
+        assert observed.cycles == baseline.cycles
+        assert observed.committed == baseline.committed
+        stripped = {name: value
+                    for name, value in observed.counters.items()
+                    if not name.startswith("obs.")}
+        assert stripped == baseline.counters
+
+    def test_trace_spans_per_sequencer(self):
+        obs = Observability(ObservabilityConfig(trace=True))
+        self._run(obs)
+        payload = obs.tracer.export(process_name="t", sequencers=2)
+        validate_chrome_trace(payload)
+        fetch_tids = {e["tid"] for e in payload["traceEvents"]
+                      if e.get("cat") == "fetch"}
+        # pr-2x8w has two sequencers; both must have fetched something.
+        assert fetch_tids == {0, 1}
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert {"b", "e", "X", "i", "M"} <= phases
+
+    def test_env_knobs_reach_default_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_SAMPLE", "100")
+        result = self._run()
+        assert result.counter("obs.window.used.samples") > 0

@@ -68,6 +68,48 @@ class TestStatsCollector:
         a.merge(b)
         assert a["x"] == 3 and a["y"] == 3
 
+    def test_merge_overwrites_gauges(self):
+        # Regression: gauges written with set() used to sum on merge,
+        # so e.g. sweep.workers accumulated across sweeps.
+        a, b = StatsCollector(), StatsCollector()
+        a.set("sweep.workers", 8)
+        a.add("sweep.jobs", 1)
+        b.set("sweep.workers", 4)
+        b.add("sweep.jobs", 2)
+        a.merge(b)
+        assert a["sweep.workers"] == 4  # last writer wins
+        assert a["sweep.jobs"] == 3     # counters still sum
+
+    def test_merge_gauges_stable_across_repeats(self):
+        total = StatsCollector()
+        for _ in range(3):
+            sweep = StatsCollector()
+            sweep.set("sweep.workers", 8)
+            sweep.set("sweep.utilization", 0.9)
+            total.merge(sweep)
+        assert total["sweep.workers"] == 8
+        assert total["sweep.utilization"] == 0.9
+
+    def test_merge_takes_max_of_highwater_marks(self):
+        a, b, c = StatsCollector(), StatsCollector(), StatsCollector()
+        a.maximum("sweep.max_attempts", 3)
+        b.maximum("sweep.max_attempts", 2)
+        c.maximum("sweep.max_attempts", 5)
+        a.merge(b)
+        assert a["sweep.max_attempts"] == 3
+        a.merge(c)
+        assert a["sweep.max_attempts"] == 5
+
+    def test_reset_forgets_gauge_classification(self):
+        a = StatsCollector()
+        a.set("g", 1)
+        a.reset()
+        a.add("g", 2)
+        b = StatsCollector()
+        b.add("g", 3)
+        b.merge(a)
+        assert b["g"] == 5  # "g" is a plain counter again after reset
+
 
 class TestMeans:
     def test_arithmetic(self):
