@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Reproducible wall-clock benchmark of the simulator's cycle loop.
+
+Runs the pinned workload matrix (W16, TC, PF+PR on gcc) defined in
+:mod:`repro.perf`, times ``Processor.run`` only (generation, emulation
+and warming excluded), and writes a ``BENCH_perf.json`` record::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py --output BENCH_perf.json
+
+``--smoke`` shrinks the instruction count so the run finishes in seconds
+(the CI benchmark job and the tier-1 smoke test use it).  ``--check``
+compares against a committed baseline record, normalising by each
+record's calibration score so machine speed cancels, and exits non-zero
+on a >30% throughput regression::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py --smoke \\
+        --check benchmarks/BENCH_perf_baseline.json
+
+See docs/PERFORMANCE.md for how to read the record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import perf  # noqa: E402  (path setup must come first)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the simulator cycle loop on the pinned "
+                    "workload matrix and record BENCH_perf.json.")
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"short run ({perf.SMOKE_INSTRUCTIONS} "
+                             "instructions) for CI and tests")
+    parser.add_argument("-n", "--instructions", type=int, default=None,
+                        help="dynamic instructions per run (default: "
+                             f"{perf.PINNED_INSTRUCTIONS}, or "
+                             f"{perf.SMOKE_INSTRUCTIONS} with --smoke)")
+    parser.add_argument("--configs", nargs="+",
+                        default=list(perf.PINNED_CONFIGS),
+                        help="front-end configurations to run "
+                             "(default: pinned matrix)")
+    parser.add_argument("--benchmark", default=perf.PINNED_BENCHMARK,
+                        help="suite benchmark (default: pinned)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per entry; fastest wins "
+                             "(default: 3)")
+    parser.add_argument("--no-phases", action="store_true",
+                        help="skip the profiled run for phase breakdown")
+    parser.add_argument("--output", "-o", default="BENCH_perf.json",
+                        help="record path (default: BENCH_perf.json)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a baseline record; exit 1 "
+                             "on a >threshold normalised regression")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="regression threshold for --check "
+                             "(default: 0.30)")
+    args = parser.parse_args(argv)
+
+    instructions = args.instructions
+    if instructions is None:
+        instructions = (perf.SMOKE_INSTRUCTIONS if args.smoke
+                        else perf.PINNED_INSTRUCTIONS)
+
+    record = perf.run_matrix(configs=args.configs,
+                             benchmark=args.benchmark,
+                             instructions=instructions,
+                             repeats=args.repeats,
+                             phase_breakdown=not args.no_phases)
+    perf.write_record(record, args.output)
+
+    header = (f"{'config':10s} {'cycles/s':>12s} {'uops/s':>12s} "
+              f"{'wall s':>8s} {'dec$ hit':>9s}")
+    print(header)
+    for entry in record["entries"]:
+        hit = entry["decode_cache_hit_rate"]
+        print(f"{entry['config']:10s} "
+              f"{entry['sim_cycles_per_sec']:12.1f} "
+              f"{entry['uops_per_sec']:12.1f} "
+              f"{entry['wall_seconds']:8.4f} "
+              f"{'-' if hit is None else format(hit, '9.4f')}")
+    print(f"calibration {record['calibration_score']:.0f} spins/s; "
+          f"record written to {args.output}")
+
+    if args.check:
+        baseline = perf.load_record(args.check)
+        failures = perf.compare_records(record, baseline,
+                                        threshold=args.threshold)
+        if failures:
+            print(f"\nREGRESSION vs {args.check}:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"regression check vs {args.check}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,6 +80,7 @@ def _make_observability(args: argparse.Namespace):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    """Run one (config, benchmark) simulation and print its metrics."""
     from repro.core.trace import (
         UopTrace,
         format_pipeview,
@@ -119,6 +120,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    """Simulate a benchmark on several configs and print a comparison table."""
     rows = []
     for config in args.configs:
         result = run_simulation(config, args.benchmark,
@@ -132,12 +134,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
+    """Reproduce one of the paper's figures or tables by name."""
     from repro import experiments
     print(FIGURES[args.name](experiments))
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run the full figure sweep through the parallel sweep runner."""
     from repro.experiments.common import (
         experiment_benchmarks,
         experiment_length,
@@ -202,6 +206,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    """Capture a Chrome/Perfetto event trace of one simulation."""
     from repro.config import ObservabilityConfig, frontend_config
     from repro.obs import Observability, validate_chrome_trace
 
@@ -227,6 +232,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
+    """Self-profile one simulation and print per-phase wall-clock time."""
     from repro.config import ObservabilityConfig
     from repro.obs import Observability
 
@@ -254,6 +260,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_bench_info(args: argparse.Namespace) -> int:
+    """Print static/dynamic characteristics of the suite benchmarks."""
     from repro.workloads.suite import characterize
     rows = []
     for name in args.benchmarks:
@@ -269,6 +276,7 @@ def cmd_bench_info(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argparse command-line parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Parallelism in the Front-End' "
@@ -379,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    """CLI entry point: parse arguments and dispatch to a subcommand."""
     args = build_parser().parse_args(argv)
     return args.func(args)
 

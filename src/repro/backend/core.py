@@ -15,47 +15,21 @@ from collections import deque
 from typing import Deque, Dict, List, Tuple
 
 from repro.config import BackEndConfig
-from repro.core.uop import MicroOp, PlaceholderProducer, UopState
+from repro.core.uop import (
+    FU_POOL,
+    LATENCY_KEY,
+    MicroOp,
+    PlaceholderProducer,
+    UopState,
+)
 from repro.errors import SimulationError
-from repro.isa.instructions import OpClass
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.stats import StatsCollector
 
-#: OpClass -> functional-unit pool name.
-_FU_POOL = {
-    OpClass.IALU: "ialu",
-    OpClass.IMUL: "imul",
-    OpClass.IDIV: "idiv",
-    OpClass.FADD: "fadd",
-    OpClass.FMUL: "fmul",
-    OpClass.LOAD: "mem",
-    OpClass.STORE: "mem",
-    OpClass.BRANCH: "ialu",
-    OpClass.JUMP: "ialu",
-    OpClass.CALL: "ialu",
-    OpClass.IJUMP: "ialu",
-    OpClass.ICALL: "ialu",
-    OpClass.RETURN: "ialu",
-    OpClass.HALT: "ialu",
-}
-
-#: OpClass -> latency-table key.
-_LATENCY_KEY = {
-    OpClass.IALU: "ialu",
-    OpClass.IMUL: "imul",
-    OpClass.IDIV: "idiv",
-    OpClass.FADD: "fadd",
-    OpClass.FMUL: "fmul",
-    OpClass.LOAD: "load",
-    OpClass.STORE: "store",
-    OpClass.BRANCH: "branch",
-    OpClass.JUMP: "branch",
-    OpClass.CALL: "branch",
-    OpClass.IJUMP: "branch",
-    OpClass.ICALL: "branch",
-    OpClass.RETURN: "branch",
-    OpClass.HALT: "branch",
-}
+#: Legacy aliases — the tables moved next to the decoded-uop cache in
+#: :mod:`repro.core.uop` so decode can precompute pool/latency keys.
+_FU_POOL = FU_POOL
+_LATENCY_KEY = LATENCY_KEY
 
 _DONE_STATES = (UopState.DONE, UopState.COMMITTED)
 
@@ -78,6 +52,7 @@ class OutOfOrderCore:
 
     @property
     def window_free(self) -> int:
+        """Unreserved instruction-window slots."""
         return self.config.window_size - self._reserved
 
     @property
@@ -95,9 +70,11 @@ class OutOfOrderCore:
         return True
 
     def reserve_single(self, fragment_seq: int) -> bool:
+        """Reserve one window slot for *fragment_seq* (False when full)."""
         return self.reserve(1, fragment_seq)
 
     def release(self, fragment_seq: int, count: int = 1) -> None:
+        """Return up to *count* of *fragment_seq*'s reserved window slots."""
         held = self._reservations.get(fragment_seq, 0)
         count = min(count, held)
         if count <= 0:
@@ -193,11 +170,22 @@ class OutOfOrderCore:
 
     # -- per-cycle operation ------------------------------------------------
 
+    _EMPTY: List[MicroOp] = []
+
     def cycle(self, now: int) -> List[MicroOp]:
-        """One execution cycle; returns uops that completed this cycle."""
-        completed = self._complete(now)
-        self._drain_dispatch(now)
-        self._issue(now)
+        """One execution cycle; returns uops that completed this cycle.
+
+        Idle phases are skipped outright: a cycle with no scheduled
+        completions, an empty dispatch queue and an empty ready list
+        touches none of the phase bodies (common while the window drains
+        a long-latency miss).
+        """
+        completed = (self._complete(now) if now in self._completions
+                     else self._EMPTY)
+        if self._dispatch:
+            self._drain_dispatch(now)
+        if self._ready:
+            self._issue(now)
         return completed
 
     def _complete(self, now: int) -> List[MicroOp]:
@@ -207,7 +195,8 @@ class OutOfOrderCore:
                 continue  # squashed in flight
             uop.state = UopState.DONE
             uop.complete_cycle = now
-            self._wakeup(uop)
+            if uop.consumers:
+                self._wakeup(uop)
             finished.append(uop)
         return finished
 
@@ -239,7 +228,9 @@ class OutOfOrderCore:
             seq, uop = heapq.heappop(self._ready)
             if uop.state is not UopState.READY:
                 continue  # squashed while queued
-            pool = _FU_POOL[uop.op_class]
+            decoded = uop.decoded
+            pool = (decoded.pool if decoded is not None
+                    else _FU_POOL[uop.inst.op_class])
             if used.get(pool, 0) >= counts.get(pool, 0):
                 skipped.append((seq, uop))
                 continue
@@ -255,12 +246,15 @@ class OutOfOrderCore:
     def _start_execution(self, uop: MicroOp, now: int) -> None:
         uop.state = UopState.EXECUTING
         uop.issue_cycle = now
-        latency = self.config.fu_latencies[_LATENCY_KEY[uop.op_class]]
-        done_at = now + latency
-        if uop.inst.is_mem and uop.record is not None \
+        decoded = uop.decoded
+        key = (decoded.latency_key if decoded is not None
+               else _LATENCY_KEY[uop.inst.op_class])
+        done_at = now + self.config.fu_latencies[key]
+        inst = uop.inst
+        if inst.is_mem and uop.record is not None \
                 and uop.record.ea is not None:
             data_ready = self.memory.data_access(uop.record.ea, now)
-            if uop.inst.is_load:
+            if inst.is_load:
                 done_at = max(done_at, data_ready + 1)
         # Wrong-path memory ops have no architectural address; they are
         # charged the L1-hit path only.
@@ -269,6 +263,7 @@ class OutOfOrderCore:
     # -- introspection ---------------------------------------------------
 
     def in_flight_dispatch(self) -> int:
+        """Uops renamed but not yet inserted into the window."""
         return len(self._dispatch)
 
     def drop_squashed_dispatch(self) -> None:

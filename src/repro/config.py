@@ -61,6 +61,7 @@ class CacheConfig:
 
     @property
     def num_sets(self) -> int:
+        """Number of sets implied by size, line size and associativity."""
         return self.size_bytes // (self.line_bytes * self.assoc)
 
 
@@ -154,6 +155,7 @@ class TraceCacheConfig:
 
     @property
     def num_sets(self) -> int:
+        """Number of sets implied by entry count and associativity."""
         return self.size_bytes // (self.line_bytes * self.assoc)
 
 
@@ -209,10 +211,12 @@ class FrontEndConfig:
 
     @property
     def sequencer_width(self) -> int:
+        """Fetch width of each individual sequencer."""
         return self.width // self.sequencers
 
     @property
     def renamer_width(self) -> int:
+        """Rename width of each individual rename unit."""
         return self.width // self.renamers
 
 
@@ -270,6 +274,36 @@ OBS_TRACE_ENV = "REPRO_OBS_TRACE"
 OBS_TRACE_LIMIT_ENV = "REPRO_OBS_TRACE_LIMIT"
 OBS_PROFILE_ENV = "REPRO_OBS_PROFILE"
 
+#: Hot-path fast paths (decoded-uop cache, fragment walk cache); see
+#: :mod:`repro.perf`.  On by default; ``REPRO_FAST=0`` selects the
+#: reference loop the golden-parity test compares against.
+PERF_FAST_ENV = "REPRO_FAST"
+
+#: Every ``REPRO_*`` environment knob the simulator understands, with a
+#: one-line summary.  This registry is the source of truth the
+#: documentation-drift test checks README/EXPERIMENTS/docs against: a
+#: knob documented but absent here (or vice versa) fails the build.
+ENV_KNOBS: Dict[str, str] = {
+    "REPRO_SIM_INSTRUCTIONS": "dynamic instruction budget per simulation",
+    "REPRO_SWEEP_INSTRUCTIONS": "instruction budget for sweep jobs",
+    "REPRO_EXPERIMENT_BENCHMARKS": "benchmark subset for experiments",
+    "REPRO_SWEEP_WORKERS": "sweep runner worker processes",
+    "REPRO_SWEEP_RETRIES": "sweep job retry attempts",
+    "REPRO_SWEEP_BACKOFF": "base delay between sweep job retries",
+    "REPRO_JOB_TIMEOUT": "per-job wall-clock timeout in sweeps",
+    "REPRO_CACHE_DIR": "persistent sweep result-cache directory",
+    "REPRO_NO_CACHE": "disable the sweep result cache",
+    "REPRO_WATCHDOG_CYCLES": "pipeline forward-progress watchdog window",
+    "REPRO_INVARIANT_CHECKS": "per-cycle pipeline state audits",
+    "REPRO_FAULTS": "deterministic fault-injection plan",
+    "REPRO_OBS_SAMPLE": "metrics sampling interval in cycles",
+    "REPRO_OBS_RING": "metrics ring-buffer capacity",
+    "REPRO_OBS_TRACE": "pipeline event trace (path or 1)",
+    "REPRO_OBS_TRACE_LIMIT": "trace event cap",
+    "REPRO_OBS_PROFILE": "per-phase wall-clock profiling",
+    "REPRO_FAST": "hot-path caches (0 = reference loop)",
+}
+
 
 @dataclass(frozen=True)
 class ObservabilityConfig:
@@ -308,6 +342,7 @@ class ObservabilityConfig:
 
     @property
     def enabled(self) -> bool:
+        """Whether any observability pillar is switched on."""
         return bool(self.sample_interval or self.trace or self.profile)
 
     @classmethod

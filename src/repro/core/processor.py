@@ -30,7 +30,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 from repro.config import ProcessorConfig
 from repro.core.invariants import InvariantChecker, PipelineWatchdog
-from repro.core.uop import MicroOp, PlaceholderProducer, UopState
+from repro.core.uop import DecodeCache, MicroOp, PlaceholderProducer, UopState
+from repro.perf import fast_paths_enabled
 from repro.backend.core import OutOfOrderCore
 from repro.emulator.stream import DynamicInstruction
 from repro.errors import ConfigError, SimulationError
@@ -103,6 +104,12 @@ class Processor:
         self.engine = self._build_engine()
         self.core = OutOfOrderCore(config.backend, self.memory, self.stats)
         self.renamer = self._build_renamer()
+        #: Decoded-uop cache: recurring fragments reuse one immutable
+        #: :class:`~repro.core.uop.DecodedUop` per static instruction
+        #: instead of re-deriving operands/pool/latency every rename.
+        #: None under ``REPRO_FAST=0`` (the golden-parity reference loop).
+        self.decode_cache: Optional[DecodeCache] = (
+            DecodeCache() if fast_paths_enabled() else None)
 
         #: In-flight fragments, oldest first (committed ones are removed).
         self.fragments: List[FragmentInFlight] = []
@@ -295,16 +302,22 @@ class Processor:
     def _tag_fragment(self, fragment: FragmentInFlight) -> None:
         """Bind fragment instructions to oracle records; detect divergence."""
         records: List[Optional[Tuple[DynamicInstruction, int]]] = []
+        append = records.append
         oracle = self._oracle
+        limit = len(oracle)
+        pos = self._oracle_pos
+        diverged = self._diverged
         for i, inst in enumerate(fragment.static_frag.instructions):
-            if (not self._diverged and self._oracle_pos < len(oracle)
-                    and oracle[self._oracle_pos].pc == inst.addr):
-                records.append((oracle[self._oracle_pos], self._oracle_pos))
-                self._oracle_pos += 1
+            if not diverged and pos < limit and oracle[pos].pc == inst.addr:
+                append((oracle[pos], pos))
+                pos += 1
             else:
-                if not self._diverged:
+                if not diverged:
+                    self._oracle_pos = pos
                     self._mark_divergence(fragment, i, records)
-                records.append(None)
+                    diverged = True
+                append(None)
+        self._oracle_pos = pos
         fragment.records = records
 
     def _mark_divergence(self, fragment: FragmentInFlight, position: int,
@@ -350,9 +363,12 @@ class Processor:
         entry = (fragment.records[position]
                  if position < len(fragment.records) else None)
         record = entry[0] if entry is not None else None
+        cache = self.decode_cache
         uop = MicroOp(seq=(fragment.seq << 8) | position, inst=inst,
                       pc=inst.addr, fragment_seq=fragment.seq,
-                      position=position, record=record)
+                      position=position, record=record,
+                      decoded=(cache.lookup(inst.addr, inst)
+                               if cache is not None else None))
         uop.renamed_cycle = self.now
         if entry is not None:
             uop.oracle_idx = entry[1]
@@ -622,6 +638,7 @@ class Processor:
 
     def _commit(self) -> None:
         budget = self.config.backend.commit_width
+        committed = 0
         while budget > 0 and self.fragments:
             fragment = self.fragments[0]
             limit = fragment.length
@@ -644,7 +661,7 @@ class Processor:
             fragment.committed_count += 1
             self._committed += 1
             budget -= 1
-            self.stats.add("commit.insts")
+            committed += 1
             self._carve_feed(uop.record)
             if (fragment.truncated_at is not None
                     and fragment.committed_count == fragment.truncated_at):
@@ -655,7 +672,9 @@ class Processor:
                 self._carve_flush()
             if self._committed >= len(self._oracle):
                 self._done = True
-                return
+                break
+        if committed:
+            self.stats.add("commit.insts", committed)
 
     def _retire_fragment(self, fragment: FragmentInFlight) -> None:
         self.fragments.pop(0)
@@ -697,8 +716,10 @@ class Processor:
 
     @property
     def finished(self) -> bool:
+        """Whether the timed run has reached its stop condition."""
         return self._done
 
     @property
     def committed(self) -> int:
+        """Architecturally committed instructions so far."""
         return self._committed

@@ -35,6 +35,7 @@ class SimulationResult:
     counters: Dict[str, float] = field(default_factory=dict)
 
     def counter(self, name: str) -> float:
+        """A raw counter value by name (0.0 when absent)."""
         return self.counters.get(name, 0.0)
 
     # -- headline metrics -------------------------------------------------
@@ -66,6 +67,7 @@ class SimulationResult:
 
     @property
     def trace_cache_hit_rate(self) -> float:
+        """Trace-cache hits over trace-cache accesses."""
         hits = self.counter("tc.hits")
         total = hits + self.counter("tc.misses")
         return hits / total if total else 0.0
@@ -106,6 +108,7 @@ class SimulationResult:
 
     @property
     def l1i_miss_rate(self) -> float:
+        """L1 instruction-cache misses over accesses."""
         hits = self.counter("l1i.hits")
         misses = self.counter("l1i.misses")
         total = hits + misses
@@ -113,6 +116,7 @@ class SimulationResult:
 
     @property
     def timed_out(self) -> bool:
+        """Whether the run hit its cycle bound before finishing."""
         return bool(self.counter("sim.timeout"))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

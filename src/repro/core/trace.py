@@ -48,6 +48,7 @@ class UopTrace:
 
     @classmethod
     def from_uop(cls, uop: MicroOp) -> "UopTrace":
+        """Snapshot one committed uop's pipeline timestamps."""
         return cls(seq=uop.seq, pc=uop.pc,
                    text=format_instruction(uop.inst),
                    renamed=uop.renamed_cycle,

@@ -1,22 +1,145 @@
-"""In-flight micro-operations.
+"""In-flight micro-operations and the decoded-uop cache.
 
 A :class:`MicroOp` is one dynamic instance of an instruction travelling
 through the timing pipeline.  Dataflow is modelled by linking each source
 operand to its *producer* (another MicroOp, or a
 :class:`PlaceholderProducer` created by parallel rename's phase 1 for a
 predicted live-out that has not been renamed yet).
+
+The :class:`DecodeCache` holds one immutable :class:`DecodedUop` per
+``(pc, instruction)``: the dataflow view (zero-register-filtered sources
+and destination) plus the functional-unit pool and latency-table key the
+scheduler needs.  Recurring fragments — the overwhelmingly common case,
+since fetch walks the same loops over and over — reuse the cached entry
+instead of re-deriving this metadata for every dynamic instance.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.emulator.stream import DynamicInstruction
 from repro.isa.instructions import Instruction, OpClass
+from repro.isa.registers import ZERO_REG
+
+#: OpClass -> functional-unit pool name (the Table 1 taxonomy; branches
+#: and integer ALU ops share the integer adders, loads and stores the
+#: load/store units).
+FU_POOL: Dict[OpClass, str] = {
+    OpClass.IALU: "ialu",
+    OpClass.IMUL: "imul",
+    OpClass.IDIV: "idiv",
+    OpClass.FADD: "fadd",
+    OpClass.FMUL: "fmul",
+    OpClass.LOAD: "mem",
+    OpClass.STORE: "mem",
+    OpClass.BRANCH: "ialu",
+    OpClass.JUMP: "ialu",
+    OpClass.CALL: "ialu",
+    OpClass.IJUMP: "ialu",
+    OpClass.ICALL: "ialu",
+    OpClass.RETURN: "ialu",
+    OpClass.HALT: "ialu",
+}
+
+#: OpClass -> key into ``BackEndConfig.fu_latencies``.
+LATENCY_KEY: Dict[OpClass, str] = {
+    OpClass.IALU: "ialu",
+    OpClass.IMUL: "imul",
+    OpClass.IDIV: "idiv",
+    OpClass.FADD: "fadd",
+    OpClass.FMUL: "fmul",
+    OpClass.LOAD: "load",
+    OpClass.STORE: "store",
+    OpClass.BRANCH: "branch",
+    OpClass.JUMP: "branch",
+    OpClass.CALL: "branch",
+    OpClass.IJUMP: "branch",
+    OpClass.ICALL: "branch",
+    OpClass.RETURN: "branch",
+    OpClass.HALT: "branch",
+}
+
+
+class DecodedUop:
+    """Immutable decode/dependence metadata shared by every dynamic
+    instance of one static instruction.
+
+    Attributes:
+        srcs: source architectural registers with ``r0`` filtered out —
+            exactly the registers that create rename dependences.
+        dest: destination architectural register, or ``None`` when the
+            instruction writes nothing (or only ``r0``).
+        pool: functional-unit pool name for issue arbitration.
+        latency_key: key into the configured latency table.
+    """
+
+    __slots__ = ("srcs", "dest", "pool", "latency_key")
+
+    def __init__(self, inst: Instruction):
+        self.srcs: Tuple[int, ...] = tuple(
+            r for r in inst.src_regs() if r != ZERO_REG)
+        dest = inst.dest_reg()
+        self.dest: Optional[int] = (dest if dest is not None
+                                    and dest != ZERO_REG else None)
+        self.pool: str = FU_POOL[inst.op_class]
+        self.latency_key: str = LATENCY_KEY[inst.op_class]
+
+
+class DecodeCache:
+    """Bounded ``(pc, instruction) -> DecodedUop`` cache.
+
+    One cache serves one processor instance.  Entries are stored under
+    the PC with the instruction object kept alongside and verified by
+    identity on every hit: hashing the PC (a small int) is far cheaper
+    than hashing the instruction dataclass, and the identity check keeps
+    the mapping honest if a different instruction object is ever
+    presented for the same address (self-modifying test programs).
+
+    Capacity bounds model the finite decoded-uop storage a hardware
+    front-end would have; when the cache fills, the oldest entries are
+    evicted FIFO (insertion order) in batches so eviction cost stays
+    amortised.  Hits, misses and evictions are observable for tests and
+    tuning.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+
+    #: Fraction of the cache evicted per overflow (amortised FIFO).
+    _EVICT_FRACTION = 8
+
+    def __init__(self, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: Dict[int, Tuple[Instruction, DecodedUop]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, pc: int, inst: Instruction) -> DecodedUop:
+        """The decoded form of *inst* at *pc*, decoding on first use."""
+        entry = self._entries.get(pc)
+        if entry is not None and entry[0] is inst:
+            self.hits += 1
+            return entry[1]
+        if entry is None and len(self._entries) >= self.capacity:
+            drop = max(1, self.capacity // self._EVICT_FRACTION)
+            for old in list(self._entries)[:drop]:
+                del self._entries[old]
+            self.evictions += drop
+        self.misses += 1
+        decoded = DecodedUop(inst)
+        self._entries[pc] = (inst, decoded)
+        return decoded
 
 
 class UopState(enum.Enum):
+    """Lifecycle of a renamed micro-op through the window."""
     RENAMED = "renamed"      # renamed, waiting to enter the window
     WAITING = "waiting"      # in window, sources not ready
     READY = "ready"          # in window, sources ready, waiting for issue
@@ -93,12 +216,13 @@ class MicroOp:
         "seq", "inst", "pc", "fragment_seq", "position", "record",
         "state", "sources", "complete_cycle", "renamed_cycle",
         "dispatch_ready_cycle", "consumers", "pending", "oracle_idx",
-        "redirect_target", "issue_cycle", "commit_cycle",
+        "redirect_target", "issue_cycle", "commit_cycle", "decoded",
     )
 
     def __init__(self, seq: int, inst: Instruction, pc: int,
                  fragment_seq: int, position: int,
-                 record: Optional[DynamicInstruction]):
+                 record: Optional[DynamicInstruction],
+                 decoded: Optional[DecodedUop] = None):
         self.seq = seq
         self.inst = inst
         self.pc = pc
@@ -107,6 +231,9 @@ class MicroOp:
         self.position = position
         #: Oracle record when on the correct path, else None (wrong path).
         self.record = record
+        #: Cached decode metadata (see :class:`DecodeCache`); None when
+        #: the uop was constructed outside the processor (tests).
+        self.decoded = decoded
         self.state = UopState.RENAMED
         #: Producers of each source operand (filled in by rename).
         self.sources: List[Producer] = []
@@ -130,14 +257,17 @@ class MicroOp:
 
     @property
     def on_correct_path(self) -> bool:
+        """Whether this uop has an oracle record (correct-path)."""
         return self.record is not None
 
     @property
     def op_class(self) -> OpClass:
+        """Functional-unit class of the underlying instruction."""
         return self.inst.op_class
 
     @property
     def is_control(self) -> bool:
+        """Whether the underlying instruction is a control transfer."""
         return self.inst.is_control
 
     def sources_ready(self) -> bool:

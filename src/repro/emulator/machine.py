@@ -59,12 +59,14 @@ class Machine:
     # -- memory ------------------------------------------------------------
 
     def load_word(self, addr: int):
+        """Read the word at *addr* (zero when untouched); checks alignment."""
         if addr % WORD_BYTES:
             raise EmulationError(f"unaligned load at {addr:#x} "
                                  f"(pc={self.pc:#x})")
         return self.memory.get(addr, 0)
 
     def store_word(self, addr: int, value) -> None:
+        """Write *value* to the word at *addr*; checks alignment."""
         if addr % WORD_BYTES:
             raise EmulationError(f"unaligned store at {addr:#x} "
                                  f"(pc={self.pc:#x})")

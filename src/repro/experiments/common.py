@@ -51,6 +51,7 @@ def experiment_benchmarks() -> List[str]:
 
 
 def experiment_length() -> int:
+    """Dynamic instruction count used by the figure experiments."""
     return default_sim_instructions()
 
 

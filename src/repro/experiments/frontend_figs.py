@@ -48,6 +48,7 @@ def figure4(length: Optional[int] = None,
 
 
 def format_figure4(data: Dict) -> str:
+    """Render Figure 4 (fetch slot utilization) as a text table."""
     rows = [[cfg, data["hmean"][cfg], data["paper_hmean"][cfg]]
             for cfg in FIG4_CONFIGS]
     return ("Figure 4: Fetch Slot Utilization (harmonic mean)\n"
@@ -74,6 +75,7 @@ def figure5(length: Optional[int] = None,
 
 
 def format_figure5(data: Dict) -> str:
+    """Render Figure 5 (fetch/rename rates) as a text table."""
     rows = [[cfg, data["fetch_rate"][cfg], data["rename_rate"][cfg]]
             for cfg in FIG5_CONFIGS]
     return ("Figure 5: Instructions fetched & renamed per cycle "
@@ -107,6 +109,7 @@ def figure6(length: Optional[int] = None,
 
 
 def format_figure6(data: Dict) -> str:
+    """Render Figure 6 (serial rename penalty) as a text table."""
     rows = [[cfg, data["penalty_percent"][cfg],
              data["paper_penalty"][cfg],
              100 * data["renamed_before_source"][cfg]]
@@ -136,6 +139,7 @@ def figure8(length: Optional[int] = None,
 
 
 def format_figure8(data: Dict) -> str:
+    """Render Figure 8 (per-benchmark speedups) as a text table."""
     benchmarks = sorted(next(iter(data["speedup_percent"].values())))
     rows = []
     for bench in benchmarks:
@@ -177,6 +181,7 @@ def text_statistics(length: Optional[int] = None,
 
 
 def format_text_statistics(data: Dict) -> str:
+    """Render the Section 4 text statistics as a table."""
     rows = [[bench, data["fragment_reuse"][bench],
              data["preconstructed"][bench], data["tc_hit_rate"][bench]]
             for bench in sorted(data["fragment_reuse"])]

@@ -163,6 +163,7 @@ class SweepJob:
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def describe(self) -> str:
+        """Human-readable one-line description of the job."""
         parts = [self.label or self.config_name, self.benchmark,
                  f"n={self.length}"]
         if self.total_l1_storage is not None:
@@ -271,6 +272,7 @@ class ResultCache:
     def store(self, key: str, job: SweepJob,
               result: SimulationResult,
               stats: Optional[StatsCollector] = None) -> None:
+        """Persist one job's result (and stats) under *key*."""
         if not self.enabled:
             return
         start = time.perf_counter()
@@ -460,6 +462,7 @@ class JobFailure:
     attempts: int
 
     def describe(self) -> str:
+        """Human-readable one-line description of the failure."""
         return (f"{self.job.describe()}: {self.error_type}: "
                 f"{self.message} (after {self.attempts} attempt(s))")
 
@@ -477,15 +480,18 @@ class SweepReport:
 
     @property
     def executed(self) -> int:
+        """Jobs that actually ran a simulation (not cached)."""
         return int(self.stats.get("sweep.executed"))
 
     @property
     def cache_hits(self) -> int:
+        """Jobs served from the memo or disk cache."""
         return int(self.stats.get("sweep.memo_hits")
                    + self.stats.get("sweep.disk_hits"))
 
     @property
     def failed(self) -> int:
+        """Jobs that exhausted their retries."""
         return len(self.failures)
 
     def raise_failures(self) -> None:
@@ -500,6 +506,7 @@ class SweepReport:
                 f"{len(self.failures)} sweep job(s) failed: {details}")
 
     def summary(self) -> str:
+        """Multi-line execution summary (jobs, hits, retries, time)."""
         stats = self.stats
         lines = [
             f"jobs          {int(stats.get('sweep.jobs'))}",

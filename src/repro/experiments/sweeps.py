@@ -77,6 +77,7 @@ def figure7(length: Optional[int] = None,
 
 
 def format_figure7(data: Dict) -> str:
+    """Render Figure 7 (predictor sensitivity) as a text table."""
     series = {f"{assoc}-way": [data["accuracy"][assoc][e]
                                for e in data["entries"]]
               for assoc in data["assocs"]}
@@ -128,6 +129,7 @@ def figure9(length: Optional[int] = None,
 
 
 def format_figure9(data: Dict) -> str:
+    """Render Figure 9 (L1 storage sensitivity) as a text table."""
     xs = [s // KB for s in data["storages"]]
     text = series_table(
         "Figure 9: Sensitivity to total L1 instruction storage "
@@ -175,6 +177,7 @@ def figure10(length: Optional[int] = None,
 
 
 def format_figure10(data: Dict) -> str:
+    """Render Figure 10 (predictor size sensitivity) as a text table."""
     xs = [e // 1024 for e in data["entries"]]
     text = series_table(
         "Figure 10: Sensitivity to fragment-predictor size "

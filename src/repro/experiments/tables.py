@@ -84,6 +84,7 @@ def table2(length: Optional[int] = None,
 
 
 def format_table2(rows: Dict[str, Dict]) -> str:
+    """Render Table 2 (benchmark characteristics) as a text table."""
     table_rows = []
     for name, row in rows.items():
         table_rows.append([

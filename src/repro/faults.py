@@ -95,6 +95,7 @@ class FaultSpec:
     keep: float = 0.5
 
     def applies(self, description: str, attempt: Optional[int] = None) -> bool:
+        """Whether this spec fires for *description* on *attempt*."""
         if self.match and self.match not in description:
             return False
         if (attempt is not None and self.attempts is not None
@@ -111,6 +112,7 @@ class FaultPlan:
 
     @classmethod
     def parse(cls, text: str) -> "FaultPlan":
+        """Parse a ``REPRO_FAULTS`` directive string into a plan."""
         specs: List[FaultSpec] = []
         for directive in text.split(";"):
             directive = directive.strip()

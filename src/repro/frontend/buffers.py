@@ -37,7 +37,7 @@ class FragmentInFlight:
         "mispredict_position", "mispredict_target",
         "committed_count", "records",
         "alloc_cycle", "fetch_start_cycle", "fetch_sequencer",
-        "rename_done_cycle",
+        "rename_done_cycle", "_static_len",
     )
 
     def __init__(self, seq: int, key: FragmentKey,
@@ -47,6 +47,9 @@ class FragmentInFlight:
         self.seq = seq
         self.key = key
         self.static_frag = static_frag
+        #: ``len(static_frag.instructions)``, snapshotted: length checks
+        #: run several times per instruction on the rename hot path.
+        self._static_len = len(static_frag.instructions)
         self.buffer_index: Optional[int] = None
 
         # Fetch progress.
@@ -111,18 +114,22 @@ class FragmentInFlight:
     @property
     def length(self) -> int:
         """Fragment length in non-NOP instructions."""
-        if self.truncated_at is not None:
-            return self.truncated_at
-        return self.static_frag.length
+        truncated = self.truncated_at
+        return self._static_len if truncated is None else truncated
 
     @property
     def fully_renamed(self) -> bool:
+        """Whether every instruction has been renamed."""
         return self.rename_done
 
     def renameable_count(self) -> int:
         """Instructions fetched but not yet renamed."""
-        limit = self.length
-        return min(self.fetched_count, limit) - self.read_count
+        truncated = self.truncated_at
+        limit = self._static_len if truncated is None else truncated
+        fetched = self.fetched_count
+        if fetched < limit:
+            limit = fetched
+        return limit - self.read_count
 
     def reset_rename(self) -> None:
         """Discard rename progress (live-out misprediction recovery)."""
@@ -171,9 +178,11 @@ class FragmentBufferArray:
         self._buffers = [_Buffer(i) for i in range(num_buffers)]
 
     def free_count(self) -> int:
+        """Buffers without an occupant."""
         return sum(1 for b in self._buffers if b.occupant is None)
 
     def occupied_count(self) -> int:
+        """Buffers currently holding an in-flight fragment."""
         return sum(1 for b in self._buffers if b.occupant is not None)
 
     def allocate(self, fragment: FragmentInFlight, now: int) -> bool:

@@ -11,7 +11,7 @@ checkpoints/recovers predictor state around mispredictions.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.config import FragmentConfig
 from repro.frontend.buffers import FragmentInFlight
@@ -22,9 +22,15 @@ from repro.frontend.fragments import (
     walk_fragment,
 )
 from repro.isa.program import Program
+from repro.perf import fast_paths_enabled
 from repro.predictors.return_stack import ReturnAddressStack
 from repro.predictors.trace_predictor import TracePredictor
 from repro.stats import StatsCollector
+
+#: Bound on cached fragment walks; overflow clears the cache outright
+#: (cheap, and a working set anywhere near this size is a wrong-path
+#: explosion, not a loop).
+_WALK_CACHE_CAPACITY = 32768
 
 
 class FrontEndControl:
@@ -51,6 +57,15 @@ class FrontEndControl:
         #: True when fetch is stalled behind an unresolved indirect.
         self.stalled_on_indirect = False
 
+        #: ``(start_pc, directions) -> StaticFragment`` memo for walks
+        #: that never consulted the direction fallback — only those are
+        #: pure functions of the key (the bimodal fallback trains over
+        #: time, so a walk that asked it may answer differently later).
+        #: None under ``REPRO_FAST=0`` (the golden-parity reference).
+        self._walk_cache: Optional[
+            Dict[Tuple[int, Tuple[bool, ...]], StaticFragment]] = (
+            {} if fast_paths_enabled() else None)
+
     # -- fragment generation ----------------------------------------------
 
     def try_next_fragment(self) -> Optional[FragmentInFlight]:
@@ -66,9 +81,7 @@ class FrontEndControl:
 
         history_snapshot = self.predictor.snapshot_history()
         ras_snapshot = self.ras.snapshot()
-        static_frag = walk_fragment(self.program, start, directions,
-                                    self.fragment_config,
-                                    fallback=self.direction_fallback)
+        static_frag = self._walk(start, directions)
         fragment = FragmentInFlight(self._next_seq, static_frag.key,
                                     static_frag, history_snapshot,
                                     ras_snapshot)
@@ -79,6 +92,40 @@ class FrontEndControl:
         self._prepare_next_start(static_frag)
         self.stats.add("frontend.fragments_created")
         return fragment
+
+    def _walk(self, start: int, directions) -> StaticFragment:
+        """Walk (or recall) the fragment at ``(start, directions)``.
+
+        Walks are memoised only when the direction fallback was never
+        consulted: with every conditional branch covered by a supplied
+        direction bit, the walk is a pure function of the key and the
+        (immutable) program, so replaying the cached result is
+        bit-identical to re-walking — including predictor state, which
+        is untouched either way.
+        """
+        cache = self._walk_cache
+        fallback = self.direction_fallback
+        if cache is None:
+            return walk_fragment(self.program, start, directions,
+                                 self.fragment_config, fallback=fallback)
+        key = (start, tuple(directions))
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        consulted = False
+        gated = None
+        if fallback is not None:
+            def gated(pc, _fallback=fallback):
+                nonlocal consulted
+                consulted = True
+                return _fallback(pc)
+        static_frag = walk_fragment(self.program, start, directions,
+                                    self.fragment_config, fallback=gated)
+        if not consulted:
+            if len(cache) >= _WALK_CACHE_CAPACITY:
+                cache.clear()
+            cache[key] = static_frag
+        return static_frag
 
     def _resolve_start(self, prediction: Optional[FragmentKey]):
         """Decide the next fragment's start PC and direction bits."""

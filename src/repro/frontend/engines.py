@@ -110,12 +110,15 @@ class SequentialFillEngine(FillEngine):
         self._current: Optional[FragmentInFlight] = None
 
     def can_accept(self) -> bool:
+        """Whether the fetch queue has room for another fragment."""
         return len(self._queue) < 4
 
     def accept(self, fragment: FragmentInFlight) -> None:
+        """Queue *fragment* for fetch."""
         self._queue.append(fragment)
 
     def cycle(self, now: int) -> int:
+        """Fetch up to one fragment's worth of instructions this cycle."""
         self._gate.reset()
         if self._current is not None and (self._current.complete
                                           or self._current.squashed):
@@ -130,11 +133,13 @@ class SequentialFillEngine(FillEngine):
                                               self._gate)
 
     def squash(self) -> None:
+        """Drop squashed fragments from fetch state."""
         self._queue = deque(f for f in self._queue if not f.squashed)
         if self._current is not None and self._current.squashed:
             self._current = None
 
     def busy_sequencers(self, now: int) -> int:
+        """Sequencers actively fetching this cycle (0 or 1)."""
         return int(self._current is not None
                    and self._current.fetch_stall_until <= now)
 
@@ -153,12 +158,15 @@ class TraceCacheFillEngine(FillEngine):
         self._filling: Optional[FragmentInFlight] = None
 
     def can_accept(self) -> bool:
+        """Whether the fetch queue has room for another fragment."""
         return len(self._queue) < 4
 
     def accept(self, fragment: FragmentInFlight) -> None:
+        """Queue *fragment* for trace-cache lookup and fetch."""
         self._queue.append(fragment)
 
     def cycle(self, now: int) -> int:
+        """Probe the trace cache, then fill at most one fragment."""
         self._gate.reset()
         if self._filling is not None and (self._filling.squashed
                                           or self._filling.complete):
@@ -193,11 +201,13 @@ class TraceCacheFillEngine(FillEngine):
         return fetched
 
     def squash(self) -> None:
+        """Drop squashed fragments from fetch state."""
         self._queue = deque(f for f in self._queue if not f.squashed)
         if self._filling is not None and self._filling.squashed:
             self._filling = None
 
     def busy_sequencers(self, now: int) -> int:
+        """Sequencers actively fetching this cycle (0 or 1)."""
         return int(self._filling is not None
                    and self._filling.fetch_stall_until <= now)
 
@@ -218,12 +228,15 @@ class ParallelFillEngine(FillEngine):
 
     def can_accept(self) -> bool:
         # Fragment supply is bounded by buffer availability upstream.
+        """Always true: supply is bounded by fragment buffers."""
         return True
 
     def accept(self, fragment: FragmentInFlight) -> None:
+        """Add *fragment* to the pool competing for sequencers."""
         self._pending.append(fragment)
 
     def cycle(self, now: int) -> int:
+        """Let the oldest fetchable fragments use the sequencers."""
         self._gate.reset()
         self._pending = [f for f in self._pending
                          if not (f.squashed or f.complete)]
@@ -241,9 +254,11 @@ class ParallelFillEngine(FillEngine):
         return fetched
 
     def squash(self) -> None:
+        """Drop squashed fragments from the pending pool."""
         self._pending = [f for f in self._pending if not f.squashed]
 
     def busy_sequencers(self, now: int) -> int:
+        """Sequencers with a fetchable fragment this cycle."""
         fetchable = sum(1 for f in self._pending
                         if not (f.squashed or f.complete)
                         and f.fetch_stall_until <= now)

@@ -103,6 +103,7 @@ class StaticFragment(NamedTuple):
 
     @property
     def length(self) -> int:
+        """Fragment length in non-NOP instructions."""
         return len(self.instructions)
 
 
@@ -123,6 +124,7 @@ class DynamicFragment:
 
     @property
     def length(self) -> int:
+        """Number of oracle records in the dynamic fragment."""
         return len(self.records)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -56,6 +56,7 @@ class TraceCache:
 
     @property
     def hit_rate(self) -> float:
+        """Trace-cache hits over accesses so far."""
         hits = self.stats.get("tc.hits")
         total = hits + self.stats.get("tc.misses")
         return hits / total if total else 0.0

@@ -145,6 +145,13 @@ class Instruction:
     the immediate operand; for direct control transfers ``target`` holds
     the absolute byte address of the destination once the program has been
     assembled/linked.
+
+    Classification (``op_class``, ``is_control``, ``is_load``, ...) and
+    dataflow (``src_regs()``/``dest_reg()``) are **precomputed once** in
+    ``__post_init__`` and stored as plain attributes: the timing model
+    consults them millions of times per simulation, and attribute loads
+    are several times cheaper than property dispatch plus enum-membership
+    hashing on that path.
     """
 
     opcode: Opcode
@@ -156,51 +163,60 @@ class Instruction:
     #: Address the instruction was placed at; filled in by the assembler.
     addr: int = field(default=-1, compare=False)
 
-    # -- classification -------------------------------------------------
+    # Precomputed classification (plain attributes, not dataclass fields:
+    # they are derived from ``opcode`` and must not affect eq/hash/repr).
+    op_class: OpClass = field(init=False, repr=False, compare=False,
+                              default=None)
+    is_control: bool = field(init=False, repr=False, compare=False,
+                             default=False)
+    is_cond_branch: bool = field(init=False, repr=False, compare=False,
+                                 default=False)
+    is_indirect: bool = field(init=False, repr=False, compare=False,
+                              default=False)
+    is_call: bool = field(init=False, repr=False, compare=False,
+                          default=False)
+    is_return: bool = field(init=False, repr=False, compare=False,
+                            default=False)
+    is_nop: bool = field(init=False, repr=False, compare=False,
+                         default=False)
+    is_halt: bool = field(init=False, repr=False, compare=False,
+                          default=False)
+    is_load: bool = field(init=False, repr=False, compare=False,
+                          default=False)
+    is_store: bool = field(init=False, repr=False, compare=False,
+                           default=False)
+    is_mem: bool = field(init=False, repr=False, compare=False,
+                         default=False)
 
-    @property
-    def op_class(self) -> OpClass:
-        return self.opcode.op_class
-
-    @property
-    def is_control(self) -> bool:
-        return self.opcode.op_class in CONTROL_CLASSES
-
-    @property
-    def is_cond_branch(self) -> bool:
-        return self.opcode.op_class is OpClass.BRANCH
-
-    @property
-    def is_indirect(self) -> bool:
-        return self.opcode.op_class in INDIRECT_CLASSES
-
-    @property
-    def is_call(self) -> bool:
-        return self.opcode.op_class in (OpClass.CALL, OpClass.ICALL)
-
-    @property
-    def is_return(self) -> bool:
-        return self.opcode.op_class is OpClass.RETURN
-
-    @property
-    def is_nop(self) -> bool:
-        return self.opcode is Opcode.NOP
-
-    @property
-    def is_halt(self) -> bool:
-        return self.opcode is Opcode.HALT
-
-    @property
-    def is_load(self) -> bool:
-        return self.opcode.op_class is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.opcode.op_class is OpClass.STORE
-
-    @property
-    def is_mem(self) -> bool:
-        return self.opcode.op_class in (OpClass.LOAD, OpClass.STORE)
+    def __post_init__(self) -> None:
+        set_attr = object.__setattr__  # frozen dataclass escape hatch
+        op_class = self.opcode.op_class
+        set_attr(self, "op_class", op_class)
+        set_attr(self, "is_control", op_class in CONTROL_CLASSES)
+        set_attr(self, "is_cond_branch", op_class is OpClass.BRANCH)
+        set_attr(self, "is_indirect", op_class in INDIRECT_CLASSES)
+        set_attr(self, "is_call",
+                 op_class in (OpClass.CALL, OpClass.ICALL))
+        set_attr(self, "is_return", op_class is OpClass.RETURN)
+        set_attr(self, "is_nop", self.opcode is Opcode.NOP)
+        set_attr(self, "is_halt", self.opcode is Opcode.HALT)
+        set_attr(self, "is_load", op_class is OpClass.LOAD)
+        set_attr(self, "is_store", op_class is OpClass.STORE)
+        set_attr(self, "is_mem",
+                 op_class in (OpClass.LOAD, OpClass.STORE))
+        srcs = []
+        if self.rs1 is not None:
+            srcs.append(self.rs1)
+        if self.rs2 is not None:
+            srcs.append(self.rs2)
+        if self.is_return:
+            srcs.append(LINK_REG)
+        set_attr(self, "_srcs", tuple(srcs))
+        if op_class in (OpClass.CALL, OpClass.ICALL):
+            dest = self.rd if self.rd is not None else LINK_REG
+        else:
+            dest = self.rd
+        set_attr(self, "_dest", dest)
 
     # -- dataflow --------------------------------------------------------
 
@@ -210,14 +226,7 @@ class Instruction:
         ``r0`` reads are included (they rename to the permanent zero
         mapping); callers that want "real" dependences can filter it out.
         """
-        srcs = []
-        if self.rs1 is not None:
-            srcs.append(self.rs1)
-        if self.rs2 is not None:
-            srcs.append(self.rs2)
-        if self.is_return:
-            srcs.append(LINK_REG)
-        return tuple(srcs)
+        return self._srcs
 
     def dest_reg(self) -> Optional[int]:
         """Architectural register written, or ``None``.
@@ -226,9 +235,7 @@ class Instruction:
         here so that the rename stage sees the same operand pattern the
         hardware decoder would.
         """
-        if self.opcode.op_class in (OpClass.CALL, OpClass.ICALL):
-            return self.rd if self.rd is not None else LINK_REG
-        return self.rd
+        return self._dest
 
     @property
     def next_addr(self) -> int:

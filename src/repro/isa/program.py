@@ -50,6 +50,16 @@ class Program:
     def __post_init__(self) -> None:
         if self.entry is None:
             self.entry = self.symbols.get("main", self.text_base)
+        # Hot-path constants: fetch/emulation translate PCs to
+        # instructions millions of times per run, so the bounds and the
+        # address->instruction map are precomputed here rather than
+        # re-derived per lookup.
+        self._text_end = (self.text_base
+                          + len(self.instructions) * INSTRUCTION_BYTES)
+        self._by_addr = {
+            self.text_base + i * INSTRUCTION_BYTES: inst
+            for i, inst in enumerate(self.instructions)
+        }
 
     # -- text segment ----------------------------------------------------
 
@@ -60,17 +70,18 @@ class Program:
 
     @property
     def text_end(self) -> int:
-        return self.text_base + self.text_size
+        """First byte address past the text segment."""
+        return self._text_end
 
     def contains_addr(self, addr: int) -> bool:
         """True if *addr* falls inside the text segment."""
-        return self.text_base <= addr < self.text_end
+        return self.text_base <= addr < self._text_end
 
     def index_of(self, addr: int) -> int:
         """Index into ``instructions`` for byte address *addr*."""
         if not self.contains_addr(addr):
             raise ReproError(f"PC {addr:#x} outside text segment "
-                             f"[{self.text_base:#x}, {self.text_end:#x})")
+                             f"[{self.text_base:#x}, {self._text_end:#x})")
         offset = addr - self.text_base
         if offset % INSTRUCTION_BYTES:
             raise ReproError(f"unaligned PC {addr:#x}")
@@ -78,7 +89,11 @@ class Program:
 
     def inst_at(self, addr: int) -> Instruction:
         """The instruction stored at byte address *addr*."""
-        return self.instructions[self.index_of(addr)]
+        inst = self._by_addr.get(addr)
+        if inst is None:
+            self.index_of(addr)  # raises the precise diagnostic
+            raise ReproError(f"unaligned PC {addr:#x}")  # pragma: no cover
+        return inst
 
     def iter_from(self, addr: int) -> Iterator[Instruction]:
         """Iterate instructions in static order starting at *addr*."""
@@ -88,6 +103,7 @@ class Program:
     # -- symbols ---------------------------------------------------------
 
     def address_of(self, label: str) -> int:
+        """Address of *label*; raises ReproError when unknown."""
         try:
             return self.symbols[label]
         except KeyError:

@@ -36,6 +36,7 @@ class Cache:
         return addr >> self._line_shift
 
     def set_index(self, line: int) -> int:
+        """Set index serving line-address *line*."""
         return line % self._num_sets
 
     def bank_of(self, addr: int) -> int:
@@ -82,6 +83,7 @@ class Cache:
         return victim
 
     def invalidate_all(self) -> None:
+        """Empty every set (used between warming and timed runs)."""
         for cache_set in self._sets:
             cache_set.clear()
 
@@ -89,6 +91,7 @@ class Cache:
 
     @property
     def miss_rate(self) -> float:
+        """Misses over accesses so far."""
         hits = self.stats.get(f"{self.name}.hits")
         misses = self.stats.get(f"{self.name}.misses")
         total = hits + misses

@@ -78,6 +78,7 @@ class MemoryPort:
 
     @property
     def l1_latency(self) -> int:
+        """Hit latency of the port's L1 cache, in cycles."""
         return self.l1.config.latency
 
 
@@ -101,6 +102,7 @@ class MemoryHierarchy:
 
     @property
     def num_ibanks(self) -> int:
+        """Number of L1 instruction-cache banks."""
         return self.config.l1i.banks
 
     def fetch_line(self, addr: int, now: int) -> int:

@@ -70,6 +70,7 @@ class Observability:
 
     @property
     def enabled(self) -> bool:
+        """Whether any pillar (metrics/tracing/profiling) is active."""
         return (self.metrics is not None or self.tracer is not None
                 or self.profiler is not None)
 

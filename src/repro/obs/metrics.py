@@ -54,6 +54,7 @@ class TimeSeries:
         self._histogram: Dict[int, int] = {}
 
     def append(self, cycle: int, value: float) -> None:
+        """Record one (cycle, value) sample, updating running stats."""
         self._ring.append((cycle, value))
         self.count += 1
         self.total += value
@@ -66,10 +67,12 @@ class TimeSeries:
 
     @property
     def mean(self) -> float:
+        """Mean over every sample ever appended (not just retained)."""
         return self.total / self.count if self.count else 0.0
 
     @property
     def last(self) -> float:
+        """Most recent sampled value (0.0 before any sample)."""
         return self._ring[-1][1] if self._ring else 0.0
 
     def samples(self) -> List[Tuple[int, float]]:
@@ -82,6 +85,7 @@ class TimeSeries:
                 for index, count in sorted(self._histogram.items())}
 
     def as_dict(self) -> Dict[str, object]:
+        """JSON-ready summary: count, min/max/mean, retained samples."""
         return {
             "name": self.name,
             "samples": self.count,
@@ -119,6 +123,7 @@ class MetricsRecorder:
             name: TimeSeries(name, capacity) for name in self.GAUGES}
 
     def maybe_sample(self, processor: "Processor") -> None:
+        """Sample the processor when the cycle hits the interval."""
         if processor.now % self.interval:
             return
         self.sample(processor)
@@ -168,6 +173,7 @@ class MetricsRecorder:
             float_fmt="{:.2f}")
 
     def as_dict(self) -> Dict[str, object]:
+        """JSON-ready dump of every series' summary."""
         return {"interval": self.interval,
                 "capacity": self.capacity,
                 "series": {name: series.as_dict()

@@ -44,11 +44,13 @@ class PhaseProfiler:
 
     @property
     def total_seconds(self) -> float:
+        """Wall-clock seconds across all phases."""
         return sum(self.seconds.values())
 
     # -- reporting ---------------------------------------------------------
 
     def to_counters(self, stats: StatsCollector) -> None:
+        """Export per-phase seconds/calls into *stats* counters."""
         for phase, seconds in self.seconds.items():
             stats.set(f"obs.profile.{phase}.seconds", seconds)
             stats.set(f"obs.profile.{phase}.calls", self.calls[phase])
@@ -74,6 +76,7 @@ class PhaseProfiler:
             float_fmt="{:.3f}")
 
     def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready {phase: {seconds, calls}} mapping."""
         return {phase: {"seconds": self.seconds[phase],
                         "calls": self.calls[phase]}
                 for phase in self.seconds}

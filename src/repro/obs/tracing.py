@@ -66,6 +66,7 @@ class EventTracer:
     def instant(self, name: str, ts: int,
                 args: Optional[Dict[str, Any]] = None,
                 tid: int = EVENTS_TID) -> None:
+        """Emit a Chrome-trace instant event at timestamp *ts*."""
         event: Dict[str, Any] = {"name": name, "cat": "event", "ph": "i",
                                  "ts": ts, "tid": tid, "s": "t"}
         if args:
@@ -73,6 +74,7 @@ class EventTracer:
         self._emit(**event)
 
     def counter(self, name: str, ts: int, value: float) -> None:
+        """Emit a Chrome-trace counter sample (gauge track)."""
         self._emit(name=name, cat="gauge", ph="C", ts=ts,
                    tid=COUNTER_TID, args={"value": value})
 
@@ -104,6 +106,7 @@ class EventTracer:
 
     def fragment_squashed(self, fragment: "FragmentInFlight",
                           now: int) -> None:
+        """Close a squashed fragment's spans and mark the squash."""
         self._fetch_span(fragment)
         self.instant("squash", now, {"seq": fragment.seq})
         self._emit(name=f"frag {fragment.key.start_pc:#x}",
@@ -149,12 +152,14 @@ class EventTracer:
 
     def recovery(self, fragment: "FragmentInFlight", position: int,
                  target: int, now: int) -> None:
+        """Mark a control-misprediction recovery redirecting fetch."""
         self.instant("recovery", now,
                      {"seq": fragment.seq, "position": position,
                       "target": target})
 
     def liveout_mispredict(self, fragment: "FragmentInFlight",
                            now: int, policy: str) -> None:
+        """Mark a live-out misprediction rename restart."""
         self.instant("liveout-mispredict", now,
                      {"seq": fragment.seq, "policy": policy})
 

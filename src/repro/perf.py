@@ -1,0 +1,258 @@
+"""Hot-path switches and the reproducible wall-clock benchmark harness.
+
+Two related jobs live here:
+
+* :func:`fast_paths_enabled` — the single switch (``REPRO_FAST``, default
+  on) behind the behaviour-preserving hot-path caches: the decoded-uop
+  cache (:class:`repro.core.uop.DecodeCache`) and the front-end fragment
+  walk cache (:class:`repro.frontend.control.FrontEndControl`).  Setting
+  ``REPRO_FAST=0`` selects the reference loop; the golden-parity test
+  (``tests/test_perf.py``) runs both and asserts every result counter is
+  bit-identical, which is what licenses the caches in the first place.
+  Structural optimizations (precomputed instruction attributes, the
+  array-backed rename map, idle-phase skipping) are unconditional — they
+  are provably behaviour-preserving and have no slow twin.
+
+* the benchmark harness — :func:`run_benchmark` times ``Processor.run``
+  (warming excluded) for one configuration, and :func:`run_matrix` runs
+  the pinned workload matrix and produces the ``BENCH_perf.json`` record
+  every PR appends to its perf trajectory.  :func:`calibrate` measures a
+  pure-Python spin-loop score so records from different machines can be
+  compared (see :func:`compare_records`, which normalises by it).
+
+Typical use::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py --output BENCH_perf.json
+    PYTHONPATH=src python benchmarks/bench_perf.py --smoke \\
+        --check benchmarks/BENCH_perf_baseline.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import PERF_FAST_ENV
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.processor import Processor
+
+# The harness imports (Processor, warming, workloads) are deferred to the
+# function bodies: the processor itself consults fast_paths_enabled() at
+# construction, so this module must be importable before repro.core is.
+
+#: The pinned workload matrix: the paper's baseline (W16), the trace
+#: cache (TC) and parallel fetch + parallel rename (PF+PR).  Fixed so
+#: ``BENCH_perf.json`` records stay comparable across PRs.
+PINNED_CONFIGS: Tuple[str, ...] = ("w16", "tc", "pr-2x8w")
+#: Pinned benchmark: large footprint, hard control flow — the workload
+#: that exercises every front-end structure.
+PINNED_BENCHMARK = "gcc"
+#: Pinned dynamic instruction count for the full matrix.
+PINNED_INSTRUCTIONS = 30_000
+#: Instruction count for ``--smoke`` (tier-1-safe, a few seconds).
+SMOKE_INSTRUCTIONS = 4_000
+
+#: Record format version for ``BENCH_perf.json``.
+SCHEMA_VERSION = 1
+
+
+def fast_paths_enabled() -> bool:
+    """Whether the gated hot-path caches are on (``REPRO_FAST``).
+
+    Unset or any truthy value enables them; ``0``/``false``/``no``/
+    ``off`` selects the reference loop.
+    """
+    value = os.environ.get(PERF_FAST_ENV)
+    if value is None:
+        return True
+    return value.strip().lower() not in ("0", "false", "no", "off", "")
+
+
+def calibrate(target_seconds: float = 0.05) -> float:
+    """A machine-speed score in spin-loop iterations per second.
+
+    Pure-Python arithmetic loop, no allocation: approximates how fast the
+    host runs exactly the kind of bytecode the simulator's cycle loop is
+    made of.  Dividing two records' throughputs by their calibration
+    scores makes them comparable across machines — which is what lets CI
+    keep a committed baseline and still gate on regressions.
+    """
+    chunk = 100_000
+
+    def spin(n: int) -> int:
+        acc = 0
+        for i in range(n):
+            acc = (acc + i) & 0xFFFFFFFF
+        return acc
+
+    spin(chunk)  # warm the loop
+    iterations = 0
+    start = time.perf_counter()
+    while True:
+        spin(chunk)
+        iterations += chunk
+        elapsed = time.perf_counter() - start
+        if elapsed >= target_seconds:
+            return iterations / elapsed
+
+
+def run_benchmark(config_name: str, benchmark: str = PINNED_BENCHMARK,
+                  instructions: int = PINNED_INSTRUCTIONS,
+                  repeats: int = 1,
+                  phase_breakdown: bool = True) -> Dict[str, object]:
+    """Time ``Processor.run`` for one configuration; returns one entry.
+
+    The timed region is the cycle loop only: program generation, oracle
+    emulation and warming happen before the clock starts.  With
+    *repeats* > 1 the fastest run is reported (standard practice for
+    wall-clock microbenchmarks — slower runs measure interference, not
+    the code).  The phase breakdown comes from a separate profiled run
+    so profiler probes never pollute the headline number.
+    """
+    from repro.config import frontend_config
+    from repro.core.processor import Processor
+    from repro.core.warming import warm_processor
+    from repro.workloads import suite
+
+    config = frontend_config(config_name)
+    program = suite.get_benchmark(benchmark)
+    oracle = suite.oracle_stream(benchmark, instructions).stream
+
+    best_seconds = float("inf")
+    cycles = committed = uops = 0
+    for _ in range(max(1, repeats)):
+        processor = Processor(config, program, oracle,
+                              watchdog=None, invariants=None)
+        warm_processor(processor, oracle)
+        start = time.perf_counter()
+        processor.run()
+        elapsed = time.perf_counter() - start
+        if elapsed < best_seconds:
+            best_seconds = elapsed
+        cycles = processor.now
+        committed = processor.committed
+        uops = int(processor.stats.get("rename.insts"))
+
+    entry: Dict[str, object] = {
+        "config": config_name,
+        "benchmark": benchmark,
+        "instructions": instructions,
+        "wall_seconds": round(best_seconds, 6),
+        "sim_cycles": cycles,
+        "committed": committed,
+        "renamed_uops": uops,
+        "sim_cycles_per_sec": round(cycles / best_seconds, 1),
+        "uops_per_sec": round(uops / best_seconds, 1),
+        "decode_cache_hit_rate": _decode_cache_hit_rate(processor),
+    }
+    entry["phase_seconds"] = (_phase_breakdown(config_name, program, oracle)
+                              if phase_breakdown else None)
+    return entry
+
+
+def _decode_cache_hit_rate(processor: "Processor") -> Optional[float]:
+    cache = processor.decode_cache
+    if cache is None:
+        return None
+    total = cache.hits + cache.misses
+    return round(cache.hits / total, 4) if total else 0.0
+
+
+def _phase_breakdown(config_name: str, program, oracle
+                     ) -> Dict[str, float]:
+    """Per-phase wall-clock seconds from one profiled run."""
+    from repro.config import ObservabilityConfig, frontend_config
+    from repro.core.processor import Processor
+    from repro.core.warming import warm_processor
+    from repro.obs import Observability
+
+    obs = Observability(ObservabilityConfig(profile=True))
+    processor = Processor(frontend_config(config_name), program, oracle,
+                          watchdog=None, invariants=None, obs=obs)
+    warm_processor(processor, oracle)
+    processor.run()
+    assert obs.profiler is not None
+    return {phase: round(seconds, 6)
+            for phase, seconds in obs.profiler.seconds.items()}
+
+
+def run_matrix(configs: Sequence[str] = PINNED_CONFIGS,
+               benchmark: str = PINNED_BENCHMARK,
+               instructions: int = PINNED_INSTRUCTIONS,
+               repeats: int = 1,
+               phase_breakdown: bool = True) -> Dict[str, object]:
+    """Run the benchmark matrix; returns the ``BENCH_perf.json`` record."""
+    entries = [run_benchmark(name, benchmark, instructions,
+                             repeats=repeats,
+                             phase_breakdown=phase_breakdown)
+               for name in configs]
+    return {
+        "schema": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "instructions": instructions,
+        "fast_paths": fast_paths_enabled(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "calibration_score": round(calibrate(), 1),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "entries": entries,
+    }
+
+
+def write_record(record: Dict[str, object], path: str) -> None:
+    """Write a benchmark record as stable, diff-friendly JSON."""
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_record(path: str) -> Dict[str, object]:
+    """Read a record previously written by :func:`write_record`."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def compare_records(current: Dict[str, object],
+                    baseline: Dict[str, object],
+                    threshold: float = 0.30) -> List[str]:
+    """Regression check: current vs. baseline, calibration-normalised.
+
+    Each matrix entry's ``sim_cycles_per_sec`` is divided by its record's
+    calibration score, cancelling out machine speed; a normalised
+    throughput more than *threshold* below baseline is a regression.
+    Returns human-readable failure strings (empty = pass).  Entries
+    present on only one side are ignored — the matrix is pinned, but a
+    baseline from an older schema should not hard-fail the gate.
+    Entries whose instruction counts differ are also skipped: throughput
+    at a short smoke run (cold caches) is not comparable to a full run.
+    """
+    failures: List[str] = []
+    cur_cal = float(current.get("calibration_score", 0)) or 1.0
+    base_cal = float(baseline.get("calibration_score", 0)) or 1.0
+    baseline_by_key = {
+        (e["config"], e["benchmark"]): e
+        for e in baseline.get("entries", ())
+    }
+    for entry in current.get("entries", ()):
+        key = (entry["config"], entry["benchmark"])
+        base = baseline_by_key.get(key)
+        if base is None:
+            continue
+        if entry.get("instructions") != base.get("instructions"):
+            continue
+        cur_norm = float(entry["sim_cycles_per_sec"]) / cur_cal
+        base_norm = float(base["sim_cycles_per_sec"]) / base_cal
+        if base_norm <= 0:
+            continue
+        ratio = cur_norm / base_norm
+        if ratio < 1.0 - threshold:
+            failures.append(
+                f"{key[0]}/{key[1]}: normalised throughput fell to "
+                f"{ratio:.2f}x of baseline "
+                f"({entry['sim_cycles_per_sec']} vs "
+                f"{base['sim_cycles_per_sec']} sim cycles/s raw)")
+    return failures

@@ -38,9 +38,11 @@ class ReturnAddressStack:
         return top
 
     def snapshot(self) -> RasSnapshot:
+        """Capture the stack for later recovery (persistent tuple)."""
         return self._stack
 
     def restore(self, snapshot: RasSnapshot) -> None:
+        """Roll the stack back to *snapshot* after a squash."""
         self._stack = snapshot
 
     def __len__(self) -> int:

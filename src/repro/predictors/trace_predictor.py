@@ -52,6 +52,17 @@ class TracePredictor:
         self._secondary: Dict[int, _Entry] = {}
         self._primary_mask = config.primary_entries - 1
         self._secondary_mask = config.secondary_entries - 1
+        # Index-hash constants, precomputed off the hot path.
+        self._current_mask = (1 << config.current_bits) - 1
+        self._last_mask = (1 << config.last_bits) - 1
+        self._older_mask = (1 << config.older_bits) - 1
+        shift_mod = max(1, config.current_bits + 4)
+        self._older_shifts = tuple(
+            (i * config.older_bits + 4) % shift_mod
+            for i in range(config.depth))
+        #: ``FragmentKey -> hash_id()`` memo: the same keys recur for the
+        #: whole run and the mixing arithmetic is pure.
+        self._id_cache: Dict[FragmentKey, int] = {}
         #: Speculative history used for prediction (front-end state).
         self._history: Deque[int] = deque(maxlen=config.depth + 1)
         #: Architectural history used for training (retire state).
@@ -61,17 +72,16 @@ class TracePredictor:
 
     def _index(self, history: HistorySnapshot) -> int:
         """Fold a history of fragment IDs into a primary-table index."""
-        cfg = self.config
         value = 0
         if history:
-            value ^= history[-1] & ((1 << cfg.current_bits) - 1)
+            value ^= history[-1] & self._current_mask
         if len(history) >= 2:
-            value ^= (history[-2] & ((1 << cfg.last_bits) - 1)) << 2
-        older = history[:-2][-cfg.depth:]
+            value ^= (history[-2] & self._last_mask) << 2
+        older = history[:-2][-self.config.depth:]
+        older_mask = self._older_mask
+        shifts = self._older_shifts
         for i, older_id in enumerate(older):
-            bits = older_id & ((1 << cfg.older_bits) - 1)
-            value ^= bits << ((i * cfg.older_bits + 4)
-                              % max(1, cfg.current_bits + 4))
+            value ^= (older_id & older_mask) << shifts[i]
         return value & self._primary_mask
 
     def _secondary_index(self, history: HistorySnapshot) -> int:
@@ -88,9 +98,18 @@ class TracePredictor:
         """Roll speculative history back after a squash."""
         self._history = deque(snapshot, maxlen=self.config.depth + 1)
 
+    def _hash_id(self, key: FragmentKey) -> int:
+        """Memoised ``key.hash_id()`` (pure, and keys recur all run)."""
+        cached = self._id_cache.get(key)
+        if cached is None:
+            if len(self._id_cache) >= 131072:
+                self._id_cache.clear()
+            cached = self._id_cache[key] = key.hash_id()
+        return cached
+
     def push_history(self, key: FragmentKey) -> None:
         """Record a fetched fragment in speculative history."""
-        self._history.append(key.hash_id())
+        self._history.append(self._hash_id(key))
 
     def predict(self) -> Optional[FragmentKey]:
         """Predict the next fragment key, or None on a cold miss."""
@@ -116,7 +135,7 @@ class TracePredictor:
         self._train_table(self._primary, self._index(history), actual)
         self._train_table(self._secondary, self._secondary_index(history),
                           actual)
-        self._retire_history.append(actual.hash_id())
+        self._retire_history.append(self._hash_id(actual))
 
     def _train_table(self, table: Dict[int, _Entry], index: int,
                      actual: FragmentKey) -> None:
@@ -138,10 +157,12 @@ class TracePredictor:
 
     @property
     def primary_occupancy(self) -> int:
+        """Populated primary-table entries."""
         return len(self._primary)
 
     @property
     def secondary_occupancy(self) -> int:
+        """Populated secondary-table entries."""
         return len(self._secondary)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -9,7 +9,7 @@ linking and the rename *timing*.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Protocol
+from typing import Callable, Dict, List, Optional, Protocol
 
 from repro.core.uop import MicroOp, Producer
 from repro.frontend.buffers import FragmentInFlight
@@ -17,6 +17,31 @@ from repro.isa.registers import ZERO_REG
 
 #: Callback: (fragment, position) -> freshly created MicroOp.
 MakeUop = Callable[[FragmentInFlight, int], MicroOp]
+
+
+def source_regs(uop: MicroOp):
+    """Dependence-creating source registers of *uop* (``r0`` filtered).
+
+    Prefers the cached decode metadata attached by the processor's
+    decoded-uop cache; falls back to deriving it from the instruction for
+    uops constructed outside the processor (tests, tools).
+    """
+    decoded = uop.decoded
+    if decoded is not None:
+        return decoded.srcs
+    return tuple(r for r in uop.inst.src_regs() if r != ZERO_REG)
+
+
+def dest_of(uop: MicroOp) -> Optional[int]:
+    """Destination register of *uop*, or ``None`` for ``r0``/no-dest.
+
+    Same cached-metadata fast path as :func:`source_regs`.
+    """
+    decoded = uop.decoded
+    if decoded is not None:
+        return decoded.dest
+    dest = uop.inst.dest_reg()
+    return dest if dest is not None and dest != ZERO_REG else None
 
 
 class Renamer(Protocol):
@@ -38,11 +63,10 @@ def link_sources(uop: MicroOp, *maps: Dict[int, Producer]) -> None:
     producer in any map read architectural state and are ready immediately;
     the zero register never creates a dependence.
     """
-    for src in uop.inst.src_regs():
-        if src == ZERO_REG:
-            continue
+    sources = uop.sources
+    for src in source_regs(uop):
         for reg_map in maps:
             producer = reg_map.get(src)
             if producer is not None:
-                uop.sources.append(producer)
+                sources.append(producer)
                 break

@@ -9,12 +9,12 @@ with a sequential rename stage.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List, Optional
 
 from repro.core.uop import MicroOp
 from repro.frontend.buffers import FragmentInFlight
-from repro.isa.registers import ZERO_REG
-from repro.rename.base import MakeUop, link_sources
+from repro.isa.registers import NUM_ARCH_REGS
+from repro.rename.base import MakeUop, dest_of, source_regs
 from repro.stats import StatsCollector
 
 
@@ -25,35 +25,52 @@ class MonolithicRenamer:
         self.width = width
         self.window = window
         self.stats = stats
-        #: Running architectural-to-producer map.
-        self._map: Dict[int, MicroOp] = {}
+        #: Running architectural-to-producer map, indexed by architectural
+        #: register number (array-backed: rename probes it once per source
+        #: operand, and a list index is markedly cheaper than a dict probe
+        #: on that path).  ``None`` means the register reads architectural
+        #: state.
+        self._map: List[Optional[MicroOp]] = [None] * NUM_ARCH_REGS
 
     def cycle(self, now: int, fragments: List[FragmentInFlight],
               make_uop: MakeUop) -> List[MicroOp]:
+        """Rename up to ``width`` instructions in program order."""
         budget = self.width
         renamed: List[MicroOp] = []
+        reg_map = self._map
         for fragment in fragments:
             if budget <= 0:
                 break
             if fragment.squashed or fragment.rename_done:
                 continue
-            if fragment.rename_started_cycle < 0 and fragment.renameable_count():
+            # Fetch and truncation state cannot change inside this cycle
+            # (fetch runs after rename in Processor.step), so the number
+            # of renameable instructions is computed once per fragment.
+            available = fragment.renameable_count()
+            if fragment.rename_started_cycle < 0 and available:
                 fragment.rename_started_cycle = now
                 self._note_construction(fragment)
-            while budget > 0 and fragment.renameable_count() > 0:
+            while budget > 0 and available > 0:
                 if not self.window.reserve_single(fragment.seq):
+                    # NB: deliberately skips the rename.insts accounting
+                    # below, faithful to the original stall behaviour.
                     self.stats.add("rename.window_stalls")
                     return renamed
                 uop = make_uop(fragment, fragment.read_count)
-                link_sources(uop, self._map)
-                dest = uop.inst.dest_reg()
-                if dest is not None and dest != ZERO_REG:
-                    self._map[dest] = uop
+                sources = uop.sources
+                for src in source_regs(uop):
+                    producer = reg_map[src]
+                    if producer is not None:
+                        sources.append(producer)
+                dest = dest_of(uop)
+                if dest is not None:
+                    reg_map[dest] = uop
                     fragment.internal_writers[dest] = uop
                 fragment.read_count += 1
                 fragment.uops.append(uop)
                 renamed.append(uop)
                 budget -= 1
+                available -= 1
             if fragment.read_count >= fragment.length:
                 fragment.rename_done = True
                 fragment.rename_done_cycle = now
@@ -72,11 +89,11 @@ class MonolithicRenamer:
 
     def rebuild(self, fragments: List[FragmentInFlight]) -> None:
         """Rebuild the map from surviving uops after a squash."""
-        self._map = {}
+        reg_map = self._map = [None] * NUM_ARCH_REGS
         for fragment in fragments:
             if fragment.squashed:
                 continue
             for uop in fragment.uops:
-                dest = uop.inst.dest_reg()
-                if dest is not None and dest != ZERO_REG:
-                    self._map[dest] = uop
+                dest = dest_of(uop)
+                if dest is not None:
+                    reg_map[dest] = uop

@@ -35,7 +35,7 @@ from repro.core.uop import MicroOp, PlaceholderProducer, Producer
 from repro.frontend.buffers import FragmentInFlight
 from repro.isa.registers import NUM_ARCH_REGS, ZERO_REG
 from repro.predictors.liveout import LiveOutPredictor
-from repro.rename.base import MakeUop, link_sources
+from repro.rename.base import MakeUop, dest_of, link_sources
 from repro.stats import StatsCollector
 
 
@@ -69,6 +69,7 @@ class ParallelRenamer:
 
     def cycle(self, now: int, fragments: List[FragmentInFlight],
               make_uop: MakeUop) -> List[MicroOp]:
+        """Run both rename phases across all rename units this cycle."""
         self.pending_liveout_mispredict = None
         self.pending_liveout_mispredicts = []
         self._phase1(now, fragments)
@@ -197,8 +198,8 @@ class ParallelRenamer:
 
     def _handle_dest(self, fragment: FragmentInFlight, uop: MicroOp,
                      position: int) -> None:
-        dest = uop.inst.dest_reg()
-        if dest is None or dest == ZERO_REG:
+        dest = dest_of(uop)
+        if dest is None:
             return
         prediction = fragment.liveout_prediction
         if prediction is not None and not fragment.liveout_mispredicted:

@@ -70,6 +70,7 @@ class StatsCollector:
         return self.get(numerator) / denom if denom else 0.0
 
     def items(self) -> Iterator[Tuple[str, float]]:
+        """(name, value) pairs in sorted name order."""
         return iter(sorted(self._counters.items()))
 
     def with_prefix(self, prefix: str) -> Dict[str, float]:
@@ -78,6 +79,7 @@ class StatsCollector:
         return {k: v for k, v in self._counters.items() if k.startswith(dot)}
 
     def as_dict(self) -> Dict[str, float]:
+        """A plain-dict copy of every counter."""
         return dict(self._counters)
 
     def merge(self, other: "StatsCollector") -> None:

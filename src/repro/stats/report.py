@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Mapping, Sequence
 
 
 def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises ValueError on an empty sequence."""
     values = list(values)
     if not values:
         raise ValueError("mean of empty sequence")
@@ -31,6 +32,7 @@ def harmonic_mean(values: Iterable[float]) -> float:
 
 
 def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; requires a non-empty, all-positive sequence."""
     values = list(values)
     if not values:
         raise ValueError("mean of empty sequence")

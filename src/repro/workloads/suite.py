@@ -140,6 +140,7 @@ _stream_cache: Dict[Tuple[str, int], ExecutionResult] = {}
 
 
 def get_spec(name: str) -> WorkloadSpec:
+    """The workload spec for *name*; raises ReproError when unknown."""
     try:
         return SUITE_SPECS[name]
     except KeyError:

@@ -1,0 +1,71 @@
+"""Documentation drift guards.
+
+Two ways docs rot are checked mechanically:
+
+* **Knob drift** — every ``REPRO_*`` environment variable mentioned in
+  the docs must exist in :data:`repro.config.ENV_KNOBS` (no stale
+  knobs), and every registered knob must be documented somewhere (no
+  undocumented knobs).
+* **Docstring lint** — ``tools/check_docstrings.py`` must pass, so the
+  public API keeps its docstrings as it grows.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.config import ENV_KNOBS
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: The documentation surfaces the knob-drift test patrols.
+DOC_FILES = [REPO / "README.md", REPO / "EXPERIMENTS.md",
+             *sorted((REPO / "docs").glob("*.md"))]
+
+# Wildcard mentions like ``REPRO_OBS_*`` are prose, not knob names.
+_KNOB_RE = re.compile(r"\bREPRO_[A-Z_]+\b(?!\*)")
+
+
+def _documented_knobs():
+    found = {}
+    for path in DOC_FILES:
+        for knob in _KNOB_RE.findall(path.read_text()):
+            found.setdefault(knob, path.name)
+    return found
+
+
+class TestKnobDrift:
+    def test_doc_surfaces_exist(self):
+        for path in DOC_FILES:
+            assert path.is_file(), f"documentation file missing: {path}"
+
+    def test_no_unknown_knobs_in_docs(self):
+        """Docs must not mention knobs the code no longer recognises."""
+        unknown = {knob: where
+                   for knob, where in _documented_knobs().items()
+                   if knob not in ENV_KNOBS}
+        assert not unknown, (
+            f"docs mention unregistered REPRO_* knobs {unknown}; either "
+            "the doc is stale or config.ENV_KNOBS needs the new knob")
+
+    def test_every_registered_knob_is_documented(self):
+        """Every knob in config.ENV_KNOBS must appear in the docs."""
+        documented = _documented_knobs()
+        missing = sorted(k for k in ENV_KNOBS if k not in documented)
+        assert not missing, (
+            f"registered knobs undocumented in {[p.name for p in DOC_FILES]}:"
+            f" {missing}")
+
+    def test_registry_descriptions_nonempty(self):
+        for knob, description in ENV_KNOBS.items():
+            assert knob.startswith("REPRO_")
+            assert description.strip(), f"{knob} has no description"
+
+
+class TestDocstringLint:
+    def test_public_api_docstrings(self):
+        result = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_docstrings.py")],
+            capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0, result.stdout + result.stderr

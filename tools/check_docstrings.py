@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Docstring lint for the public API.
+
+Walks ``src/repro`` with :mod:`ast` and requires a docstring on:
+
+* every module;
+* every public (non-underscore) class and top-level function;
+* every public method of a public class (dunders other than
+  ``__init__`` are exempt, as are trivial overrides consisting solely
+  of ``pass``/``...``).
+
+Run from the repo root (CI and ``tests/test_docs.py`` both do)::
+
+    python tools/check_docstrings.py
+
+Exits 1 listing each offender as ``path:line: kind name``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Decorators whose targets routinely restate an attribute one line up.
+_EXEMPT_DECORATORS = {"overload"}
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_") or name == "__init__"
+
+
+def _is_trivial(node: ast.AST) -> bool:
+    """A body of only ``pass``/``...`` (protocol stubs, overrides)."""
+    body = getattr(node, "body", [])
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis):
+            continue
+        return False
+    return True
+
+
+def _decorator_names(node) -> set:
+    names = set()
+    for dec in getattr(node, "decorator_list", []):
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Attribute):
+            names.add(target.attr)
+        elif isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+def _check_function(node, path, prefix, problems) -> None:
+    if not _is_public(node.name) or node.name == "__init__":
+        return
+    if _is_trivial(node) or _decorator_names(node) & _EXEMPT_DECORATORS:
+        return
+    if ast.get_docstring(node) is None:
+        problems.append(f"{path}:{node.lineno}: function {prefix}{node.name}")
+
+
+def check_file(path: Path) -> list:
+    problems: list = []
+    tree = ast.parse(path.read_text(), filename=str(path))
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{path}:1: module")
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _check_function(node, path, "", problems)
+        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
+            if ast.get_docstring(node) is None:
+                problems.append(f"{path}:{node.lineno}: class {node.name}")
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    _check_function(child, path, f"{node.name}.", problems)
+    return problems
+
+
+def main() -> int:
+    """Lint every module under ``src/repro``; 0 = clean."""
+    problems: list = []
+    for path in sorted(SRC.rglob("*.py")):
+        problems.extend(check_file(path))
+    if problems:
+        print(f"{len(problems)} public definitions lack docstrings:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("docstring lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
