@@ -50,6 +50,14 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3,
                         help="timed repetitions per entry; fastest wins "
                              "(default: 3)")
+    parser.add_argument("--no-sampled", action="store_true",
+                        help="skip the interval-sampled vs full-detail "
+                             "scenario")
+    parser.add_argument("--sampled-instructions", type=int, default=None,
+                        help="instructions for the sampled scenario "
+                             f"(default: {perf.SAMPLED_INSTRUCTIONS}, or "
+                             f"{perf.SMOKE_SAMPLED_INSTRUCTIONS} with "
+                             "--smoke)")
     parser.add_argument("--no-phases", action="store_true",
                         help="skip the profiled run for phase breakdown")
     parser.add_argument("--output", "-o", default="BENCH_perf.json",
@@ -67,11 +75,20 @@ def main(argv=None) -> int:
         instructions = (perf.SMOKE_INSTRUCTIONS if args.smoke
                         else perf.PINNED_INSTRUCTIONS)
 
+    sampled_instructions = None
+    if not args.no_sampled:
+        sampled_instructions = args.sampled_instructions
+        if sampled_instructions is None:
+            sampled_instructions = (perf.SMOKE_SAMPLED_INSTRUCTIONS
+                                    if args.smoke
+                                    else perf.SAMPLED_INSTRUCTIONS)
+
     record = perf.run_matrix(configs=args.configs,
                              benchmark=args.benchmark,
                              instructions=instructions,
                              repeats=args.repeats,
-                             phase_breakdown=not args.no_phases)
+                             phase_breakdown=not args.no_phases,
+                             sampled_instructions=sampled_instructions)
     perf.write_record(record, args.output)
 
     header = (f"{'config':10s} {'cycles/s':>12s} {'uops/s':>12s} "
@@ -84,6 +101,18 @@ def main(argv=None) -> int:
               f"{entry['uops_per_sec']:12.1f} "
               f"{entry['wall_seconds']:8.4f} "
               f"{'-' if hit is None else format(hit, '9.4f')}")
+    if "sampled" in record:
+        print(f"\nsampled vs full detail "
+              f"({record['sampled'][0]['instructions']} instructions):")
+        print(f"{'config':10s} {'full s':>8s} {'sampled s':>10s} "
+              f"{'speedup':>8s} {'IPC err':>8s} {'95% CI':>8s}")
+        for entry in record["sampled"]:
+            print(f"{entry['config']:10s} "
+                  f"{entry['full_wall_seconds']:8.3f} "
+                  f"{entry['wall_seconds']:10.3f} "
+                  f"{entry['speedup']:7.2f}x "
+                  f"{entry['ipc_rel_error'] * 100:7.2f}% "
+                  f"{entry['ipc_ci_rel'] * 100:7.2f}%")
     print(f"calibration {record['calibration_score']:.0f} spins/s; "
           f"record written to {args.output}")
 

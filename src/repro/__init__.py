@@ -30,6 +30,7 @@ from repro.config import (
     frontend_config,
 )
 from repro.core.simulation import SimulationResult, run_simulation
+from repro.sampling import SamplingConfig
 from repro.errors import (
     AssemblerError,
     ConfigError,
@@ -45,6 +46,7 @@ __version__ = "1.0.0"
 __all__ = [
     "run_simulation",
     "SimulationResult",
+    "SamplingConfig",
     "frontend_config",
     "ProcessorConfig",
     "FrontEndConfig",

@@ -5,12 +5,15 @@ Subcommands:
 * ``run`` — simulate one (front-end, benchmark) pair and print metrics;
   ``--pipeview[=N]`` renders the classic pipeline diagram of the last N
   committed instructions, ``--sample N`` prints cycle-sampled gauge
-  summaries, ``--json`` emits the result as JSON;
+  summaries, ``--sampled [PERIOD]`` switches to interval-sampled
+  simulation (see :mod:`repro.sampling`), ``--json`` emits the result
+  as JSON;
 * ``compare`` — run several front-ends on one benchmark side by side;
 * ``figure`` — regenerate one of the paper's tables/figures;
 * ``sweep`` — run a (configs x benchmarks) matrix on the parallel runner
   with the persistent result cache, printing progress and a summary
-  (``--json`` for machine-readable output);
+  (``--json`` for machine-readable output, ``--sampled [PERIOD]`` for
+  interval-sampled jobs);
 * ``trace`` — record a fragment-lifecycle event trace and export it as
   Chrome trace-event JSON for Perfetto / ``chrome://tracing``;
 * ``profile`` — attribute the simulator's own wall-clock to pipeline
@@ -64,6 +67,43 @@ def _result_payload(result):
     }
 
 
+def _sampling_arg(args: argparse.Namespace):
+    """Resolve the ``--sampled`` / ``--sample-unit`` / ``--sample-warmup``
+    flags to a ``run_simulation(sampling=...)`` argument.
+
+    Returns None when no flag was given, deferring to ``REPRO_SAMPLE``
+    (unset = full detail), so plain invocations are unchanged.
+    """
+    sampled = getattr(args, "sampled", None)
+    unit = getattr(args, "sample_unit", None)
+    warmup = getattr(args, "sample_warmup", None)
+    if sampled is None and unit is None and warmup is None:
+        return None
+    import dataclasses
+
+    from repro.sampling import SamplingConfig
+    period = None if sampled in (None, "on") else int(sampled)
+    config = SamplingConfig.from_env(period)
+    if unit is not None:
+        config = dataclasses.replace(config, unit=unit)
+    if warmup is not None:
+        config = dataclasses.replace(config, warmup=warmup)
+    return config
+
+
+def _print_sampling_summary(result) -> None:
+    """One-line confidence summary for a sampled result."""
+    if not result.counter("sampling.enabled"):
+        return
+    measured = int(result.counter("sampling.units_measured"))
+    total = int(result.counter("sampling.units_total"))
+    halfwidth = result.counter("sampling.ipc_halfwidth_rel")
+    discarded = int(result.counter("sampling.warmup_cycles_discarded"))
+    print(f"sampled: {measured}/{total} units measured, "
+          f"IPC +/-{100 * halfwidth:.1f}% (95% CI), "
+          f"{discarded} warm-up cycles discarded")
+
+
 def _make_observability(args: argparse.Namespace):
     """An Observability bundle for the run-style commands, or None.
 
@@ -92,7 +132,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = run_simulation(args.config, args.benchmark,
                             max_instructions=args.instructions,
                             warm=not args.cold, observability=obs,
-                            uop_log=uop_log)
+                            uop_log=uop_log, sampling=_sampling_arg(args))
     traces = ([UopTrace.from_uop(uop) for uop in uop_log]
               if uop_log is not None else [])
     if args.json:
@@ -104,6 +144,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(format_table(
         ["front-end", "IPC", "fetch/cyc", "rename/cyc", "util", "cycles"],
         [_result_row(result)]))
+    _print_sampling_summary(result)
     if obs is not None and obs.metrics is not None:
         print()
         print(obs.metrics.summary_text())
@@ -156,7 +197,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     benchmarks = args.benchmarks or experiment_benchmarks()
     length = args.instructions or experiment_length()
-    jobs = [SweepJob(config_name=config, benchmark=bench, length=length)
+    sampling_config = _sampling_arg(args)
+    sampling = (None if sampling_config is None else
+                (sampling_config.period, sampling_config.unit,
+                 sampling_config.warmup))
+    jobs = [SweepJob(config_name=config, benchmark=bench, length=length,
+                     sampling=sampling)
             for config in args.configs for bench in benchmarks]
 
     done = [0]
@@ -186,7 +232,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     for config in args.configs:
         for bench in benchmarks:
             job = SweepJob(config_name=config, benchmark=bench,
-                           length=length)
+                           length=length, sampling=sampling)
             result = report.results.get(job)
             if result is None:
                 failure = report.failures.get(job)
@@ -275,6 +321,29 @@ def cmd_bench_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_sampling_flags(parser: argparse.ArgumentParser) -> None:
+    """Interval-sampling flags shared by ``run`` and ``sweep``.
+
+    (``--sample`` was already taken by the observability gauge sampler,
+    hence ``--sampled``.)
+    """
+    parser.add_argument("--sampled", nargs="?", const="on", default=None,
+                        metavar="PERIOD",
+                        help="interval-sampled simulation: detail-simulate "
+                             "every PERIOD-th unit (default 16 or "
+                             "REPRO_SAMPLE) and fast-forward the gaps "
+                             "functionally")
+    parser.add_argument("--sample-unit", type=int, default=None,
+                        metavar="N",
+                        help="instructions per sampling unit "
+                             "(default 1000 or REPRO_SAMPLE_UNIT)")
+    parser.add_argument("--sample-warmup", type=int, default=None,
+                        metavar="N",
+                        help="detailed warm-up instructions before each "
+                             "measured unit (default 1000 or "
+                             "REPRO_SAMPLE_WARMUP)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``repro`` argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -300,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "print the time-series summary")
     run_p.add_argument("--json", action="store_true",
                        help="emit the result as JSON")
+    _add_sampling_flags(run_p)
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="compare front-ends")
@@ -340,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--json", action="store_true",
                          help="emit results and summary as JSON "
                               "(progress goes to stderr)")
+    _add_sampling_flags(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 
     trace_p = sub.add_parser(

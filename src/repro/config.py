@@ -302,6 +302,9 @@ ENV_KNOBS: Dict[str, str] = {
     "REPRO_OBS_TRACE_LIMIT": "trace event cap",
     "REPRO_OBS_PROFILE": "per-phase wall-clock profiling",
     "REPRO_FAST": "hot-path caches (0 = reference loop)",
+    "REPRO_SAMPLE": "interval-sampling period (0/unset = full detail)",
+    "REPRO_SAMPLE_UNIT": "instructions per sampling unit",
+    "REPRO_SAMPLE_WARMUP": "detailed warm-up instructions per sample",
 }
 
 

@@ -117,6 +117,9 @@ class Processor:
         self._oracle_pos = 0
         self._diverged = False
         self._committed = 0
+        #: Oracle record count at which the run stops (the whole stream by
+        #: default; :meth:`run_until` moves it for sampled windows).
+        self._stop_at = len(self._oracle)
         self._done = False
         self._deferred_redirects: List[MicroOp] = []
         #: Fragments awaiting selective re-execution fix-up (their rename
@@ -146,7 +149,10 @@ class Processor:
             return SequentialFillEngine(self.program, self.memory,
                                         self.stats, width=fe.width)
         if fe.fetch_kind == "tc":
-            self.trace_cache = TraceCache(fe.trace_cache, self.stats)
+            # Keep an existing trace cache across restart_at() rebuilds —
+            # its contents are warmed state, not transient pipeline state.
+            if self.trace_cache is None:
+                self.trace_cache = TraceCache(fe.trace_cache, self.stats)
             return TraceCacheFillEngine(self.program, self.memory,
                                         self.trace_cache, self.stats,
                                         width=fe.width)
@@ -208,6 +214,78 @@ class Processor:
         if obs is not None:
             obs.finalize(self)
         return self
+
+    # -- sampled-simulation seam (see repro.sampling) -----------------------
+
+    def run_until(self, stop_at: int,
+                  max_cycles: Optional[int] = None) -> bool:
+        """Run the timed loop until *stop_at* oracle records have committed.
+
+        The thin seam :mod:`repro.sampling` drives detailed measurement
+        windows through: unlike :meth:`run` it neither finalises
+        observability nor stamps the ``sim.*`` summary counters, so a
+        window's counter deltas stay clean.  ``self.now`` keeps
+        accumulating across windows.  Returns True when the commit target
+        was reached, False on hitting the cycle bound (the caller decides
+        whether that poisons the sample).
+        """
+        self._stop_at = min(stop_at, len(self._oracle))
+        if self._committed >= self._stop_at:
+            self._done = True
+            return True
+        self._done = False
+        budget = ((self._stop_at - self._committed) * 30 + 20_000
+                  if max_cycles is None else max_cycles)
+        limit = self.now + budget
+        watchdog, invariants = self.watchdog, self.invariants
+        while not self._done and self.now < limit:
+            self.step()
+            if watchdog is not None:
+                watchdog.observe(self)
+            if invariants is not None:
+                invariants.check(self)
+        return self._done
+
+    def restart_at(self, index: int) -> None:
+        """Restart timing from the architectural checkpoint at oracle
+        record *index* (PC, retire index, clean speculative history).
+
+        Rebuilds the *transient* pipeline state — in-flight fragments,
+        buffers, fill engine, out-of-order core, renamer, RAS and
+        front-end control — while deliberately keeping everything a long
+        functional fast-forward would have left warm: predictors, caches,
+        the trace cache and the decode cache.  ``self.now`` is not reset;
+        callers measure cycle deltas.
+        """
+        if not 0 <= index < len(self._oracle):
+            raise SimulationError(
+                f"restart index {index} outside oracle stream "
+                f"(0..{len(self._oracle) - 1})")
+        self._oracle_pos = index
+        self._diverged = False
+        self._committed = index
+        self._stop_at = len(self._oracle)
+        self._done = False
+        self._deferred_redirects = []
+        self._pending_reexec = set()
+        self._carve_records = []
+        self._carve_dirs = []
+        self.fragments = []
+        fe = self.config.frontend
+        self.buffers = FragmentBufferArray(fe.num_fragment_buffers,
+                                           self.stats)
+        self.ras = ReturnAddressStack()
+        self.control = FrontEndControl(
+            self.program, self.config.fragment, self.trace_predictor,
+            self.ras, self.stats, self._oracle[index].pc,
+            direction_fallback=self.bimodal.predict)
+        self.engine = self._build_engine()
+        self.core = OutOfOrderCore(self.config.backend, self.memory,
+                                   self.stats)
+        self.renamer = self._build_renamer()
+        # History registers: speculative history restarts clean (exactly
+        # as after warming); retire history keeps its trained state.
+        self.trace_predictor.restore_history(())
 
     def step(self) -> None:
         """Advance the processor by one cycle."""
@@ -670,7 +748,7 @@ class Processor:
                 # partial fragment is finalised as its own trace to keep
                 # predictor training aligned with what fetch sees.
                 self._carve_flush()
-            if self._committed >= len(self._oracle):
+            if self._committed >= self._stop_at:
                 self._done = True
                 break
         if committed:

@@ -17,8 +17,6 @@ from repro.config import ProcessorConfig, frontend_config
 from repro.core.invariants import InvariantChecker
 from repro.core.processor import Processor
 from repro.core.uop import MicroOp
-from repro.core.warming import warm_processor
-from repro.emulator.machine import Machine
 from repro.isa.program import Program
 from repro.obs import Observability
 from repro.workloads import suite
@@ -140,7 +138,9 @@ def run_simulation(config: Union[str, ProcessorConfig],
                    warm: bool = True,
                    invariant_checks: Optional[bool] = None,
                    observability: Optional[Observability] = None,
-                   uop_log: Optional[List[MicroOp]] = None
+                   uop_log: Optional[List[MicroOp]] = None,
+                   sampling: Union[None, bool, int,
+                                   "SamplingConfig"] = None
                    ) -> SimulationResult:
     """Simulate *benchmark* on the given front-end configuration.
 
@@ -169,6 +169,15 @@ def run_simulation(config: Union[str, ProcessorConfig],
         uop_log: when a list is supplied, every committed
             :class:`~repro.core.uop.MicroOp` is appended to it (the
             pipeview path; see :mod:`repro.core.trace`).
+        sampling: interval-sampled simulation (SMARTS-style; see
+            :mod:`repro.sampling`).  ``None`` defers to ``REPRO_SAMPLE``
+            (unset or 0 = full detail), ``False`` forces full detail,
+            ``True`` samples with default/env parameters, an int sets
+            the sampling period, and a
+            :class:`~repro.sampling.SamplingConfig` gives full control.
+            Sampled results are extrapolated estimates carrying
+            ``sampling.*`` confidence counters; ``observability`` and
+            ``uop_log`` are ignored in sampled mode.
 
     Returns:
         A :class:`SimulationResult` with every counter the models emit.
@@ -180,18 +189,23 @@ def run_simulation(config: Union[str, ProcessorConfig],
         InvariantError: an enabled per-cycle audit found inconsistent
             pipeline state.
     """
+    from repro.sampling import engine as sampling_engine
+    from repro.sampling import prep
+
     resolved_name, processor_config = _resolve_config(config)
     config_name = config_name or resolved_name
     length = (suite.default_sim_instructions() if max_instructions is None
               else max_instructions)
-    if isinstance(benchmark, str):
-        program = suite.get_benchmark(benchmark)
-        oracle = suite.oracle_stream(benchmark, length).stream
-        bench_name = benchmark
-    else:
-        program = benchmark
-        oracle = Machine(program).run(length).stream
-        bench_name = program.name
+    program, execution, stream_key = prep.get_oracle(benchmark, length)
+    oracle = execution.stream
+    bench_name = benchmark if isinstance(benchmark, str) else program.name
+
+    sampling_config = sampling_engine.resolve_sampling(sampling)
+    if sampling_config is not None:
+        return sampling_engine.run_sampled(
+            processor_config, program, oracle, sampling_config,
+            config_name=config_name, benchmark=bench_name, warm=warm,
+            stream_key=stream_key, pin=program)
 
     if observability is None:
         observability = Observability.from_env()
@@ -205,7 +219,9 @@ def run_simulation(config: Union[str, ProcessorConfig],
     if uop_log is not None:
         processor.uop_log = uop_log
     if warm:
-        warm_processor(processor, oracle)
+        # Snapshot-clone warming: bit-identical to warm_processor() but
+        # the training cost is paid once per (stream, warm config).
+        prep.warm_from_snapshot(processor, oracle, stream_key, pin=program)
     processor.run(max_cycles=max_cycles)
     return SimulationResult(
         benchmark=bench_name,

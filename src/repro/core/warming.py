@@ -13,68 +13,215 @@ functional (no timing) and therefore cheap.
 Warming uses the same dynamic stream the timed run will execute, which is
 the closest available approximation of "the program has been running for
 a long time already" for looping workloads like this suite's.
+
+:class:`WarmingState` is the resumable core: it consumes the stream in
+arbitrary chunks, which is what lets the interval-sampling engine
+(:mod:`repro.sampling`) keep structures functionally warm across
+fast-forwarded gaps without replaying the whole stream.  Chunking is
+invisible to the warmed structures — each one (bimodal counters, trace
+and live-out predictor tables, trace cache, L1/L2 LRU state) observes
+exactly the same update sequence regardless of chunk boundaries, so the
+end state is bit-identical to a single whole-stream pass (the test suite
+asserts this).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
 from repro.emulator.stream import DynamicInstruction
-from repro.frontend.fragments import carve_stream
+from repro.frontend.fragments import (
+    DynamicFragment,
+    FragmentKey,
+    TerminationReason,
+    should_terminate,
+)
 from repro.predictors.liveout import compute_liveouts
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.processor import Processor
 
 
-def warm_processor(processor: "Processor",
-                   stream: Sequence[DynamicInstruction]) -> None:
-    """Warm *processor*'s predictors and caches with *stream*.
+class WarmingState:
+    """Resumable functional warming over stream chunks.
 
-    Must be called before the first timing cycle.  The speculative and
-    retire history registers are left in their trained end state, then
-    reset to empty speculative history for the run start (the first few
-    fragments simply use the secondary table).
+    Feed the dynamic stream through :meth:`feed` in any number of chunks
+    (one call with the whole stream is the classic pre-run warming), then
+    :meth:`finish` exactly once before the first timed cycle.  The
+    sampling engine instead interleaves :meth:`feed` calls with detailed
+    measurement windows and never calls :meth:`finish` — it drops
+    carve-in-progress state at window boundaries via
+    :meth:`discard_partial` because the detailed window's commit-side
+    carver takes over training from there.
+
+    A fragment that spans a chunk boundary is carried, not truncated:
+    only :meth:`flush` emits the trailing ``STREAM_END`` fragment.
     """
-    non_nop: List[DynamicInstruction] = [r for r in stream
-                                         if not r.inst.is_nop]
 
-    # Branch outcome predictor.
-    bimodal = processor.bimodal
-    for record in non_nop:
-        if record.inst.is_cond_branch:
-            bimodal.train(record.pc, record.taken)
+    def __init__(self, processor: "Processor"):
+        self.processor = processor
+        self._config = processor.config.fragment
+        # Carve-in-progress state (records/directions of the pending,
+        # not-yet-terminated fragment) — carried across feed() calls.
+        self._records: List[DynamicInstruction] = []
+        self._directions: List[bool] = []
+        # Last I-line touched, carried so a fragment of straight-line
+        # code split across chunks still fills each line exactly once.
+        self._seen_line = -1
+        self._finished = False
 
-    # Fragment-sequence predictors (trace predictor + live-outs), trained
-    # exactly as the commit-side carver would.
-    fragment_config = processor.config.fragment
-    trace_cache = processor.trace_cache
-    for fragment in carve_stream(non_nop, fragment_config):
+    # -- incremental warming ------------------------------------------------
+
+    def feed(self, chunk: Iterable[DynamicInstruction]) -> None:
+        """Warm all structures with the next *chunk* of the stream.
+
+        Records must arrive in stream order across calls; NOPs are kept
+        for cache touches and ignored everywhere else, exactly as in the
+        whole-stream pass.
+        """
+        if self._finished:
+            raise RuntimeError("WarmingState.feed() after finish()")
+        processor = self.processor
+        bimodal = processor.bimodal
+        memory = processor.memory
+        records = self._records
+        directions = self._directions
+        seen_line = self._seen_line
+        config = self._config
+
+        for record in chunk:
+            # Caches: touch lines in reference order so LRU is realistic.
+            line = record.pc >> 6
+            if line != seen_line:
+                memory.l2.fill(record.pc)
+                memory.l1i.fill(record.pc)
+                seen_line = line
+            if record.ea is not None:
+                memory.l2.fill(record.ea)
+                memory.l1d.fill(record.ea)
+
+            inst = record.inst
+            if inst.is_nop:
+                continue
+
+            # Branch outcome predictor.
+            if inst.is_cond_branch:
+                bimodal.train(record.pc, record.taken)
+                directions.append(record.taken)
+
+            # Fragment carving (same termination rules as carve_stream).
+            records.append(record)
+            reason = should_terminate(inst, len(records), config)
+            if reason is not None:
+                key = FragmentKey(records[0].pc, tuple(directions))
+                next_pc = (None if reason in (TerminationReason.INDIRECT,
+                                              TerminationReason.HALT)
+                           else record.next_pc)
+                self._train(DynamicFragment(key, records, reason, next_pc))
+                records = self._records = []
+                directions = self._directions = []
+
+        self._seen_line = seen_line
+
+    def feed_caches(self, chunk: Iterable[DynamicInstruction]) -> None:
+        """Touch caches in reference order for *chunk*, training nothing.
+
+        The cheap gap-maintenance mode for sampled runs that pre-warmed
+        every predictor on the whole stream: the predictors are already
+        at steady state, so re-training them through the gaps buys no
+        accuracy, but cache LRU recency still has to track the skipped
+        references or measured windows would see phantom-cold lines.
+        Uses the same I-line carry as :meth:`feed`, so the two modes can
+        be interleaved (they never are in practice).
+        """
+        if self._finished:
+            raise RuntimeError("WarmingState.feed_caches() after finish()")
+        memory = self.processor.memory
+        seen_line = self._seen_line
+        l2_fill = memory.l2.fill
+        l1i_fill = memory.l1i.fill
+        l1d_fill = memory.l1d.fill
+        for record in chunk:
+            line = record.pc >> 6
+            if line != seen_line:
+                l2_fill(record.pc)
+                l1i_fill(record.pc)
+                seen_line = line
+            if record.ea is not None:
+                l2_fill(record.ea)
+                l1d_fill(record.ea)
+        self._seen_line = seen_line
+
+    def _train(self, fragment: DynamicFragment) -> None:
+        """Train the fragment-sequence predictors on a carved fragment,
+        exactly as the commit-side carver would."""
+        processor = self.processor
         processor.trace_predictor.train(fragment.key)
         processor.liveout_predictor.train(
             fragment.key,
             compute_liveouts([r.inst for r in fragment.records]))
-        if trace_cache is not None:
-            trace_cache.insert(fragment.key)
+        if processor.trace_cache is not None:
+            processor.trace_cache.insert(fragment.key)
 
-    # Caches: touch lines in reference order so LRU state is realistic.
-    memory = processor.memory
-    seen_line = -1
-    for record in stream:
-        line = record.pc >> 6
-        if line != seen_line:
-            memory.l2.fill(record.pc)
-            memory.l1i.fill(record.pc)
-            seen_line = line
-        if record.ea is not None:
-            memory.l2.fill(record.ea)
-            memory.l1d.fill(record.ea)
+    def flush(self) -> None:
+        """Train the trailing truncated fragment, if one is pending.
 
-    # Warming trained the predictors but also counted hits/misses and
-    # fills into the shared stats collector; reset it so the timed run
-    # starts clean, with no phantom zero-valued entries left behind.
-    processor.stats.reset()
+        Matches :func:`repro.frontend.fragments.carve_stream`, which
+        emits the final partial fragment with ``STREAM_END``.
+        """
+        if self._records:
+            key = FragmentKey(self._records[0].pc, tuple(self._directions))
+            self._train(DynamicFragment(key, self._records,
+                                        TerminationReason.STREAM_END,
+                                        self._records[-1].next_pc))
+            self._records = []
+            self._directions = []
 
-    # Start the timed run with clean history registers; the retire-side
-    # history rebuilds within a few fragments.
-    processor.trace_predictor.restore_history(())
+    def discard_partial(self) -> int:
+        """Drop the carve-in-progress fragment without training it.
+
+        Used at gap → detailed-window boundaries in sampled simulation:
+        the window's commit carver re-carves from the window start, so
+        training the artificial boundary fragment here would either
+        double-train or train a fragment the full-detail run never sees.
+        Returns the number of records dropped.
+        """
+        dropped = len(self._records)
+        self._records = []
+        self._directions = []
+        return dropped
+
+    def finish(self) -> None:
+        """Complete pre-run warming: flush the trailing fragment, clear
+        warming side effects on stats, and reset speculative history.
+
+        Call exactly once, before the first timed cycle.  The retire-side
+        history keeps its trained end state; the speculative history
+        starts empty (the first few fragments use the secondary table).
+        """
+        self.flush()
+        self._finished = True
+        # Warming trained the predictors but also counted hits/misses and
+        # fills into the shared stats collector; reset it so the timed
+        # run starts clean, with no phantom zero-valued entries.
+        self.processor.stats.reset()
+        self.processor.trace_predictor.restore_history(())
+
+
+def warm_processor(processor: "Processor",
+                   stream: Sequence[DynamicInstruction],
+                   chunk_size: Optional[int] = None) -> None:
+    """Warm *processor*'s predictors and caches with *stream*.
+
+    Must be called before the first timing cycle.  *chunk_size* feeds the
+    stream through :class:`WarmingState` in slices of that many records —
+    the result is bit-identical to the default whole-stream pass; the
+    parameter exists for parity testing and has no behavioural effect.
+    """
+    state = WarmingState(processor)
+    if chunk_size is None:
+        state.feed(stream)
+    else:
+        for start in range(0, len(stream), chunk_size):
+            state.feed(stream[start:start + chunk_size])
+    state.finish()

@@ -68,6 +68,7 @@ from typing import (
 from repro import faults
 from repro.config import ProcessorConfig, frontend_config
 from repro.core.simulation import SimulationResult, run_simulation
+from repro.sampling.engine import SamplingConfig
 from repro.errors import SweepError
 from repro.stats import StatsCollector
 
@@ -126,6 +127,11 @@ class SweepJob:
     warm: bool = True
     #: Display name recorded in the result (defaults to ``config_name``).
     label: Optional[str] = None
+    #: Interval sampling as a ``(period, unit, warmup)`` tuple, or None
+    #: for full detail.  Explicit-by-value (never env-resolved in the
+    #: worker) so the content-addressed cache key always matches what
+    #: actually ran.
+    sampling: Optional[Tuple[int, int, int]] = None
 
     def build_config(self) -> ProcessorConfig:
         """Resolve the named configuration and apply every override."""
@@ -148,7 +154,7 @@ class SweepJob:
         """
         config_digest = hashlib.sha256(
             repr(self.build_config()).encode()).hexdigest()
-        payload = json.dumps({
+        fields = {
             "schema": CACHE_SCHEMA_VERSION,
             "config_name": self.config_name,
             "benchmark": self.benchmark,
@@ -159,7 +165,12 @@ class SweepJob:
             "warm": self.warm,
             "label": self.label,
             "config_digest": config_digest,
-        }, sort_keys=True)
+        }
+        if self.sampling is not None:
+            # Only sampled jobs carry the field, so every pre-existing
+            # full-detail cache entry keeps its key.
+            fields["sampling"] = list(self.sampling)
+        payload = json.dumps(fields, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def describe(self) -> str:
@@ -174,6 +185,9 @@ class SweepJob:
             parts.append(f"{path}={value}")
         if not self.warm:
             parts.append("cold")
+        if self.sampling is not None:
+            period, unit, warmup = self.sampling
+            parts.append(f"sampled={period}x{unit}+{warmup}")
         return "/".join(parts)
 
 
@@ -349,10 +363,19 @@ def _execute_job(job: SweepJob,
     if plan is not None:
         plan.on_execute(job.describe(), attempt)
     start = time.perf_counter()
+    # Sampling is passed by value from the job — never resolved from the
+    # environment in a worker — so the content-addressed cache key always
+    # matches what actually ran (sampling=False blocks REPRO_SAMPLE).
+    if job.sampling is not None:
+        period, unit, warmup = job.sampling
+        sampling: Any = SamplingConfig(period=period, unit=unit,
+                                       warmup=warmup)
+    else:
+        sampling = False
     result = run_simulation(job.build_config(), job.benchmark,
                             max_instructions=job.length,
                             config_name=job.label or job.config_name,
-                            warm=job.warm)
+                            warm=job.warm, sampling=sampling)
     return _result_to_payload(result), time.perf_counter() - start
 
 

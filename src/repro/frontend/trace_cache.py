@@ -54,6 +54,12 @@ class TraceCache:
         cache_set[key] = None
         self.stats.add("tc.fills")
 
+    def adopt_state(self, donor: "TraceCache") -> None:
+        """Clone *donor*'s resident traces and LRU order."""
+        if donor.config != self.config:
+            raise ValueError("trace-cache geometry mismatch in adopt_state")
+        self._sets = [OrderedDict(s) for s in donor._sets]
+
     @property
     def hit_rate(self) -> float:
         """Trace-cache hits over accesses so far."""

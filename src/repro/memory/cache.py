@@ -82,6 +82,14 @@ class Cache:
         self.stats.add(f"{self.name}.fills")
         return victim
 
+    def adopt_state(self, donor: "Cache") -> None:
+        """Clone *donor*'s resident lines and LRU order (tags only, so a
+        shallow per-set copy is a full state clone)."""
+        if donor.config != self.config:
+            raise ValueError(f"{self.name}: cache geometry mismatch "
+                             "in adopt_state")
+        self._sets = [OrderedDict(s) for s in donor._sets]
+
     def invalidate_all(self) -> None:
         """Empty every set (used between warming and timed runs)."""
         for cache_set in self._sets:

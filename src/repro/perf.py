@@ -55,6 +55,11 @@ PINNED_BENCHMARK = "gcc"
 PINNED_INSTRUCTIONS = 30_000
 #: Instruction count for ``--smoke`` (tier-1-safe, a few seconds).
 SMOKE_INSTRUCTIONS = 4_000
+#: Pinned instruction count for the sampled-vs-full scenario: 8x the
+#: full-detail matrix, where interval sampling has room to pay off.
+SAMPLED_INSTRUCTIONS = 8 * PINNED_INSTRUCTIONS
+#: Sampled-scenario instruction count for ``--smoke``.
+SMOKE_SAMPLED_INSTRUCTIONS = 8 * SMOKE_INSTRUCTIONS
 
 #: Record format version for ``BENCH_perf.json``.
 SCHEMA_VERSION = 1
@@ -180,17 +185,108 @@ def _phase_breakdown(config_name: str, program, oracle
             for phase, seconds in obs.profiler.seconds.items()}
 
 
+def run_sampled_benchmark(config_name: str,
+                          benchmark: str = PINNED_BENCHMARK,
+                          instructions: int = SAMPLED_INSTRUCTIONS,
+                          repeats: int = 1) -> Dict[str, object]:
+    """Time interval-sampled simulation against the full-detail run.
+
+    Both sides start from a prepped oracle and a pre-trained warming
+    snapshot (the donor is trained once, untimed, before the clock
+    starts), so the timed regions compare what a user actually waits
+    for: functional warming plus the detailed cycle loop, versus the
+    sampled engine end to end (snapshot clone, gap fast-forward,
+    detailed windows).  ``speedup`` is the ratio of estimated-sim-cycles
+    per wall-second, and ``ipc_rel_error`` is the sampled IPC's relative
+    error against the full-detail reference — the two numbers the
+    sampled mode's acceptance rests on.
+    """
+    from repro.config import frontend_config
+    from repro.core.processor import Processor
+    from repro.sampling import SamplingConfig, run_sampled
+    from repro.sampling import prep
+
+    config = frontend_config(config_name)
+    program, execution, stream_key = prep.get_oracle(benchmark,
+                                                     instructions)
+    oracle = execution.stream
+    sampling = SamplingConfig.from_env()
+
+    # Train the warming snapshot outside the clock; every timed run
+    # below (full and sampled) then clones it.
+    scratch = Processor(config, program, oracle,
+                        watchdog=None, invariants=None)
+    prep.warm_from_snapshot(scratch, oracle, stream_key, pin=program)
+
+    full_best = float("inf")
+    full_cycles = full_committed = 0
+    for _ in range(max(1, repeats)):
+        processor = Processor(config, program, oracle,
+                              watchdog=None, invariants=None)
+        start = time.perf_counter()
+        prep.warm_from_snapshot(processor, oracle, stream_key,
+                                pin=program)
+        processor.run()
+        elapsed = time.perf_counter() - start
+        full_best = min(full_best, elapsed)
+        full_cycles = processor.now
+        full_committed = processor.committed
+
+    sampled_best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = run_sampled(config, program, oracle, sampling,
+                             config_name=config_name, benchmark=benchmark,
+                             warm=True, stream_key=stream_key, pin=program)
+        elapsed = time.perf_counter() - start
+        sampled_best = min(sampled_best, elapsed)
+    assert result is not None
+
+    full_ipc = full_committed / full_cycles if full_cycles else 0.0
+    full_scps = full_cycles / full_best
+    sampled_scps = result.cycles / sampled_best
+    return {
+        "config": config_name,
+        "benchmark": benchmark,
+        "instructions": instructions,
+        "period": sampling.period,
+        "unit": sampling.unit,
+        "warmup": sampling.warmup,
+        "full_wall_seconds": round(full_best, 6),
+        "full_ipc": round(full_ipc, 6),
+        "full_sim_cycles": full_cycles,
+        "wall_seconds": round(sampled_best, 6),
+        "sampled_ipc": round(result.ipc, 6),
+        "est_sim_cycles": result.cycles,
+        "units_measured": int(result.counter("sampling.units_measured")),
+        "ipc_ci_rel": round(
+            result.counter("sampling.ipc_halfwidth_rel"), 6),
+        "ipc_rel_error": round(
+            abs(result.ipc - full_ipc) / full_ipc if full_ipc else 0.0, 6),
+        "speedup": round(sampled_scps / full_scps, 2) if full_scps else 0.0,
+        "sim_cycles_per_sec": round(sampled_scps, 1),
+    }
+
+
 def run_matrix(configs: Sequence[str] = PINNED_CONFIGS,
                benchmark: str = PINNED_BENCHMARK,
                instructions: int = PINNED_INSTRUCTIONS,
                repeats: int = 1,
-               phase_breakdown: bool = True) -> Dict[str, object]:
-    """Run the benchmark matrix; returns the ``BENCH_perf.json`` record."""
+               phase_breakdown: bool = True,
+               sampled_instructions: Optional[int] = None
+               ) -> Dict[str, object]:
+    """Run the benchmark matrix; returns the ``BENCH_perf.json`` record.
+
+    With *sampled_instructions* set, the record also carries a
+    ``sampled`` section: the sampled-vs-full scenario for every config
+    at that (longer) instruction count (see :func:`run_sampled_benchmark`).
+    """
     entries = [run_benchmark(name, benchmark, instructions,
                              repeats=repeats,
                              phase_breakdown=phase_breakdown)
                for name in configs]
-    return {
+    record = {
         "schema": SCHEMA_VERSION,
         "benchmark": benchmark,
         "instructions": instructions,
@@ -201,6 +297,11 @@ def run_matrix(configs: Sequence[str] = PINNED_CONFIGS,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "entries": entries,
     }
+    if sampled_instructions is not None:
+        record["sampled"] = [
+            run_sampled_benchmark(name, benchmark, sampled_instructions)
+            for name in configs]
+    return record
 
 
 def write_record(record: Dict[str, object], path: str) -> None:
@@ -229,30 +330,34 @@ def compare_records(current: Dict[str, object],
     baseline from an older schema should not hard-fail the gate.
     Entries whose instruction counts differ are also skipped: throughput
     at a short smoke run (cold caches) is not comparable to a full run.
+    The ``sampled`` sections are gated the same way on their
+    ``sim_cycles_per_sec`` (estimated sim cycles per wall-second), so a
+    regression that only slows the sampling engine still fails.
     """
     failures: List[str] = []
     cur_cal = float(current.get("calibration_score", 0)) or 1.0
     base_cal = float(baseline.get("calibration_score", 0)) or 1.0
-    baseline_by_key = {
-        (e["config"], e["benchmark"]): e
-        for e in baseline.get("entries", ())
-    }
-    for entry in current.get("entries", ()):
-        key = (entry["config"], entry["benchmark"])
-        base = baseline_by_key.get(key)
-        if base is None:
-            continue
-        if entry.get("instructions") != base.get("instructions"):
-            continue
-        cur_norm = float(entry["sim_cycles_per_sec"]) / cur_cal
-        base_norm = float(base["sim_cycles_per_sec"]) / base_cal
-        if base_norm <= 0:
-            continue
-        ratio = cur_norm / base_norm
-        if ratio < 1.0 - threshold:
-            failures.append(
-                f"{key[0]}/{key[1]}: normalised throughput fell to "
-                f"{ratio:.2f}x of baseline "
-                f"({entry['sim_cycles_per_sec']} vs "
-                f"{base['sim_cycles_per_sec']} sim cycles/s raw)")
+    for section, label in (("entries", ""), ("sampled", "sampled ")):
+        baseline_by_key = {
+            (e["config"], e["benchmark"]): e
+            for e in baseline.get(section, ())
+        }
+        for entry in current.get(section, ()):
+            key = (entry["config"], entry["benchmark"])
+            base = baseline_by_key.get(key)
+            if base is None:
+                continue
+            if entry.get("instructions") != base.get("instructions"):
+                continue
+            cur_norm = float(entry["sim_cycles_per_sec"]) / cur_cal
+            base_norm = float(base["sim_cycles_per_sec"]) / base_cal
+            if base_norm <= 0:
+                continue
+            ratio = cur_norm / base_norm
+            if ratio < 1.0 - threshold:
+                failures.append(
+                    f"{label}{key[0]}/{key[1]}: normalised throughput "
+                    f"fell to {ratio:.2f}x of baseline "
+                    f"({entry['sim_cycles_per_sec']} vs "
+                    f"{base['sim_cycles_per_sec']} sim cycles/s raw)")
     return failures

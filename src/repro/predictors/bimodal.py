@@ -49,5 +49,16 @@ class BimodalPredictor:
         elif counter > 0:
             self._counters[index] = counter - 1
 
+    def adopt_state(self, donor: "BimodalPredictor") -> None:
+        """Clone *donor*'s trained counters into this predictor.
+
+        Training is deterministic, so adopting a donor trained on a
+        stream is bit-identical to training on that stream directly —
+        the basis of the warm-snapshot cache in :mod:`repro.sampling`.
+        """
+        if donor.entries != self.entries:
+            raise ValueError("bimodal geometry mismatch in adopt_state")
+        self._counters = dict(donor._counters)
+
     def __len__(self) -> int:
         return len(self._counters)

@@ -117,6 +117,13 @@ class LiveOutPredictor:
             self.stats.add("liveout.evictions")
         cache_set[tag] = info
 
+    def adopt_state(self, donor: "LiveOutPredictor") -> None:
+        """Clone *donor*'s trained table (entries are immutable
+        :class:`LiveOutInfo` tuples; LRU order is preserved)."""
+        if donor.config != self.config:
+            raise ValueError("live-out config mismatch in adopt_state")
+        self._sets = [OrderedDict(s) for s in donor._sets]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         cfg = self.config
         return (f"LiveOutPredictor({cfg.entries} entries, {cfg.assoc}-way, "

@@ -153,6 +153,31 @@ class TracePredictor:
         else:
             self.stats.add("tracepred.hysteresis_holds")
 
+    def adopt_state(self, donor: "TracePredictor") -> None:
+        """Clone *donor*'s trained tables and histories into this
+        predictor.
+
+        Table entries are mutable (hysteresis counters), so each one is
+        copied rather than shared; the ID memo is shared-value-safe
+        (ints) and copied wholesale.  Requires identical geometry.
+        """
+        if donor.config != self.config:
+            raise ValueError("trace-predictor config mismatch in adopt_state")
+        self._primary = {index: self._copy_entry(entry)
+                         for index, entry in donor._primary.items()}
+        self._secondary = {index: self._copy_entry(entry)
+                           for index, entry in donor._secondary.items()}
+        self._id_cache = dict(donor._id_cache)
+        self._history = deque(donor._history, maxlen=self.config.depth + 1)
+        self._retire_history = deque(donor._retire_history,
+                                     maxlen=self.config.depth + 1)
+
+    @staticmethod
+    def _copy_entry(entry: _Entry) -> _Entry:
+        clone = _Entry(entry.key)
+        clone.counter = entry.counter
+        return clone
+
     # -- introspection ---------------------------------------------------
 
     @property

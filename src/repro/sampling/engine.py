@@ -1,0 +1,255 @@
+"""SMARTS-style interval sampling over the oracle stream.
+
+The stream is split into fixed-size *units* (default ~1k instructions).
+Every *k*-th unit is detail-simulated, preceded by a detailed warm-up
+prefix whose cycles are discarded (it re-fills the pipeline and short
+-lived structures after the fast-forward); the gaps between detailed
+windows are fast-forwarded *functionally* — state keeps tracking the
+skipped references through :class:`repro.core.warming.WarmingState` at
+emulation speed, but no cycles are simulated.
+
+Gap fast-forwarding has two modes.  When the run pre-warmed every
+predictor on the whole stream (``warm=True``, the default, matching the
+steady-state methodology of full-detail runs), gaps only maintain cache
+LRU recency (:meth:`WarmingState.feed_caches`) — the predictors are
+already at steady state and re-training them through the gaps measurably
+buys nothing while costing most of the sampled run's wall clock.  In the
+pure-SMARTS mode (``warm=False``) gaps do full functional warming, and
+every oracle record then trains the predictors through exactly one path:
+the functional warmer (gap records) or the commit-side carver
+(detailed-window records) — never both.
+
+The per-unit CPIs are aggregated per SMARTS (Wunderlich et al., ISCA
+2003): the CPI estimate is the mean of per-unit CPIs and the result
+carries a 95% CLT confidence half-width under ``sampling.*`` counters,
+so callers can *measure* the sampling error instead of guessing it.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.config import ProcessorConfig
+from repro.core.processor import Processor
+from repro.core.simulation import SimulationResult
+from repro.core.warming import WarmingState, warm_processor
+from repro.emulator.stream import DynamicInstruction
+from repro.errors import ReproError
+from repro.isa.program import Program
+from repro.sampling.prep import StreamKey, warm_from_snapshot
+
+#: Environment knobs (registered in repro.config.ENV_KNOBS).
+SAMPLE_ENV = "REPRO_SAMPLE"
+UNIT_ENV = "REPRO_SAMPLE_UNIT"
+WARMUP_ENV = "REPRO_SAMPLE_WARMUP"
+
+DEFAULT_PERIOD = 16
+DEFAULT_UNIT = 1000
+DEFAULT_WARMUP = 1000
+
+#: 95% two-sided normal quantile for the CLT confidence interval.
+_Z_95 = 1.96
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Interval-sampling parameters.
+
+    Attributes:
+        period: measure every ``period``-th unit (1 = measure all).
+        unit: oracle instructions (non-NOP) per sampling unit.
+        warmup: detailed warm-up instructions run (and discarded) before
+            each measured unit, re-filling pipeline-adjacent state after
+            the functional fast-forward.
+    """
+
+    period: int = DEFAULT_PERIOD
+    unit: int = DEFAULT_UNIT
+    warmup: int = DEFAULT_WARMUP
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ReproError("sampling period must be >= 1")
+        if self.unit < 1:
+            raise ReproError("sampling unit must be >= 1")
+        if self.warmup < 0:
+            raise ReproError("sampling warmup must be >= 0")
+
+    @classmethod
+    def from_env(cls, period: Optional[int] = None) -> "SamplingConfig":
+        """Build a config from ``REPRO_SAMPLE_UNIT`` / ``_WARMUP``,
+        with *period* overriding ``REPRO_SAMPLE`` (default 16)."""
+        if period is None:
+            period = int(os.environ.get(SAMPLE_ENV) or DEFAULT_PERIOD)
+        return cls(
+            period=period,
+            unit=int(os.environ.get(UNIT_ENV) or DEFAULT_UNIT),
+            warmup=int(os.environ.get(WARMUP_ENV) or DEFAULT_WARMUP))
+
+
+def resolve_sampling(value: Union[None, bool, int, SamplingConfig]
+                     ) -> Optional[SamplingConfig]:
+    """Normalise a ``run_simulation(sampling=...)`` argument.
+
+    ``None`` defers to ``REPRO_SAMPLE`` (unset or 0 = off), ``False``/0
+    forces full detail, ``True`` turns sampling on with env/default
+    parameters, an int is a sampling period, and a
+    :class:`SamplingConfig` passes through.
+    """
+    if isinstance(value, SamplingConfig):
+        return value
+    if value is None:
+        period = int(os.environ.get(SAMPLE_ENV) or 0)
+        return SamplingConfig.from_env(period) if period > 0 else None
+    if value is True:
+        return SamplingConfig.from_env()
+    if value is False or value == 0:
+        return None
+    return SamplingConfig.from_env(int(value))
+
+
+def run_sampled(processor_config: ProcessorConfig,
+                program: Program,
+                oracle: Sequence[DynamicInstruction],
+                sampling: SamplingConfig,
+                config_name: str,
+                benchmark: str,
+                warm: bool = True,
+                stream_key: Optional[StreamKey] = None,
+                pin: object = None) -> SimulationResult:
+    """Interval-sample *oracle* and extrapolate a full-run result.
+
+    With ``warm=True`` the processor is first functionally warmed on the
+    whole stream (through the snapshot cache when *stream_key* is
+    given), matching the steady-state methodology of full-detail runs,
+    and gaps then maintain cache recency only; ``warm=False`` is the
+    pure-SMARTS mode where gap warming alone trains the structures.
+
+    The returned result's extrapolated counters are *estimates* scaled
+    from the measured windows; ``sampling.*`` entries (units, discarded
+    warm-up cycles, CPI confidence half-width) are exact measurements.
+    """
+    processor = Processor(processor_config, program, oracle, obs=None)
+    if warm:
+        if stream_key is not None:
+            warm_from_snapshot(processor, oracle, stream_key, pin=pin)
+        else:
+            warm_processor(processor, oracle)
+
+    # Unit geometry is over the non-NOP stream (the processor's commit
+    # index space); raw_pos maps a non-NOP index back to the raw stream
+    # so gap warming can still touch NOP fetch lines.
+    raw_pos = [i for i, record in enumerate(oracle)
+               if not record.inst.is_nop]
+    total = len(raw_pos)
+    if total == 0:
+        raise ReproError("cannot sample an empty oracle stream")
+    unit = sampling.unit
+    total_units = (total + unit - 1) // unit
+    measured_units = [j for j in range(total_units)
+                      if j % sampling.period == sampling.period - 1]
+    if not measured_units:  # stream shorter than one period: measure last
+        measured_units = [total_units - 1]
+
+    warmer = WarmingState(processor)
+    cursor = 0
+    gap_insts = 0
+    warmup_cycles = 0
+    warmup_insts = 0
+    timeouts = 0
+    unit_insts: List[int] = []
+    unit_cycles: List[int] = []
+    measured_counters: Dict[str, float] = {}
+
+    for j in measured_units:
+        m_start = j * unit
+        m_end = min(m_start + unit, total)
+        w_start = max(m_start - sampling.warmup, cursor)
+
+        # Functional fast-forward of the gap (raw slice: NOPs included
+        # for cache touches, exactly as pre-run warming would see them).
+        if w_start > cursor:
+            gap = oracle[raw_pos[cursor]:raw_pos[w_start]]
+            if warm:
+                warmer.feed_caches(gap)
+            else:
+                warmer.feed(gap)
+                warmer.discard_partial()
+            gap_insts += w_start - cursor
+
+        # Detailed warm-up prefix: cycles discarded, structures trained
+        # by the commit carver like any detailed window.
+        processor.restart_at(w_start)
+        before = processor.now
+        if not processor.run_until(m_start):
+            timeouts += 1
+        warmup_cycles += processor.now - before
+        warmup_insts += m_start - w_start
+
+        # Measured unit: counter deltas bracket exactly this window.
+        before = processor.now
+        snapshot = dict(processor.stats.as_dict())
+        if not processor.run_until(m_end):
+            timeouts += 1
+        cycles = processor.now - before
+        for name, value in processor.stats.as_dict().items():
+            delta = value - snapshot.get(name, 0.0)
+            if delta:
+                measured_counters[name] = (
+                    measured_counters.get(name, 0.0) + delta)
+        unit_insts.append(m_end - m_start)
+        unit_cycles.append(cycles)
+        cursor = m_end
+    # The trailing gap (after the last measured unit) warms nothing.
+
+    # SMARTS aggregation: CPI = mean of per-unit CPIs; 95% CLT interval.
+    cpis = [c / i for c, i in zip(unit_cycles, unit_insts)]
+    k = len(cpis)
+    cpi_mean = sum(cpis) / k
+    if k > 1:
+        variance = sum((c - cpi_mean) ** 2 for c in cpis) / (k - 1)
+        cpi_std = math.sqrt(variance)
+        halfwidth = _Z_95 * cpi_std / math.sqrt(k)
+    else:
+        cpi_std = 0.0
+        halfwidth = 0.0
+    est_cycles = max(1, round(cpi_mean * total))
+    measured_insts = sum(unit_insts)
+
+    scale = total / measured_insts
+    counters = {name: value * scale
+                for name, value in measured_counters.items()}
+    counters["sim.cycles"] = float(est_cycles)
+    counters["sim.committed"] = float(total)
+    if timeouts:
+        counters["sim.timeout"] = 1.0
+    counters.update({
+        "sampling.enabled": 1.0,
+        "sampling.period": float(sampling.period),
+        "sampling.unit": float(unit),
+        "sampling.warmup": float(sampling.warmup),
+        "sampling.units_total": float(total_units),
+        "sampling.units_measured": float(k),
+        "sampling.units_skipped": float(total_units - k),
+        "sampling.measured_insts": float(measured_insts),
+        "sampling.measured_cycles": float(sum(unit_cycles)),
+        "sampling.warmup_insts": float(warmup_insts),
+        "sampling.warmup_cycles_discarded": float(warmup_cycles),
+        "sampling.gap_insts_warmed": float(gap_insts),
+        "sampling.window_timeouts": float(timeouts),
+        "sampling.cpi_mean": cpi_mean,
+        "sampling.cpi_std": cpi_std,
+        "sampling.cpi_halfwidth": halfwidth,
+        "sampling.ipc_halfwidth_rel": (halfwidth / cpi_mean
+                                       if cpi_mean else 0.0),
+    })
+    return SimulationResult(
+        benchmark=benchmark,
+        config_name=config_name,
+        cycles=est_cycles,
+        committed=total,
+        counters=counters,
+    )

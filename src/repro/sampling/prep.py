@@ -1,0 +1,313 @@
+"""Per-benchmark preparation caches.
+
+Every job sharing (benchmark, length, warm-relevant config) used to redo
+the same work per run: functional emulation of the oracle stream,
+fragment carving, and predictor training.  This module caches each stage
+at process level and — for oracle streams of suite benchmarks — on disk
+under the existing ``.repro_cache/`` directory, so fresh sweep worker
+processes skip re-emulation entirely.
+
+Three layers:
+
+* :func:`get_oracle` — one entry point resolving a benchmark name *or* an
+  ad-hoc :class:`~repro.isa.program.Program` to its decoded program and
+  oracle stream, through the in-process caches (suite module / ad-hoc
+  memo) and the on-disk stream cache.
+* :func:`warm_from_snapshot` — functional warming via a cached
+  *trained-predictor snapshot*: donor structures are trained once per
+  (stream, warm-config) and cloned into each run's processor with the
+  structures' ``adopt_state`` methods.  Training is deterministic, so
+  the clone is bit-identical to retraining (the test suite asserts it).
+* The disk layer shares ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``
+  semantics with :mod:`repro.experiments.runner`'s result cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
+
+from repro.config import ProcessorConfig
+from repro.emulator.machine import Machine
+from repro.emulator.stream import ExecutionResult
+from repro.frontend.trace_cache import TraceCache
+from repro.isa.program import Program
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.liveout import LiveOutPredictor
+from repro.predictors.trace_predictor import TracePredictor
+from repro.stats import StatsCollector
+from repro.workloads import suite
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.processor import Processor
+
+#: Same knobs as the experiment result cache (repro.experiments.runner).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Bump to invalidate on-disk streams when the emulator/ISA changes shape.
+STREAM_CACHE_VERSION = 1
+
+#: A stream identity: ("bench", name, stream length) for suite
+#: benchmarks, ("program", id, stream length) for ad-hoc programs.
+StreamKey = Tuple[str, object, int]
+
+#: Ad-hoc program -> (requested length, result).  Keyed by object id;
+#: the entry pins the program so the id cannot be recycled.
+_adhoc_streams: Dict[int, Tuple[Program, int, ExecutionResult]] = {}
+#: (program id, length) -> memoized sliced view.
+_adhoc_slices: Dict[Tuple[int, int], ExecutionResult] = {}
+
+#: Trained warm-state snapshots, LRU-capped (each holds predictor tables
+#: plus full L1/L2/trace-cache tag state — small, but not free).
+_snapshots: "OrderedDict[Tuple[StreamKey, str], _WarmSnapshot]" = OrderedDict()
+_SNAPSHOT_CAP = 8
+
+
+def _disk_enabled() -> bool:
+    return not os.environ.get(NO_CACHE_ENV)
+
+
+def _stream_dir() -> Path:
+    root = Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+    return root / "streams"
+
+
+def _stream_digest(name: str) -> str:
+    """Content key for a suite benchmark's stream: the workload spec
+    fully determines the program, and emulation is deterministic."""
+    spec = suite.get_spec(name)
+    payload = f"v{STREAM_CACHE_VERSION}|{name}|{spec!r}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def _load_stream_from_disk(name: str, length: int) -> Optional[int]:
+    """Seed the suite's in-process caches from the on-disk prep cache.
+
+    Each entry bundles the decoded program *with* its oracle stream —
+    pickled together so the stream's records reference the program's
+    own instruction objects, exactly as a fresh generate+emulate would.
+    Returns the requested-length of the loaded entry (the shortest
+    cached stream covering *length*), or None on a miss.  Corrupt
+    entries are removed rather than trusted.
+    """
+    directory = _stream_dir()
+    if not directory.is_dir():
+        return None
+    prefix = f"{name}-{_stream_digest(name)}-"
+    best: Optional[Tuple[int, Path]] = None
+    for path in directory.glob(f"{prefix}*.pkl"):
+        try:
+            cached_len = int(path.name[len(prefix):-4])
+        except ValueError:
+            continue
+        if cached_len >= length and (best is None or cached_len < best[0]):
+            best = (cached_len, path)
+    if best is None:
+        return None
+    cached_len, path = best
+    try:
+        with open(path, "rb") as handle:
+            program, result = pickle.load(handle)
+        if not (isinstance(program, Program)
+                and isinstance(result, ExecutionResult)):
+            raise ValueError("not a (Program, ExecutionResult) bundle")
+    except Exception:
+        path.unlink(missing_ok=True)
+        return None
+    suite.seed_program(name, program)
+    suite.seed_stream(name, cached_len, result)
+    return cached_len
+
+
+def _store_stream_to_disk(name: str) -> None:
+    """Persist the decoded program plus the suite's longest in-process
+    stream for *name*, dropping now-redundant shorter entries.
+    Best-effort: I/O errors never fail the simulation."""
+    entry = suite.peek_stream(name)
+    program = suite.cached_program(name)
+    if entry is None or program is None:
+        return
+    requested, result = entry
+    directory = _stream_dir()
+    prefix = f"{name}-{_stream_digest(name)}-"
+    path = directory / f"{prefix}{requested}.pkl"
+    try:
+        if path.exists():
+            return
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(directory), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump((program, result), handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            os.unlink(tmp)
+            raise
+        for stale in directory.glob(f"{prefix}*.pkl"):
+            try:
+                if int(stale.name[len(prefix):-4]) < requested:
+                    stale.unlink(missing_ok=True)
+            except ValueError:
+                continue
+    except OSError:
+        return
+
+
+def _suite_oracle(name: str, length: int) -> ExecutionResult:
+    """Suite stream through all three layers: process, disk, emulate.
+
+    The disk bundle is only loaded while the program is not yet
+    generated in-process (fresh worker processes — the case the disk
+    layer exists for); once a program is live, re-emulating against it
+    is cheap and keeps stream/program instruction identity consistent.
+    """
+    if suite.cached_stream_length(name) >= length:
+        return suite.oracle_stream(name, length)
+    if (_disk_enabled() and suite.cached_program(name) is None
+            and _load_stream_from_disk(name, length) is not None):
+        return suite.oracle_stream(name, length)
+    result = suite.oracle_stream(name, length)  # emulates and caches
+    if _disk_enabled():
+        _store_stream_to_disk(name)
+    return result
+
+
+def _program_oracle(program: Program, length: int) -> ExecutionResult:
+    """Ad-hoc program stream, memoized by program identity so repeated
+    ``run_simulation(config, program)`` calls stop re-emulating."""
+    key = id(program)
+    entry = _adhoc_streams.get(key)
+    if entry is None or entry[0] is not program or entry[1] < length:
+        result = Machine(program).run(length)
+        entry = (program, length, result)
+        _adhoc_streams[key] = entry
+    cached = entry[2]
+    if len(cached.stream) <= length:
+        return cached
+    slice_key = (key, length)
+    sliced = _adhoc_slices.get(slice_key)
+    if sliced is None:
+        sliced = ExecutionResult(cached.stream[:length], cached.outputs,
+                                 cached.halted)
+        _adhoc_slices[slice_key] = sliced
+    return sliced
+
+
+def get_oracle(benchmark: Union[str, Program],
+               length: int) -> Tuple[Program, ExecutionResult, StreamKey]:
+    """Resolve *benchmark* to ``(program, oracle stream, stream key)``.
+
+    The stream key identifies the stream for the warm-snapshot cache:
+    suite streams by (name, stream length), ad-hoc programs by object
+    identity (the prep caches pin the program, keeping ids stable).
+    """
+    if isinstance(benchmark, str):
+        # Stream first: a disk hit seeds the program cache with the
+        # bundled program, keeping instruction identity consistent.
+        result = _suite_oracle(benchmark, length)
+        program = suite.get_benchmark(benchmark)
+        key: StreamKey = ("bench", benchmark, len(result.stream))
+    else:
+        program = benchmark
+        result = _program_oracle(program, length)
+        key = ("program", id(program), len(result.stream))
+    return program, result, key
+
+
+class _WarmSnapshot:
+    """Donor structures trained on one (stream, warm config)."""
+
+    __slots__ = ("bimodal", "trace_predictor", "liveout_predictor",
+                 "memory", "trace_cache", "pin")
+
+    def __init__(self, config: ProcessorConfig, pin: object):
+        stats = StatsCollector()
+        self.bimodal = BimodalPredictor(stats=stats)
+        self.trace_predictor = TracePredictor(config.trace_predictor, stats)
+        self.liveout_predictor = LiveOutPredictor(config.liveout_predictor,
+                                                  stats)
+        self.memory = MemoryHierarchy(config.memory, stats)
+        self.trace_cache: Optional[TraceCache] = (
+            TraceCache(config.frontend.trace_cache, stats)
+            if config.frontend.fetch_kind == "tc" else None)
+        # Keeps ad-hoc programs alive so identity-based keys stay valid.
+        self.pin = pin
+
+
+class _Donor:
+    """Duck-typed stand-in for a Processor, warmed instead of one."""
+
+    def __init__(self, config: ProcessorConfig, snapshot: _WarmSnapshot):
+        self.config = config
+        self.stats = snapshot.bimodal.stats
+        self.bimodal = snapshot.bimodal
+        self.trace_predictor = snapshot.trace_predictor
+        self.liveout_predictor = snapshot.liveout_predictor
+        self.memory = snapshot.memory
+        self.trace_cache = snapshot.trace_cache
+
+
+def _warm_digest(config: ProcessorConfig) -> str:
+    """Digest of every config field that influences warmed state."""
+    fe = config.frontend
+    parts = (config.fragment, config.trace_predictor,
+             config.liveout_predictor, config.memory,
+             fe.trace_cache if fe.fetch_kind == "tc" else None,
+             fe.fetch_kind == "tc")
+    return hashlib.sha256(repr(parts).encode()).hexdigest()[:16]
+
+
+def warm_from_snapshot(processor: "Processor", oracle,
+                       key: StreamKey, pin: object = None) -> None:
+    """Warm *processor* by cloning a cached trained snapshot.
+
+    Equivalent to ``warm_processor(processor, oracle)`` — training is
+    deterministic, so adopting the donor's end state is bit-identical to
+    training in place — but the training cost is paid once per
+    (stream, warm config) instead of once per run.
+    """
+    from repro.core.warming import WarmingState
+
+    cache_key = (key, _warm_digest(processor.config))
+    snapshot = _snapshots.get(cache_key)
+    if snapshot is None:
+        snapshot = _WarmSnapshot(processor.config, pin)
+        state = WarmingState(_Donor(processor.config, snapshot))
+        state.feed(oracle)
+        state.finish()
+        _snapshots[cache_key] = snapshot
+        if len(_snapshots) > _SNAPSHOT_CAP:
+            _snapshots.popitem(last=False)
+    else:
+        _snapshots.move_to_end(cache_key)
+
+    processor.bimodal.adopt_state(snapshot.bimodal)
+    processor.trace_predictor.adopt_state(snapshot.trace_predictor)
+    processor.liveout_predictor.adopt_state(snapshot.liveout_predictor)
+    processor.memory.l1i.adopt_state(snapshot.memory.l1i)
+    processor.memory.l1d.adopt_state(snapshot.memory.l1d)
+    processor.memory.l2.adopt_state(snapshot.memory.l2)
+    if processor.trace_cache is not None:
+        processor.trace_cache.adopt_state(snapshot.trace_cache)
+    # Same post-warming contract as warm_processor: clean stats, empty
+    # speculative history (the snapshot's history is already empty, but
+    # the explicit reset keeps the invariant obvious).
+    processor.stats.reset()
+    processor.trace_predictor.restore_history(())
+
+
+def clear_prep_caches() -> None:
+    """Drop all prep caches (ad-hoc streams, warm snapshots).  The
+    suite's own caches are cleared via ``suite.clear_caches()``."""
+    _adhoc_streams.clear()
+    _adhoc_slices.clear()
+    _snapshots.clear()

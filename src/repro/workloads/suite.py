@@ -136,7 +136,13 @@ SUITE_SPECS: Dict[str, WorkloadSpec] = {
 BENCHMARK_NAMES: Tuple[str, ...] = tuple(sorted(SUITE_SPECS))
 
 _program_cache: Dict[str, Program] = {}
-_stream_cache: Dict[Tuple[str, int], ExecutionResult] = {}
+#: name -> (longest requested length, its ExecutionResult).  Keyed by
+#: benchmark name alone — the longest stream serves every shorter request
+#: (emulation is deterministic, so shorter streams are exact prefixes).
+_stream_cache: Dict[str, Tuple[int, ExecutionResult]] = {}
+#: (name, length) -> memoized sliced view of the longest stream, so sweep
+#: jobs stop re-allocating a 30k-element list on every call.
+_slice_cache: Dict[Tuple[str, int], ExecutionResult] = {}
 
 
 def get_spec(name: str) -> WorkloadSpec:
@@ -156,6 +162,21 @@ def get_benchmark(name: str) -> Program:
     return _program_cache[name]
 
 
+def cached_program(name: str) -> Optional[Program]:
+    """The in-process cached program for *name*, or None (never
+    generates — used by the prep layer to decide whether the on-disk
+    program+stream bundle is worth loading)."""
+    return _program_cache.get(name)
+
+
+def seed_program(name: str, program: Program) -> None:
+    """Install an externally-obtained program (the on-disk prep cache)
+    unless one is already cached — the stream cache and program cache
+    must stay identity-consistent (stream records reference the
+    program's instruction objects)."""
+    _program_cache.setdefault(name, program)
+
+
 def oracle_stream(name: str,
                   max_instructions: Optional[int] = None) -> ExecutionResult:
     """The (cached) functional-execution stream for benchmark *name*.
@@ -165,28 +186,62 @@ def oracle_stream(name: str,
     """
     length = (default_sim_instructions() if max_instructions is None
               else max_instructions)
-    cached = None
-    for (cached_name, cached_len), result in _stream_cache.items():
-        if cached_name == name and cached_len >= length:
-            cached = result
-            break
-    if cached is None:
-        cached = Machine(get_benchmark(name)).run(length)
-        _stream_cache[(name, length)] = cached
-        # Drop shorter streams for this benchmark; they are now redundant.
-        for key in [k for k in _stream_cache
-                    if k[0] == name and k[1] < length]:
-            del _stream_cache[key]
+    entry = _stream_cache.get(name)
+    if entry is None or entry[0] < length:
+        entry = (length, Machine(get_benchmark(name)).run(length))
+        _install_stream(name, entry)
+    cached = entry[1]
     if len(cached.stream) <= length:
         return cached
-    return ExecutionResult(cached.stream[:length], cached.outputs,
-                           cached.halted)
+    key = (name, length)
+    sliced = _slice_cache.get(key)
+    if sliced is None:
+        sliced = ExecutionResult(cached.stream[:length], cached.outputs,
+                                 cached.halted)
+        _slice_cache[key] = sliced
+    return sliced
+
+
+def _install_stream(name: str,
+                    entry: Tuple[int, ExecutionResult]) -> None:
+    """Replace *name*'s cached stream, dropping its memoized slices —
+    they were built from the superseded stream, and serving them would
+    break record identity against the new one."""
+    _stream_cache[name] = entry
+    for key in [k for k in _slice_cache if k[0] == name]:
+        del _slice_cache[key]
+
+
+def seed_stream(name: str, requested_length: int,
+                result: ExecutionResult) -> None:
+    """Install an externally-obtained stream (e.g. the on-disk stream
+    cache) as benchmark *name*'s cached stream, if it is the longest seen.
+
+    *requested_length* is the emulation length the stream was produced
+    with — it can exceed ``len(result.stream)`` when the program halted.
+    """
+    entry = _stream_cache.get(name)
+    if entry is None or entry[0] < requested_length:
+        _install_stream(name, (requested_length, result))
+
+
+def cached_stream_length(name: str) -> int:
+    """Longest emulation length cached in-process for *name* (0 if none)."""
+    entry = _stream_cache.get(name)
+    return entry[0] if entry is not None else 0
+
+
+def peek_stream(name: str) -> Optional[Tuple[int, ExecutionResult]]:
+    """The longest cached ``(requested length, stream)`` for *name*,
+    without triggering emulation (None when nothing is cached)."""
+    return _stream_cache.get(name)
 
 
 def clear_caches() -> None:
     """Drop all cached programs and streams (mostly for tests)."""
     _program_cache.clear()
     _stream_cache.clear()
+    _slice_cache.clear()
 
 
 def characterize(name: str, max_instructions: Optional[int] = None,

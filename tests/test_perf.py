@@ -135,6 +135,27 @@ class TestBenchHarness:
         assert perf.compare_records(
             record(100.0, 1.0, instructions=50), baseline) == []
 
+    def test_compare_records_gates_sampled_section(self):
+        def record(cps):
+            return {"calibration_score": 1.0, "entries": [],
+                    "sampled": [{"config": "tc", "benchmark": "gcc",
+                                 "instructions": 240_000,
+                                 "sim_cycles_per_sec": cps}]}
+
+        baseline = record(1000.0)
+        assert perf.compare_records(record(900.0), baseline) == []
+        failures = perf.compare_records(record(500.0), baseline)
+        assert len(failures) == 1 and "sampled tc/gcc" in failures[0]
+
+    def test_run_sampled_benchmark_entry_shape(self):
+        entry = perf.run_sampled_benchmark("w16", instructions=8_000)
+        assert entry["config"] == "w16"
+        assert entry["est_sim_cycles"] > 0
+        assert entry["sim_cycles_per_sec"] > 0
+        assert entry["speedup"] > 0
+        assert entry["wall_seconds"] < entry["full_wall_seconds"]
+        assert 0.0 <= entry["ipc_rel_error"] < 1.0
+
     def test_bench_perf_smoke_cli(self, tmp_path):
         out = tmp_path / "BENCH_perf.json"
         result = subprocess.run(
