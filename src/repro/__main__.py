@@ -18,7 +18,14 @@ Subcommands:
   Chrome trace-event JSON for Perfetto / ``chrome://tracing``;
 * ``profile`` — attribute the simulator's own wall-clock to pipeline
   phases (self-profiling);
-* ``bench-info`` — show the synthetic suite's characteristics (Table 2).
+* ``bench-info`` — show the synthetic suite's characteristics (Table 2);
+* ``serve`` — run the long-lived async sweep job server
+  (:mod:`repro.service`): submit/poll/stream jobs over HTTP, cached
+  results served to many concurrent readers;
+* ``submit`` — submit a sweep to a running server, stream its progress
+  and print the results;
+* ``loadgen`` — hammer a running server with concurrent requests and
+  verify zero server errors plus bit-identical results.
 """
 
 from __future__ import annotations
@@ -305,6 +312,142 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_server(text: str):
+    """Split a ``HOST:PORT`` (or bare ``HOST`` / ``:PORT``) address."""
+    from repro.service import DEFAULT_HOST, DEFAULT_PORT
+    if ":" in text:
+        host, _, port = text.rpartition(":")
+    else:
+        host, port = text, ""
+    return (host or DEFAULT_HOST,
+            int(port) if port else DEFAULT_PORT)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sweep job server until SIGINT/SIGTERM or POST /shutdown."""
+    import asyncio
+    import os
+    import signal
+
+    from repro.experiments.runner import parse_cache_budget
+    from repro.service import DEFAULT_HOST, DEFAULT_PORT
+    from repro.service import ServiceConfig, SweepService
+
+    config = ServiceConfig(
+        host=DEFAULT_HOST if args.host is None else args.host,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        sweep_workers=args.workers,
+        max_active=args.max_active, cache_dir=args.cache_dir,
+        cache_budget=parse_cache_budget(args.budget))
+
+    async def main() -> None:
+        service = SweepService(config)
+        await service.start()
+        print(f"repro service listening on "
+              f"http://{config.host}:{service.port} (pid {os.getpid()})",
+              flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, service.request_shutdown)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await service.serve_forever()
+        print("repro service stopped", flush=True)
+
+    asyncio.run(main())
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a sweep to a running job server and print its results."""
+    import asyncio
+
+    from repro.experiments.common import (
+        experiment_benchmarks,
+        experiment_length,
+    )
+    from repro.experiments.runner import SweepJob
+    from repro.service import ServiceClient
+    from repro.service.protocol import DONE
+
+    host, port = _parse_server(args.server)
+    benchmarks = args.benchmarks or experiment_benchmarks()
+    length = args.instructions or experiment_length()
+    sampling_config = _sampling_arg(args)
+    sampling = (None if sampling_config is None else
+                (sampling_config.period, sampling_config.unit,
+                 sampling_config.warmup))
+    jobs = [SweepJob(config_name=config, benchmark=bench, length=length,
+                     sampling=sampling)
+            for config in args.configs for bench in benchmarks]
+    progress_out = sys.stderr if args.json else sys.stdout
+
+    async def main():
+        client = ServiceClient(host, port)
+        record = await client.submit(jobs, retries=args.retries,
+                                     timeout=args.timeout)
+        print(f"submitted {record['total']} job(s) as {record['id']} "
+              f"to {host}:{port}", flush=True, file=progress_out)
+        async for event in client.events(record["id"]):
+            if event["type"] == "progress":
+                print(f"  [{event['done']}/{event['total']}] "
+                      f"{event['job']:40} IPC={event['ipc']:.2f}  "
+                      f"({event['seconds']:.1f}s)",
+                      flush=True, file=progress_out)
+        return await client.status(record["id"], results=True)
+
+    final = asyncio.run(main())
+    if args.json:
+        print(json.dumps(final, indent=2, sort_keys=True))
+        return 0 if final["state"] == DONE and not final["failures"] else 1
+    from repro.service.client import result_from_wire
+    rows = []
+    for job, payload in zip(jobs,
+                            final.get("results") or [None] * len(jobs)):
+        if payload is None:
+            rows.append([job.config_name, job.benchmark, "FAILED",
+                         "-", "-", "-", "-"])
+            continue
+        row = _result_row(result_from_wire(payload))
+        rows.append([row[0], job.benchmark] + row[1:])
+    print(format_table(
+        ["front-end", "benchmark", "IPC", "fetch/cyc", "rename/cyc",
+         "util", "cycles"], rows))
+    print()
+    executed = int((final.get("stats") or {}).get("sweep.executed", 0))
+    print("submit summary")
+    print(f"  state         {final['state']}")
+    print(f"  jobs          {final['total']}")
+    print(f"  executed      {executed}")
+    print(f"  cached        {final.get('cached', 0)}")
+    print(f"  failures      {len(final['failures'])}")
+    for failure in final["failures"]:
+        print(f"  FAILED  {failure['job']}: {failure['error_type']}: "
+              f"{failure['message']}")
+    return 0 if final["state"] == DONE and not final["failures"] else 1
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Hammer a running job server and verify the serving guarantees."""
+    import asyncio
+
+    from repro.service.loadgen import run_loadgen
+
+    host, port = _parse_server(args.server)
+    report = asyncio.run(run_loadgen(
+        host=host, port=port, requests=args.requests,
+        concurrency=args.concurrency, configs=args.configs,
+        benchmarks=args.benchmarks, length=args.instructions,
+        seed=args.seed, verify=not args.no_verify,
+        cache_dir=args.cache_dir))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1
+
+
 def cmd_bench_info(args: argparse.Namespace) -> int:
     """Print static/dynamic characteristics of the suite benchmarks."""
     from repro.workloads.suite import characterize
@@ -446,6 +589,76 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the result, profile and metrics as "
                              "JSON")
     prof_p.set_defaults(func=cmd_profile)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the async sweep job server (simulation-as-a-service)")
+    serve_p.add_argument("--host", default=None,
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=None,
+                         help="bind port (default 8023; 0 = ephemeral)")
+    serve_p.add_argument("-j", "--workers", type=int, default=None,
+                         help="worker processes per sweep "
+                              "(default: REPRO_SWEEP_WORKERS or CPU count)")
+    serve_p.add_argument("--max-active", type=int, default=2,
+                         help="concurrent sweeps in flight (default 2)")
+    serve_p.add_argument("--cache-dir", default=None,
+                         help="result-cache directory "
+                              "(default: REPRO_CACHE_DIR or .repro_cache)")
+    serve_p.add_argument("--budget", default=None, metavar="BYTES",
+                         help="cache size budget, e.g. 256M "
+                              "(default: REPRO_CACHE_BUDGET or unlimited)")
+    serve_p.set_defaults(func=cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running job server")
+    submit_p.add_argument("--server", default="127.0.0.1",
+                          metavar="HOST:PORT",
+                          help="server address (default 127.0.0.1:8023)")
+    submit_p.add_argument("--configs", nargs="+",
+                          default=list(PAPER_CONFIGS), choices=ALL_CONFIGS)
+    submit_p.add_argument("--benchmarks", nargs="+", default=None,
+                          choices=BENCHMARK_NAMES)
+    submit_p.add_argument("-n", "--instructions", type=int, default=None)
+    submit_p.add_argument("--retries", type=int, default=None,
+                          help="server-side retries per failed job")
+    submit_p.add_argument("--timeout", type=float, default=None,
+                          help="server-side per-job timeout in seconds")
+    submit_p.add_argument("--json", action="store_true",
+                          help="emit the final job record as JSON "
+                               "(progress goes to stderr)")
+    _add_sampling_flags(submit_p)
+    submit_p.set_defaults(func=cmd_submit)
+
+    loadgen_p = sub.add_parser(
+        "loadgen",
+        help="fire concurrent requests at a running job server and "
+             "verify the serving guarantees")
+    loadgen_p.add_argument("--server", default="127.0.0.1",
+                           metavar="HOST:PORT",
+                           help="server address (default 127.0.0.1:8023)")
+    loadgen_p.add_argument("--requests", type=int, default=1000,
+                           help="request mix size (default 1000)")
+    loadgen_p.add_argument("--concurrency", type=int, default=64,
+                           help="in-flight request cap (default 64)")
+    loadgen_p.add_argument("--configs", nargs="+",
+                           default=["w16", "tc", "pf-2x8w", "pr-2x8w"],
+                           choices=ALL_CONFIGS)
+    loadgen_p.add_argument("--benchmarks", nargs="+",
+                           default=["gzip", "mcf"],
+                           choices=BENCHMARK_NAMES)
+    loadgen_p.add_argument("-n", "--instructions", type=int, default=4000)
+    loadgen_p.add_argument("--seed", type=int, default=0,
+                           help="request-mix RNG seed (default 0)")
+    loadgen_p.add_argument("--no-verify", action="store_true",
+                           help="skip the serial bit-identity check")
+    loadgen_p.add_argument("--cache-dir", default=None,
+                           help="server cache directory to audit "
+                                "against its budget (local servers)")
+    loadgen_p.add_argument("--json", action="store_true",
+                           help="emit the load report as JSON")
+    loadgen_p.set_defaults(func=cmd_loadgen)
 
     info_p = sub.add_parser("bench-info",
                             help="synthetic suite characteristics")

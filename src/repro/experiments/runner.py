@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import multiprocessing
 import os
@@ -70,7 +71,7 @@ from repro.config import ProcessorConfig, frontend_config
 from repro.core.simulation import SimulationResult, run_simulation
 from repro.sampling.engine import SamplingConfig
 from repro.errors import SweepError
-from repro.stats import StatsCollector
+from repro.stats import StatsCollector, ThreadSafeStatsCollector
 
 #: Bump whenever the cached payload format *or* anything that invalidates
 #: old results (simulation semantics, counter meanings) changes.
@@ -85,6 +86,18 @@ WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 RETRIES_ENV = "REPRO_SWEEP_RETRIES"
 TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
 BACKOFF_ENV = "REPRO_SWEEP_BACKOFF"
+CACHE_BUDGET_ENV = "REPRO_CACHE_BUDGET"
+CACHE_TMP_TTL_ENV = "REPRO_CACHE_TMP_TTL"
+
+#: Age (seconds) past which an orphaned ``.tmp`` write is considered
+#: dead and reaped (``REPRO_CACHE_TMP_TTL``).  Generous: no legitimate
+#: atomic write stays in flight for 10 minutes.
+DEFAULT_TMP_TTL = 600.0
+
+#: Stale-tmp sweeps on cache open are rate-limited to once per directory
+#: per this many seconds per process (opening a cache is frequent and
+#: cheap; directory scans should not be).
+_REAP_INTERVAL = 60.0
 
 #: Retries per job after its first attempt (``REPRO_SWEEP_RETRIES``).
 DEFAULT_RETRIES = 2
@@ -100,7 +113,54 @@ CRASH_GUARD_SECONDS = 600.0
 
 #: Process-wide accumulation of every sweep's counters (tests and the CLI
 #: read this to verify e.g. that a warm-cache sweep executed nothing).
-SWEEP_STATS = StatsCollector()
+#: Thread-safe: the job server merges into it from concurrent executor
+#: threads, and the cache layer bumps it from the serving read path.
+SWEEP_STATS = ThreadSafeStatsCollector()
+
+
+def parse_cache_budget(text: Optional[str]) -> Optional[int]:
+    """Parse a cache size budget like ``"256M"`` into bytes.
+
+    Accepts a plain byte count or a ``K``/``M``/``G`` suffix (powers of
+    1024, case-insensitive, optional trailing ``B``).  Returns None for
+    an unset/empty/zero value (no budget).
+    """
+    if not text:
+        return None
+    raw = text.strip().upper()
+    if raw.endswith("B"):
+        raw = raw[:-1]
+    scale = 1
+    if raw and raw[-1] in "KMG":
+        scale = 1024 ** ("KMG".index(raw[-1]) + 1)
+        raw = raw[:-1]
+    try:
+        value = int(float(raw) * scale)
+    except ValueError:
+        raise ValueError(f"unparseable cache budget {text!r} "
+                         "(expected bytes or K/M/G suffix)")
+    return value if value > 0 else None
+
+
+def default_cache_budget() -> Optional[int]:
+    """Cache size budget in bytes: ``REPRO_CACHE_BUDGET`` or none."""
+    return parse_cache_budget(os.environ.get(CACHE_BUDGET_ENV))
+
+
+def default_tmp_ttl() -> float:
+    """Orphaned-tmp age gate in seconds: ``REPRO_CACHE_TMP_TTL``."""
+    override = os.environ.get(CACHE_TMP_TTL_ENV)
+    if override:
+        return max(0.0, float(override))
+    return DEFAULT_TMP_TTL
+
+
+#: Monotonic per-process discriminator for in-flight tmp writes, so two
+#: threads storing the same key from one process never share a tmp file.
+_TMP_SEQ = itertools.count()
+
+#: Directory -> monotonic time of the last open-path stale-tmp sweep.
+_LAST_REAP: Dict[str, float] = {}
 
 
 # ---------------------------------------------------------------------------
@@ -217,16 +277,70 @@ class ResultCache:
     counted as ``sweep.cache_corrupt`` — so the job re-executes and the
     repaired entry is rewritten, instead of re-parsing the same broken
     file on every run forever.
+
+    Multi-process hygiene: a worker killed between writing its temp file
+    and the rename leaves an orphaned ``<key>.tmp.<pid>-<n>`` behind;
+    stale orphans (older than ``REPRO_CACHE_TMP_TTL``, default 10 min)
+    are swept on cache open and on :meth:`clear`, counted as
+    ``sweep.cache_tmp_reaped``.  An optional size budget
+    (``REPRO_CACHE_BUDGET``, e.g. ``256M``) evicts least-recently-used
+    entries — by mtime, which loads refresh — after each store, counted
+    as ``sweep.cache_evicted``.  Every delete tolerates losing the race
+    to another process (entries may vanish between listing and unlink).
     """
 
     def __init__(self, directory: Optional[os.PathLike] = None,
-                 enabled: Optional[bool] = None) -> None:
+                 enabled: Optional[bool] = None,
+                 budget: Optional[int] = None) -> None:
         if directory is None:
             directory = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
         self.directory = Path(directory)
         if enabled is None:
             enabled = not os.environ.get(NO_CACHE_ENV)
         self.enabled = enabled
+        #: Max total bytes of live entries (None = unlimited); explicit
+        #: argument wins over ``REPRO_CACHE_BUDGET``.
+        self.budget = budget if budget is not None else default_cache_budget()
+        if self.enabled:
+            self._reap_on_open()
+
+    def _reap_on_open(self) -> None:
+        """Open-path stale-tmp sweep, rate-limited per directory."""
+        key = str(self.directory)
+        now = time.monotonic()
+        last = _LAST_REAP.get(key)
+        if last is not None and now - last < _REAP_INTERVAL:
+            return
+        _LAST_REAP[key] = now
+        self.reap_stale_tmp()
+
+    def reap_stale_tmp(self, ttl: Optional[float] = None,
+                       stats: Optional[StatsCollector] = None) -> int:
+        """Delete orphaned ``.tmp`` files older than *ttl* seconds.
+
+        *ttl* defaults to ``REPRO_CACHE_TMP_TTL`` (600 s) — generous
+        enough that a tmp file from a live in-flight store is never
+        touched.  Returns the number reaped; each one also counts as
+        ``sweep.cache_tmp_reaped``.
+        """
+        if not self.directory.is_dir():
+            return 0
+        ttl = default_tmp_ttl() if ttl is None else max(0.0, ttl)
+        cutoff = time.time() - ttl
+        reaped = 0
+        for path in self.directory.glob("*.tmp.*"):
+            try:
+                if path.stat().st_mtime > cutoff:
+                    continue
+                path.unlink()
+            except OSError:  # vanished mid-race or unreadable: not ours
+                continue
+            reaped += 1
+        if reaped:
+            for collector in (stats, SWEEP_STATS):
+                if collector is not None:
+                    collector.add("sweep.cache_tmp_reaped", reaped)
+        return reaped
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -254,10 +368,18 @@ class ResultCache:
                 if payload.get("schema") != CACHE_SCHEMA_VERSION:
                     # Stale, not corrupt: a rewrite will replace it.
                     return None
-                return _result_from_payload(payload["result"])
+                result = _result_from_payload(payload["result"])
             except (ValueError, KeyError, TypeError, AttributeError):
                 self._quarantine(path, stats)
                 return None
+            if self.budget is not None:
+                # LRU recency for the eviction policy: a hit refreshes
+                # the entry's mtime.  Best-effort (racing eviction).
+                try:
+                    os.utime(path)
+                except OSError:
+                    pass
+            return result
         finally:
             self._time("load", time.perf_counter() - start, stats)
 
@@ -301,22 +423,103 @@ class ResultCache:
         if plan is not None:
             text = plan.on_cache_write(job.describe(), text)
         path = self._path(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(text)
-        os.replace(tmp, path)
+        # Unique per process *and* per in-flight write: concurrent
+        # threads of one server process storing the same key must not
+        # interleave writes into a shared tmp file.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}-{next(_TMP_SEQ)}")
+        try:
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        except FileNotFoundError:
+            # Our tmp vanished before the rename: an external sweeper
+            # (aggressive TTL, concurrent wipe) won the race.  A cache
+            # store losing a race must never fail the job it caches.
+            for collector in (stats, SWEEP_STATS):
+                if collector is not None:
+                    collector.add("sweep.cache_store_lost")
+        except BaseException:
+            # Failed writes (full disk, interrupt) must not become
+            # orphans the age-gated reaper has to find later.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+        self._evict_over_budget(stats)
         self._time("store", time.perf_counter() - start, stats)
 
-    def clear(self) -> int:
-        """Delete every cache entry (and quarantined corpse); returns the
-        number of live entries removed."""
+    def _evict_over_budget(self, stats: Optional[StatsCollector]) -> None:
+        """Evict oldest-mtime entries until the live set fits the budget.
+
+        Runs after each store (a directory scan per executed job is
+        noise next to the simulation it cached).  Concurrent evictors
+        may race for the same victim; losing the race is fine.
+        """
+        if self.budget is None:
+            return
+        entries = []
+        total = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.budget:
+            return
+        entries.sort(key=lambda entry: entry[:2])
+        evicted = 0
+        for _, size, path in entries:
+            if total <= self.budget:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        if evicted:
+            for collector in (stats, SWEEP_STATS):
+                if collector is not None:
+                    collector.add("sweep.cache_evicted", evicted)
+
+    def clear(self, stats: Optional[StatsCollector] = None) -> int:
+        """Delete every cache entry (plus quarantined corpses and any
+        *stale* orphaned tmp files); returns the number of live entries
+        removed.  Safe to run concurrently with other processes
+        clearing or writing the same directory: entries that vanish
+        between listing and unlink are simply skipped, and the tmp
+        sweep keeps its age gate so a live writer's in-flight atomic
+        write is never yanked out from under its rename.
+        """
         removed = 0
         if self.directory.is_dir():
             for path in self.directory.glob("*.json"):
-                path.unlink()
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    continue  # another process cleared it first
                 removed += 1
             for path in self.directory.glob("*.json.corrupt"):
-                path.unlink()
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    continue
+            self.reap_stale_tmp(stats=stats)
         return removed
+
+    def total_bytes(self) -> int:
+        """Total size of the live entries (the budget's measure)."""
+        if not self.directory.is_dir():
+            return 0
+        total = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
 
     def __len__(self) -> int:
         if not self.directory.is_dir():

@@ -41,7 +41,7 @@ from repro.memory.hierarchy import MemoryHierarchy
 from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.liveout import LiveOutPredictor
 from repro.predictors.trace_predictor import TracePredictor
-from repro.stats import StatsCollector
+from repro.stats import StatsCollector, ThreadSafeStatsCollector
 from repro.workloads import suite
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -51,6 +51,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 NO_CACHE_ENV = "REPRO_NO_CACHE"
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Process-wide prep-cache observability (thread-safe: the job server's
+#: executor threads run simulations — and therefore prep-cache loads —
+#: concurrently).  ``prep.stream_corrupt`` counts quarantined bundles.
+PREP_STATS = ThreadSafeStatsCollector()
 
 #: Bump to invalidate on-disk streams when the emulator/ISA changes shape.
 STREAM_CACHE_VERSION = 1
@@ -95,8 +100,11 @@ def _load_stream_from_disk(name: str, length: int) -> Optional[int]:
     pickled together so the stream's records reference the program's
     own instruction objects, exactly as a fresh generate+emulate would.
     Returns the requested-length of the loaded entry (the shortest
-    cached stream covering *length*), or None on a miss.  Corrupt
-    entries are removed rather than trusted.
+    cached stream covering *length*), or None on a miss.  A corrupt
+    bundle (torn write, pickle drift, hand-edit) is quarantined to
+    ``<bundle>.pkl.corrupt`` and counted as ``prep.stream_corrupt`` —
+    the same policy as the result cache, and unlike a silent unlink it
+    leaves the evidence on disk for postmortems.
     """
     directory = _stream_dir()
     if not directory.is_dir():
@@ -120,11 +128,27 @@ def _load_stream_from_disk(name: str, length: int) -> Optional[int]:
                 and isinstance(result, ExecutionResult)):
             raise ValueError("not a (Program, ExecutionResult) bundle")
     except Exception:
-        path.unlink(missing_ok=True)
+        _quarantine_stream(path)
         return None
     suite.seed_program(name, program)
     suite.seed_stream(name, cached_len, result)
     return cached_len
+
+
+def _quarantine_stream(path: Path) -> None:
+    """Move a corrupt stream bundle aside and count it.
+
+    Mirrors ``ResultCache``'s quarantine policy: the broken file stops
+    shadowing the (re-emulated and re-stored) good entry, but stays on
+    disk as ``*.pkl.corrupt`` for inspection.  The quarantined name no
+    longer matches the loader's ``*.pkl`` glob, so it is never re-read.
+    """
+    quarantined = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, quarantined)
+    except OSError:  # pragma: no cover - concurrent quarantine/unlink
+        pass
+    PREP_STATS.add("prep.stream_corrupt")
 
 
 def _store_stream_to_disk(name: str) -> None:

@@ -1,0 +1,48 @@
+"""Simulation-as-a-service: an async HTTP job API over the sweep engine.
+
+The sweep runner (:mod:`repro.experiments.runner`) already has the hard
+parts of a job service — a content-addressed result cache, per-job
+retries and timeouts, structured failure records, fault injection.  This
+package wraps it in a long-running stdlib-``asyncio`` HTTP server so
+many clients can share one warm cache and one worker pool instead of
+each paying full CLI startup cost:
+
+* :mod:`repro.service.protocol` — the wire format: :class:`SweepJob` as
+  JSON, job-record states, result payloads;
+* :mod:`repro.service.server` — :class:`SweepService`, the asyncio HTTP
+  server (submit / poll / stream / fetch-results endpoints, execution
+  delegated to the sweep runner's multiprocessing pool off the event
+  loop, cache hits served straight from an in-process memo over the
+  disk :class:`~repro.experiments.runner.ResultCache`);
+* :mod:`repro.service.client` — :class:`ServiceClient`, a stdlib
+  ``asyncio`` HTTP client speaking the same protocol;
+* :mod:`repro.service.loadgen` — an async load generator that fires
+  thousands of concurrent requests (cache hits, misses, submissions,
+  status polls) and verifies zero server errors plus bit-identical
+  results against a serial in-process sweep.
+
+``repro serve``, ``repro submit`` and ``repro loadgen`` are the CLI
+entry points (see :mod:`repro.__main__`).
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ProtocolError,
+    job_from_wire,
+    job_to_wire,
+)
+from repro.service.server import ServiceConfig, SweepService
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SweepService",
+    "job_from_wire",
+    "job_to_wire",
+]

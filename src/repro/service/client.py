@@ -1,0 +1,257 @@
+"""Async HTTP client for the sweep job server (stdlib only).
+
+:class:`ServiceClient` speaks the protocol in
+:mod:`repro.service.protocol` over plain ``asyncio`` streams — one
+request per connection, matching the server's connection model, which
+keeps both ends trivial and lets a load generator hold thousands of
+concurrent requests in flight without connection-pool bookkeeping.
+
+The client is what ``repro submit`` and the load generator are built
+on; it also works as a library::
+
+    client = ServiceClient(port=8023)
+    record = await client.submit(jobs)
+    record = await client.wait(record["id"])
+    results = [r and result_from_wire(r) for r in record["results"]]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, AsyncIterator, Dict, List, Optional, Sequence
+
+from repro.core.simulation import SimulationResult
+from repro.errors import ReproError
+from repro.experiments.runner import SweepJob, _result_from_payload
+from repro.service import protocol
+
+
+class ServiceError(ReproError):
+    """Raised for transport failures or server-reported errors."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        self.status = status
+        super().__init__(message)
+
+
+class Response:
+    """One parsed HTTP response."""
+
+    __slots__ = ("status", "payload")
+
+    def __init__(self, status: int, payload: Any):
+        self.status = status
+        self.payload = payload
+
+
+def result_from_wire(payload: Dict[str, Any]) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from its wire payload."""
+    return _result_from_payload(payload)
+
+
+class ServiceClient:
+    """Async client for one :class:`~repro.service.server.SweepService`."""
+
+    def __init__(self, host: str = protocol.DEFAULT_HOST,
+                 port: int = protocol.DEFAULT_PORT,
+                 timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+
+    async def _request(self, method: str, path: str,
+                       payload: Optional[dict] = None) -> Response:
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n")
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                timeout=self.timeout)
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise ServiceError(
+                f"cannot reach {self.host}:{self.port}: {exc}")
+        try:
+            writer.write(head.encode("ascii") + body)
+            await writer.drain()
+            status, data = await asyncio.wait_for(
+                self._read_response(reader), timeout=self.timeout)
+        except (OSError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError) as exc:
+            raise ServiceError(f"request {method} {path} failed: {exc}")
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+        try:
+            parsed = json.loads(data.decode() or "null")
+        except ValueError:
+            parsed = None
+        return Response(status, parsed)
+
+    @staticmethod
+    async def _read_response(reader: asyncio.StreamReader):
+        head = await reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1])
+        length: Optional[int] = None
+        for line in lines[1:]:
+            if line.lower().startswith("content-length:"):
+                length = int(line.split(":", 1)[1].strip())
+        if length is not None:
+            data = await reader.readexactly(length)
+        else:  # close-delimited (the streaming endpoint)
+            data = await reader.read(-1)
+        return status, data
+
+    def _expect(self, response: Response, *statuses: int) -> Any:
+        if response.status not in statuses:
+            detail = ""
+            if isinstance(response.payload, dict):
+                detail = f": {response.payload.get('error', '')}"
+            raise ServiceError(
+                f"server returned HTTP {response.status}{detail}",
+                status=response.status)
+        return response.payload
+
+    # ------------------------------------------------------------------
+    # Endpoints
+
+    async def health(self) -> dict:
+        """GET /healthz — liveness probe."""
+        return self._expect(await self._request("GET", "/healthz"), 200)
+
+    async def stats(self) -> dict:
+        """GET /stats — service/sweep/cache counters."""
+        return self._expect(await self._request("GET", "/stats"), 200)
+
+    async def submit(self, jobs: Sequence[SweepJob],
+                     workers: Optional[int] = None,
+                     retries: Optional[int] = None,
+                     timeout: Optional[float] = None,
+                     tag: Optional[str] = None) -> dict:
+        """POST /jobs — submit a sweep; returns the acceptance record."""
+        payload: Dict[str, Any] = {"jobs": protocol.jobs_to_wire(jobs)}
+        if workers is not None:
+            payload["workers"] = workers
+        if retries is not None:
+            payload["retries"] = retries
+        if timeout is not None:
+            payload["timeout"] = timeout
+        if tag is not None:
+            payload["tag"] = tag
+        return self._expect(
+            await self._request("POST", "/jobs", payload), 202)
+
+    async def status(self, record_id: str, wait: float = 0.0,
+                     results: bool = False) -> dict:
+        """GET /jobs/<id> — status snapshot; *wait* long-polls."""
+        path = f"/jobs/{record_id}"
+        params = []
+        if wait:
+            params.append(f"wait={wait:g}")
+        if results:
+            params.append("results=1")
+        if params:
+            path += "?" + "&".join(params)
+        return self._expect(await self._request("GET", path), 200)
+
+    async def wait(self, record_id: str, deadline: Optional[float] = None,
+                   poll: float = 10.0) -> dict:
+        """Long-poll until the submission reaches a terminal state.
+
+        Returns the final snapshot with results embedded.  Raises
+        :class:`ServiceError` if *deadline* seconds elapse first.
+        """
+        start = time.monotonic()
+        while True:
+            snapshot = await self.status(record_id, wait=poll,
+                                         results=True)
+            if snapshot["state"] in protocol.TERMINAL_STATES:
+                return snapshot
+            if (deadline is not None
+                    and time.monotonic() - start > deadline):
+                raise ServiceError(
+                    f"job {record_id} still {snapshot['state']} after "
+                    f"{deadline:g}s")
+
+    async def events(self, record_id: str) -> AsyncIterator[dict]:
+        """GET /jobs/<id>/events — yield streamed NDJSON events."""
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                timeout=self.timeout)
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise ServiceError(
+                f"cannot reach {self.host}:{self.port}: {exc}")
+        head = (f"GET /jobs/{record_id}/events HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Connection: close\r\n\r\n")
+        try:
+            writer.write(head.encode("ascii"))
+            await writer.drain()
+            header = await reader.readuntil(b"\r\n\r\n")
+            status = int(header.decode("latin-1").split()[1])
+            if status != 200:
+                data = await reader.read(-1)
+                try:
+                    error = json.loads(data.decode())["error"]
+                except Exception:
+                    error = data.decode(errors="replace")
+                raise ServiceError(error, status=status)
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def result_for_key(self, key: str
+                             ) -> Optional[SimulationResult]:
+        """GET /results/<key> — a cached result, or None on a miss."""
+        response = await self._request("GET", f"/results/{key}")
+        if response.status == 404:
+            return None
+        payload = self._expect(response, 200)
+        return result_from_wire(payload["result"])
+
+    async def result_for(self, job: SweepJob
+                         ) -> Optional[SimulationResult]:
+        """Fetch *job*'s result by its locally computed cache key."""
+        return await self.result_for_key(job.cache_key())
+
+    async def run_jobs(self, jobs: Sequence[SweepJob],
+                       workers: Optional[int] = None,
+                       deadline: Optional[float] = None
+                       ) -> List[Optional[SimulationResult]]:
+        """Submit, wait, and decode results (None per failed job)."""
+        record = await self.submit(jobs, workers=workers)
+        final = await self.wait(record["id"], deadline=deadline)
+        if final["state"] != protocol.DONE:
+            raise ServiceError(
+                f"job {record['id']} ended {final['state']}: "
+                f"{final.get('error', '')}")
+        return [None if payload is None else result_from_wire(payload)
+                for payload in final["results"]]
+
+    async def shutdown(self) -> dict:
+        """POST /shutdown — ask the server to stop gracefully."""
+        return self._expect(
+            await self._request("POST", "/shutdown"), 200)

@@ -1,0 +1,311 @@
+"""Async load generator for the sweep job server.
+
+Proves the serving story end to end: after seeding the server's cache
+with one real sweep, it fires a large number of concurrent requests —
+a deterministic seeded mix of cache-hit result fetches, guaranteed
+misses, status polls, event-stream replays, duplicate submissions and
+stats scrapes — then verifies the three acceptance properties:
+
+* **zero server errors**: no 5xx response and no transport failure
+  across the whole run (a 404 for a key that was never computed is a
+  correct answer, not an error);
+* **bit-identical results**: every payload the server returned equals a
+  serial in-process :func:`~repro.experiments.runner.run_sweep` of the
+  same jobs, executed with caching disabled (and any ambient fault plan
+  cleared) in the load-generator process;
+* **cache budget honoured** (when the server's cache directory is
+  local and a budget is configured): live entries stay under it.
+
+Run via ``repro loadgen`` or programmatically via :func:`run_loadgen`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import faults
+from repro.experiments.runner import ResultCache, SweepJob, run_sweep
+from repro.service.client import ServiceClient, ServiceError
+from repro.service import protocol
+
+#: Relative weights of the request mix (normalized at build time).
+MIX = (
+    ("result_hit", 50),   # GET /results/<known key>   (the hot path)
+    ("result_miss", 10),  # GET /results/<unknown key> (clean 404)
+    ("status", 15),       # GET /jobs/<id>
+    ("submit_dup", 10),   # POST /jobs re-submitting cached jobs
+    ("events", 5),        # GET /jobs/<id>/events replay
+    ("stats", 10),        # GET /stats
+)
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generator run."""
+
+    requests: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    server_errors: int = 0          # any HTTP 5xx
+    transport_errors: int = 0       # refused/reset/timeout
+    unexpected_status: int = 0      # e.g. 400 where 200/404 was due
+    mismatches: int = 0             # server result != serial result
+    seed_failures: int = 0          # structured job failures on seeding
+    verified_jobs: int = 0
+    wall_seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    cache_bytes: Optional[int] = None
+    cache_budget: Optional[int] = None
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every acceptance property held."""
+        return (self.server_errors == 0 and self.transport_errors == 0
+                and self.unexpected_status == 0 and self.mismatches == 0
+                and self.seed_failures == 0 and self.budget_ok)
+
+    @property
+    def budget_ok(self) -> bool:
+        """Cache stayed under budget (vacuously true when unchecked)."""
+        if self.cache_bytes is None or self.cache_budget is None:
+            return True
+        return self.cache_bytes <= self.cache_budget
+
+    def _percentile(self, fraction: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1,
+                    int(fraction * (len(ordered) - 1)))
+        return ordered[index]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (latencies collapsed to percentiles)."""
+        return {
+            "ok": self.ok,
+            "requests": self.requests,
+            "by_kind": dict(sorted(self.by_kind.items())),
+            "server_errors_5xx": self.server_errors,
+            "transport_errors": self.transport_errors,
+            "unexpected_status": self.unexpected_status,
+            "mismatches": self.mismatches,
+            "seed_failures": self.seed_failures,
+            "verified_jobs": self.verified_jobs,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "requests_per_second": round(
+                self.requests / self.wall_seconds, 1)
+                if self.wall_seconds else 0.0,
+            "latency_p50_ms": round(1e3 * self._percentile(0.50), 2),
+            "latency_p95_ms": round(1e3 * self._percentile(0.95), 2),
+            "latency_max_ms": round(1e3 * self._percentile(1.0), 2),
+            "cache_bytes": self.cache_bytes,
+            "cache_budget": self.cache_budget,
+            "budget_ok": self.budget_ok,
+            "errors": self.errors[:20],
+        }
+
+    def format_text(self) -> str:
+        """Human-readable multi-line summary."""
+        data = self.to_dict()
+        lines = [f"loadgen {'OK' if self.ok else 'FAILED'}"]
+        for name in ("requests", "server_errors_5xx", "transport_errors",
+                     "unexpected_status", "mismatches", "seed_failures",
+                     "verified_jobs", "wall_seconds",
+                     "requests_per_second", "latency_p50_ms",
+                     "latency_p95_ms", "latency_max_ms"):
+            lines.append(f"  {name:22} {data[name]}")
+        lines.append("  mix                    "
+                     + " ".join(f"{k}={v}"
+                                for k, v in data["by_kind"].items()))
+        if self.cache_budget is not None:
+            lines.append(f"  cache_bytes            {self.cache_bytes} "
+                         f"(budget {self.cache_budget}, "
+                         f"{'under' if self.budget_ok else 'OVER'})")
+        for error in data["errors"]:
+            lines.append(f"  ERROR {error}")
+        return "\n".join(lines)
+
+
+def build_jobs(configs: Sequence[str], benchmarks: Sequence[str],
+               length: int,
+               sampling: Optional[Tuple[int, int, int]] = None
+               ) -> List[SweepJob]:
+    """The (configs x benchmarks) job matrix the load run revolves on."""
+    return [SweepJob(config_name=config, benchmark=bench, length=length,
+                     sampling=sampling)
+            for config in configs for bench in benchmarks]
+
+
+def _normalize(payload: Any) -> Any:
+    """Round-trip a payload through JSON so float/int representations
+    compare equal between locally computed and wire-decoded dicts."""
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+async def _seed(client: ServiceClient, jobs: List[SweepJob],
+                workers: Optional[int], report: LoadReport,
+                deadline: float) -> Tuple[str, Dict[str, dict]]:
+    """Submit the matrix once; returns (record id, key -> payload)."""
+    record = await client.submit(jobs, workers=workers, tag="loadgen-seed")
+    final = await client.wait(record["id"], deadline=deadline)
+    if final["state"] != protocol.DONE:
+        raise ServiceError(f"seed sweep ended {final['state']}: "
+                           f"{final.get('error', '')}")
+    report.seed_failures = len(final.get("failures", []))
+    for failure in final.get("failures", []):
+        report.errors.append(f"seed failure: {failure}")
+    by_key: Dict[str, dict] = {}
+    for key, payload in zip(final["keys"], final["results"]):
+        if payload is not None:
+            by_key[key] = payload
+    return record["id"], by_key
+
+
+async def run_loadgen(host: str = protocol.DEFAULT_HOST,
+                      port: int = protocol.DEFAULT_PORT,
+                      requests: int = 1000,
+                      concurrency: int = 64,
+                      configs: Sequence[str] = ("w16", "tc", "pf-2x8w",
+                                                "pr-2x8w"),
+                      benchmarks: Sequence[str] = ("gzip", "mcf"),
+                      length: int = 4000,
+                      sampling: Optional[Tuple[int, int, int]] = None,
+                      seed: int = 0,
+                      workers: Optional[int] = None,
+                      verify: bool = True,
+                      cache_dir: Optional[str] = None,
+                      seed_deadline: float = 900.0) -> LoadReport:
+    """Hammer a live server with *requests* concurrent requests.
+
+    See the module docstring for the request mix and the acceptance
+    properties the returned :class:`LoadReport` asserts.
+    """
+    report = LoadReport()
+    client = ServiceClient(host=host, port=port)
+    await client.health()
+
+    jobs = build_jobs(configs, benchmarks, length, sampling)
+    record_id, expected = await _seed(client, jobs, workers, report,
+                                      seed_deadline)
+    keys = [job.cache_key() for job in jobs]
+    # Only seeded-successful keys participate in the hit mix (a seed
+    # failure is already reported; its key would legitimately 404).
+    hit_keys = [key for key in keys if key in expected] or keys
+
+    rng = random.Random(seed)
+    kinds = [kind for kind, weight in MIX for _ in range(weight)]
+    plan = [rng.choice(kinds) for _ in range(requests)]
+    semaphore = asyncio.Semaphore(max(1, concurrency))
+
+    async def one(index: int, kind: str) -> None:
+        op_rng = random.Random(f"{seed}-{index}")
+        async with semaphore:
+            start = time.perf_counter()
+            try:
+                if kind == "result_hit":
+                    key = op_rng.choice(hit_keys)
+                    result = await client.result_for_key(key)
+                    if result is None:
+                        # The server must never forget a seeded result.
+                        report.unexpected_status += 1
+                        report.errors.append(
+                            f"[{index}] seeded key {key[:12]}… missing")
+                    elif key in expected and (_normalize(
+                            {"benchmark": result.benchmark,
+                             "config_name": result.config_name,
+                             "cycles": result.cycles,
+                             "committed": result.committed,
+                             "counters": dict(result.counters)})
+                          != _normalize(expected[key])):
+                        report.mismatches += 1
+                        report.errors.append(
+                            f"[{index}] hit payload drifted for "
+                            f"{key[:12]}…")
+                elif kind == "result_miss":
+                    fake = hashlib.sha256(
+                        f"loadgen-miss-{seed}-{index}".encode()).hexdigest()
+                    result = await client.result_for_key(fake)
+                    if result is not None:
+                        report.unexpected_status += 1
+                        report.errors.append(
+                            f"[{index}] phantom result for a miss key")
+                elif kind == "status":
+                    await client.status(record_id)
+                elif kind == "submit_dup":
+                    subset = op_rng.sample(jobs,
+                                           op_rng.randint(1, len(jobs)))
+                    accepted = await client.submit(subset,
+                                                   tag=f"loadgen-{index}")
+                    await client.wait(accepted["id"], deadline=300.0)
+                elif kind == "events":
+                    async for _ in client.events(record_id):
+                        pass
+                elif kind == "stats":
+                    await client.stats()
+            except ServiceError as exc:
+                if exc.status is not None and exc.status >= 500:
+                    report.server_errors += 1
+                elif exc.status is not None:
+                    report.unexpected_status += 1
+                else:
+                    report.transport_errors += 1
+                report.errors.append(f"[{index}] {kind}: {exc}")
+            finally:
+                report.latencies.append(time.perf_counter() - start)
+                report.requests += 1
+                report.by_kind[kind] = report.by_kind.get(kind, 0) + 1
+
+    wall_start = time.perf_counter()
+    await asyncio.gather(*(one(index, kind)
+                           for index, kind in enumerate(plan)))
+    report.wall_seconds = time.perf_counter() - wall_start
+
+    if verify:
+        _verify_serial(jobs, keys, expected, report)
+
+    if cache_dir is not None:
+        cache = ResultCache(directory=cache_dir)
+        report.cache_bytes = cache.total_bytes()
+        report.cache_budget = cache.budget
+    return report
+
+
+def _verify_serial(jobs: List[SweepJob], keys: List[str],
+                   expected: Dict[str, dict], report: LoadReport) -> None:
+    """Re-run the matrix serially in-process; compare bit-for-bit.
+
+    Runs with the cache disabled (a fresh execution, not a read-back)
+    and with any inherited fault plan cleared, so this is the ground
+    truth the served payloads must match exactly.
+    """
+    from repro.experiments.runner import _result_to_payload
+
+    ambient = os.environ.pop(faults.FAULTS_ENV, None)
+    try:
+        local = run_sweep(jobs, workers=1,
+                          cache=ResultCache(enabled=False))
+    finally:
+        if ambient is not None:
+            os.environ[faults.FAULTS_ENV] = ambient
+    for job, key in zip(jobs, keys):
+        served = expected.get(key)
+        result = local.results.get(job)
+        if served is None or result is None:
+            report.mismatches += 1
+            report.errors.append(f"verify: missing side for "
+                                 f"{job.describe()}")
+            continue
+        if _normalize(_result_to_payload(result)) != _normalize(served):
+            report.mismatches += 1
+            report.errors.append(
+                f"verify: served result diverges from serial run for "
+                f"{job.describe()}")
+        else:
+            report.verified_jobs += 1

@@ -1,0 +1,156 @@
+"""Wire format shared by the sweep job server and its clients.
+
+The protocol deliberately reuses the sweep engine's own vocabulary
+instead of inventing a parallel one:
+
+* a submitted job *is* a :class:`~repro.experiments.runner.SweepJob`,
+  serialized field-for-field (:func:`job_to_wire` / :func:`job_from_wire`);
+* a job's identity on the read path *is* its content-addressed cache key
+  (:meth:`SweepJob.cache_key`), so any client holding a job can compute
+  the key locally and fetch the result with a single GET;
+* results travel as the same payload dict the
+  :class:`~repro.experiments.runner.ResultCache` persists, and failures
+  mirror :class:`~repro.experiments.runner.JobFailure`.
+
+Everything is JSON over HTTP/1.1; the status-streaming endpoint emits
+newline-delimited JSON events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.experiments.runner import SweepJob
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8023
+
+#: Bump when the wire format changes incompatibly; echoed by /healthz.
+PROTOCOL_VERSION = 1
+
+# Submission lifecycle states, in order.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+ERROR = "error"
+
+#: States a submission can never leave.
+TERMINAL_STATES = frozenset({DONE, ERROR})
+
+
+class ProtocolError(ReproError):
+    """Raised for a request or job description the protocol rejects."""
+
+
+_SCALAR = (str, int, float, bool)
+
+
+def job_to_wire(job: SweepJob) -> Dict[str, Any]:
+    """Serialize one :class:`SweepJob` to its JSON wire form."""
+    payload: Dict[str, Any] = {
+        "config_name": job.config_name,
+        "benchmark": job.benchmark,
+        "length": job.length,
+    }
+    if job.total_l1_storage is not None:
+        payload["total_l1_storage"] = job.total_l1_storage
+    if job.predictor_entries is not None:
+        payload["predictor_entries"] = job.predictor_entries
+    if job.overrides:
+        payload["overrides"] = [[path, value]
+                                for path, value in job.overrides]
+    if not job.warm:
+        payload["warm"] = False
+    if job.label is not None:
+        payload["label"] = job.label
+    if job.sampling is not None:
+        payload["sampling"] = list(job.sampling)
+    return payload
+
+
+def _require(payload: Dict[str, Any], field: str, kinds) -> Any:
+    value = payload.get(field)
+    if not isinstance(value, kinds) or isinstance(value, bool):
+        raise ProtocolError(
+            f"job field {field!r} missing or mistyped: {value!r}")
+    return value
+
+
+def job_from_wire(payload: Any) -> SweepJob:
+    """Deserialize and validate one job from its JSON wire form.
+
+    Raises :class:`ProtocolError` on anything malformed — the server
+    turns that into a 400 rather than executing a half-parsed job.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"job must be an object, got {type(payload).__name__}")
+    unknown = set(payload) - {
+        "config_name", "benchmark", "length", "total_l1_storage",
+        "predictor_entries", "overrides", "warm", "label", "sampling"}
+    if unknown:
+        raise ProtocolError(f"unknown job field(s) {sorted(unknown)}")
+    config_name = _require(payload, "config_name", str)
+    benchmark = _require(payload, "benchmark", str)
+    length = _require(payload, "length", int)
+    if length <= 0:
+        raise ProtocolError(f"job length must be positive, got {length}")
+
+    def optional_int(field: str) -> Optional[int]:
+        value = payload.get(field)
+        if value is None:
+            return None
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ProtocolError(f"job field {field!r} must be an int")
+        return value
+
+    overrides: List[Tuple[str, Any]] = []
+    for entry in payload.get("overrides") or []:
+        if (not isinstance(entry, (list, tuple)) or len(entry) != 2
+                or not isinstance(entry[0], str)
+                or not isinstance(entry[1], _SCALAR)):
+            raise ProtocolError(f"malformed override {entry!r} "
+                                "(expected [dotted.path, scalar])")
+        overrides.append((entry[0], entry[1]))
+
+    sampling = payload.get("sampling")
+    if sampling is not None:
+        if (not isinstance(sampling, (list, tuple)) or len(sampling) != 3
+                or not all(isinstance(n, int) and not isinstance(n, bool)
+                           for n in sampling)):
+            raise ProtocolError(f"malformed sampling {sampling!r} "
+                                "(expected [period, unit, warmup])")
+        sampling = tuple(sampling)
+
+    warm = payload.get("warm", True)
+    if not isinstance(warm, bool):
+        raise ProtocolError("job field 'warm' must be a boolean")
+    label = payload.get("label")
+    if label is not None and not isinstance(label, str):
+        raise ProtocolError("job field 'label' must be a string")
+
+    return SweepJob(
+        config_name=config_name,
+        benchmark=benchmark,
+        length=length,
+        total_l1_storage=optional_int("total_l1_storage"),
+        predictor_entries=optional_int("predictor_entries"),
+        overrides=tuple(overrides),
+        warm=warm,
+        label=label,
+        sampling=sampling,
+    )
+
+
+def jobs_from_wire(payload: Any) -> List[SweepJob]:
+    """Deserialize a submission's job list, bounding obvious abuse."""
+    if isinstance(payload, dict):
+        payload = [payload]
+    if not isinstance(payload, list) or not payload:
+        raise ProtocolError("submission needs a non-empty 'jobs' list")
+    return [job_from_wire(entry) for entry in payload]
+
+
+def jobs_to_wire(jobs: Sequence[SweepJob]) -> List[Dict[str, Any]]:
+    """Serialize a job list for submission."""
+    return [job_to_wire(job) for job in jobs]

@@ -1,0 +1,619 @@
+"""The asyncio HTTP job server over the sweep engine.
+
+:class:`SweepService` is a long-running, single-process server that
+turns the one-shot sweep runner into a shared service: clients submit
+sweeps (or single runs) as jobs, poll or stream their status, and fetch
+results — which are served straight from an in-process memo layered
+over the on-disk :class:`~repro.experiments.runner.ResultCache`, so the
+read-heavy path never blocks on the event loop or touches a simulator.
+
+Architecture:
+
+* the **event loop** owns all bookkeeping (job records, the result
+  memo) and serves every request; it never simulates;
+* **execution** is delegated to a small :class:`ThreadPoolExecutor`
+  (``max_active`` concurrent sweeps); each sweep thread drives the
+  existing :func:`~repro.experiments.runner.run_sweep`, which fans jobs
+  out over its own ``multiprocessing`` pool — so the simulator's
+  per-job timeouts, retries, crash recovery and fault injection all
+  apply unchanged;
+* sweep threads report progress back to the loop exclusively through
+  ``call_soon_threadsafe``, and every collector they share is a
+  :class:`~repro.stats.ThreadSafeStatsCollector`.
+
+The HTTP layer is a deliberately small stdlib implementation
+(one request per connection, JSON bodies, NDJSON streaming for the
+events endpoint) — no third-party dependency, no framework.
+
+Endpoints::
+
+    GET  /healthz               liveness + protocol version
+    GET  /stats                 service/sweep/cache counters
+    POST /jobs                  submit {"jobs": [...], options} -> 202
+    GET  /jobs                  list submission summaries
+    GET  /jobs/<id>             status snapshot; ?wait=S long-polls,
+                                ?results=1 embeds results when done
+    GET  /jobs/<id>/events      NDJSON stream of progress events
+    GET  /results/<cache-key>   one result straight from memo/disk cache
+    POST /shutdown              graceful stop (repro serve honours it)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import os
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.experiments.runner import (
+    ResultCache,
+    SweepJob,
+    _result_to_payload,
+    run_sweep,
+)
+from repro.service import protocol
+from repro.service.protocol import ProtocolError
+from repro.stats import ThreadSafeStatsCollector
+
+#: Submissions larger than this are rejected with a 400 — one request
+#: should not be able to queue unbounded work.
+MAX_JOBS_PER_SUBMIT = 4096
+
+#: Cap on retained finished submissions; the oldest are forgotten first
+#: (their results stay fetchable by cache key).
+MAX_RECORDS = 1024
+
+#: Result payloads memoized by cache key for the hot read path.
+RESULT_MEMO_CAP = 8192
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 500: "Internal Server Error",
+}
+
+_HEX = frozenset("0123456789abcdef")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Static configuration for one :class:`SweepService`."""
+
+    host: str = protocol.DEFAULT_HOST
+    port: int = protocol.DEFAULT_PORT
+    #: Worker processes per sweep (None = runner default).
+    sweep_workers: Optional[int] = None
+    #: Concurrent sweeps in flight (executor threads).
+    max_active: int = 2
+    #: Result-cache directory (None = runner default / env).
+    cache_dir: Optional[str] = None
+    #: Cache size budget in bytes (None = ``REPRO_CACHE_BUDGET``).
+    cache_budget: Optional[int] = None
+
+
+class JobRecord:
+    """Mutable bookkeeping for one submission (loop-confined)."""
+
+    __slots__ = ("id", "jobs", "workers", "retries", "timeout", "tag",
+                 "state", "submitted", "started", "finished", "completed",
+                 "cached", "keys", "payloads", "failures", "error",
+                 "events", "stats")
+
+    def __init__(self, record_id: str, jobs: List[SweepJob],
+                 workers: Optional[int], retries: Optional[int],
+                 timeout: Optional[float], tag: Optional[str]) -> None:
+        self.id = record_id
+        self.jobs = jobs
+        self.workers = workers
+        self.retries = retries
+        self.timeout = timeout
+        self.tag = tag
+        self.state = protocol.QUEUED
+        self.submitted = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.completed = 0          # jobs actually executed so far
+        self.cached: Optional[int] = None   # jobs served from cache
+        self.keys: Optional[List[str]] = None
+        self.payloads: Optional[List[Optional[dict]]] = None
+        self.failures: List[dict] = []
+        self.error: Optional[str] = None
+        self.events: List[dict] = []
+        self.stats: Dict[str, float] = {}
+
+    def snapshot(self, include_results: bool = False) -> dict:
+        """JSON-ready status view of this submission."""
+        view: Dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "total": len(self.jobs),
+            "completed": self.completed,
+            "cached": self.cached,
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+            "failures": self.failures,
+            "tag": self.tag,
+        }
+        if self.error is not None:
+            view["error"] = self.error
+        if self.keys is not None:
+            view["keys"] = self.keys
+        if include_results and self.payloads is not None:
+            view["results"] = self.payloads
+            view["stats"] = self.stats
+        return view
+
+
+class SweepService:
+    """The job server.  See the module docstring for the architecture."""
+
+    def __init__(self, config: ServiceConfig = ServiceConfig()) -> None:
+        self.config = config
+        self.stats = ThreadSafeStatsCollector()
+        self._cache = ResultCache(directory=config.cache_dir,
+                                  budget=config.cache_budget)
+        #: In-process L1 over the disk cache, shared across sweeps
+        #: (plain dict: single-item ops are GIL-atomic).
+        self._memo: Dict[SweepJob, Any] = {}
+        #: Cache key -> result payload for the GET /results hot path.
+        self._result_payloads: "OrderedDict[str, dict]" = OrderedDict()
+        self._records: "OrderedDict[str, JobRecord]" = OrderedDict()
+        self._seq = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._changed: Optional[asyncio.Condition] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, config.max_active),
+            thread_name_prefix="repro-sweep")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (non-blocking)."""
+        self._loop = asyncio.get_running_loop()
+        self._changed = asyncio.Condition()
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port,
+            limit=1 << 20)
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`request_shutdown` (or POST /shutdown)."""
+        assert self._stopping is not None
+        await self._stopping.wait()
+        await self.close()
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to stop (thread/signal-handler safe)."""
+        if self._loop is not None and self._stopping is not None:
+            self._loop.call_soon_threadsafe(self._stopping.set)
+
+    async def close(self) -> None:
+        """Stop accepting, finish in-flight sweeps, release the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Let running sweeps finish (they hold mp pools); nothing new
+        # can be submitted once the listener is down.
+        await asyncio.get_running_loop().run_in_executor(
+            None, functools.partial(self._executor.shutdown, wait=True))
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self.stats.add("service.connections")
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                method, path, query, body = request
+                await self._dispatch(method, path, query, body, writer)
+        except (ConnectionError, asyncio.TimeoutError):
+            self.stats.add("service.dropped_connections")
+        except Exception as exc:  # defensive: a handler bug is a 500
+            self.stats.add("service.http_5xx")
+            try:
+                await self._respond(writer, 500, {
+                    "error": f"{type(exc).__name__}: {exc}"})
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader
+                            ) -> Optional[Tuple[str, str, dict, bytes]]:
+        """Parse one HTTP/1.1 request; None on empty/garbled input."""
+        try:
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=30.0)
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, value = line.split(":", 1)
+                headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            return None
+        body = b""
+        if length > 0:
+            body = await asyncio.wait_for(
+                reader.readexactly(min(length, 1 << 24)), timeout=60.0)
+        split = urlsplit(target)
+        query = {name: values[-1]
+                 for name, values in parse_qs(split.query).items()}
+        return method, split.path, query, body
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: Any) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n")
+        writer.write(head.encode("ascii") + body)
+        await writer.drain()
+        self.stats.add(f"service.http_{status // 100}xx")
+
+    # ------------------------------------------------------------------
+    # Routing
+
+    async def _dispatch(self, method: str, path: str, query: dict,
+                        body: bytes, writer: asyncio.StreamWriter) -> None:
+        self.stats.add("service.requests")
+        segments = [s for s in path.split("/") if s]
+        try:
+            if path == "/healthz" and method == "GET":
+                await self._respond(writer, 200, {
+                    "ok": True,
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "pid": os.getpid(),
+                    "active": self._active_count(),
+                })
+            elif path == "/stats" and method == "GET":
+                await self._handle_stats(writer)
+            elif path == "/jobs" and method == "POST":
+                await self._handle_submit(body, writer)
+            elif path == "/jobs" and method == "GET":
+                await self._respond(writer, 200, {
+                    "jobs": [record.snapshot()
+                             for record in self._records.values()]})
+            elif (len(segments) == 2 and segments[0] == "jobs"
+                    and method == "GET"):
+                await self._handle_status(segments[1], query, writer)
+            elif (len(segments) == 3 and segments[0] == "jobs"
+                    and segments[2] == "events" and method == "GET"):
+                await self._handle_events(segments[1], writer)
+            elif (len(segments) == 2 and segments[0] == "results"
+                    and method == "GET"):
+                await self._handle_result(segments[1], writer)
+            elif path == "/shutdown" and method == "POST":
+                await self._respond(writer, 200, {"stopping": True})
+                assert self._stopping is not None
+                self._stopping.set()
+            elif path in ("/healthz", "/stats", "/jobs", "/shutdown"):
+                await self._respond(writer, 405, {
+                    "error": f"method {method} not allowed on {path}"})
+            else:
+                await self._respond(writer, 404, {
+                    "error": f"unknown endpoint {method} {path}"})
+        except ProtocolError as exc:
+            self.stats.add("service.bad_requests")
+            await self._respond(writer, 400, {"error": str(exc)})
+
+    # ------------------------------------------------------------------
+    # Submission + execution
+
+    def _active_count(self) -> int:
+        return sum(1 for record in self._records.values()
+                   if record.state in (protocol.QUEUED, protocol.RUNNING))
+
+    async def _handle_submit(self, body: bytes,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            payload = json.loads(body.decode() or "{}")
+        except (ValueError, UnicodeDecodeError):
+            raise ProtocolError("request body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise ProtocolError("request body must be a JSON object")
+        jobs = protocol.jobs_from_wire(payload.get("jobs"))
+        if len(jobs) > MAX_JOBS_PER_SUBMIT:
+            raise ProtocolError(
+                f"submission of {len(jobs)} jobs exceeds the per-request "
+                f"cap of {MAX_JOBS_PER_SUBMIT}")
+        workers = payload.get("workers", self.config.sweep_workers)
+        retries = payload.get("retries")
+        timeout = payload.get("timeout")
+        tag = payload.get("tag")
+        for name, value, kinds in (("workers", workers, int),
+                                   ("retries", retries, int),
+                                   ("timeout", timeout, (int, float)),
+                                   ("tag", tag, str)):
+            if value is not None and (not isinstance(value, kinds)
+                                      or isinstance(value, bool)):
+                raise ProtocolError(f"option {name!r} mistyped: {value!r}")
+
+        self._seq += 1
+        record_id = f"{self._seq:06d}-{os.urandom(3).hex()}"
+        record = JobRecord(record_id, jobs, workers, retries,
+                           None if timeout is None else float(timeout), tag)
+        self._records[record_id] = record
+        while len(self._records) > MAX_RECORDS:
+            stale_id, stale = next(iter(self._records.items()))
+            if stale.state not in protocol.TERMINAL_STATES:
+                break  # never forget live work
+            del self._records[stale_id]
+        self.stats.add("service.submissions")
+        self.stats.add("service.jobs_submitted", len(jobs))
+        assert self._loop is not None
+        self._loop.run_in_executor(self._executor, self._run_record, record)
+        await self._respond(writer, 202, {
+            "id": record_id, "state": record.state, "total": len(jobs),
+            "url": f"/jobs/{record_id}"})
+
+    def _run_record(self, record: JobRecord) -> None:
+        """Execute one submission (runs in an executor thread)."""
+        try:
+            keys = [job.cache_key() for job in record.jobs]
+            self._post(self._mark_running, record, keys)
+            progress = functools.partial(self._progress_from_thread, record)
+            report = run_sweep(record.jobs, workers=record.workers,
+                               cache=self._cache, memo=self._memo,
+                               progress=progress, retries=record.retries,
+                               timeout=record.timeout)
+            payloads: List[Optional[dict]] = []
+            for job in record.jobs:
+                result = report.results.get(job)
+                payloads.append(None if result is None
+                                else _result_to_payload(result))
+            failures = [{
+                "job": failure.job.describe(),
+                "error_type": failure.error_type,
+                "message": failure.message,
+                "attempts": failure.attempts,
+            } for failure in report.failures.values()]
+            self._post(self._mark_done, record, payloads,
+                       failures, report.stats.as_dict())
+        except Exception as exc:  # pragma: no cover - run_sweep is total
+            self._post(self._mark_error, record,
+                       f"{type(exc).__name__}: {exc}")
+
+    def _post(self, fn, *args) -> None:
+        """Hand a state mutation to the event loop (thread-safe)."""
+        assert self._loop is not None
+        try:
+            self._loop.call_soon_threadsafe(fn, *args)
+        except RuntimeError:  # loop closed mid-shutdown: state is moot
+            pass
+
+    def _progress_from_thread(self, record: JobRecord, job, result,
+                              seconds: float) -> None:
+        event = {
+            "type": "progress",
+            "job": job.describe(),
+            "key": None,  # filled on the loop side from record.keys
+            "ipc": round(result.ipc, 6),
+            "seconds": round(seconds, 3),
+        }
+        self._post(self._note_progress, record, event)
+
+    # -- loop-side mutations (all run on the event loop thread) --------
+
+    def _mark_running(self, record: JobRecord, keys: List[str]) -> None:
+        record.state = protocol.RUNNING
+        record.started = time.time()
+        record.keys = keys
+        record.events.append({"type": "state", "state": record.state})
+        self._broadcast()
+
+    def _note_progress(self, record: JobRecord, event: dict) -> None:
+        record.completed += 1
+        event["done"] = record.completed
+        event["total"] = len(record.jobs)
+        if record.keys is not None:
+            # Map the described job back to its key (descriptions can
+            # repeat across duplicate jobs; first match is correct
+            # because duplicates share one key).
+            for job, key in zip(record.jobs, record.keys):
+                if job.describe() == event["job"]:
+                    event["key"] = key
+                    break
+        record.events.append(event)
+        self.stats.add("service.jobs_executed")
+        self._broadcast()
+
+    def _mark_done(self, record: JobRecord,
+                   payloads: List[Optional[dict]], failures: List[dict],
+                   stats: Dict[str, float]) -> None:
+        record.state = protocol.DONE
+        record.finished = time.time()
+        record.payloads = payloads
+        record.failures = failures
+        record.stats = stats
+        executed = int(stats.get("sweep.executed", 0))
+        record.cached = len(record.jobs) - executed - len(failures)
+        if record.keys is not None:
+            for key, payload in zip(record.keys, payloads):
+                if payload is not None:
+                    self._memoize_result(key, payload)
+        record.events.append({
+            "type": "done",
+            "total": len(record.jobs),
+            "executed": executed,
+            "cached": record.cached,
+            "failures": len(failures),
+        })
+        self.stats.add("service.jobs_completed", len(record.jobs))
+        if failures:
+            self.stats.add("service.job_failures", len(failures))
+        self._broadcast()
+
+    def _mark_error(self, record: JobRecord, message: str) -> None:
+        record.state = protocol.ERROR
+        record.finished = time.time()
+        record.error = message
+        record.events.append({"type": "error", "error": message})
+        self.stats.add("service.sweep_errors")
+        self._broadcast()
+
+    def _broadcast(self) -> None:
+        assert self._loop is not None and self._changed is not None
+        self._loop.create_task(self._notify_waiters())
+
+    async def _notify_waiters(self) -> None:
+        assert self._changed is not None
+        async with self._changed:
+            self._changed.notify_all()
+
+    def _memoize_result(self, key: str, payload: dict) -> None:
+        self._result_payloads[key] = payload
+        self._result_payloads.move_to_end(key)
+        while len(self._result_payloads) > RESULT_MEMO_CAP:
+            self._result_payloads.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Read paths
+
+    def _record_or_404(self, record_id: str) -> Optional[JobRecord]:
+        return self._records.get(record_id)
+
+    async def _handle_status(self, record_id: str, query: dict,
+                             writer: asyncio.StreamWriter) -> None:
+        record = self._record_or_404(record_id)
+        if record is None:
+            await self._respond(writer, 404, {
+                "error": f"unknown job id {record_id!r}"})
+            return
+        wait = 0.0
+        if "wait" in query:
+            try:
+                wait = min(60.0, max(0.0, float(query["wait"])))
+            except ValueError:
+                raise ProtocolError(f"bad wait value {query['wait']!r}")
+        deadline = time.monotonic() + wait
+        while (record.state not in protocol.TERMINAL_STATES
+               and time.monotonic() < deadline):
+            assert self._changed is not None
+            async with self._changed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    await asyncio.wait_for(self._changed.wait(),
+                                           timeout=remaining)
+                except asyncio.TimeoutError:
+                    break
+        include_results = query.get("results") in ("1", "true", "yes")
+        await self._respond(writer, 200,
+                            record.snapshot(include_results))
+
+    async def _handle_events(self, record_id: str,
+                             writer: asyncio.StreamWriter) -> None:
+        """Stream a submission's progress as newline-delimited JSON.
+
+        The stream replays events already recorded, then follows live
+        ones, and ends (connection close) once the submission reaches a
+        terminal state.
+        """
+        record = self._record_or_404(record_id)
+        if record is None:
+            await self._respond(writer, 404, {
+                "error": f"unknown job id {record_id!r}"})
+            return
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Connection: close\r\n\r\n")
+        self.stats.add("service.streams")
+        self.stats.add("service.http_2xx")
+        cursor = 0
+        while True:
+            while cursor < len(record.events):
+                line = json.dumps(record.events[cursor],
+                                  sort_keys=True) + "\n"
+                writer.write(line.encode())
+                cursor += 1
+            await writer.drain()
+            if record.state in protocol.TERMINAL_STATES:
+                return
+            assert self._changed is not None
+            async with self._changed:
+                if (cursor >= len(record.events)
+                        and record.state not in protocol.TERMINAL_STATES):
+                    try:
+                        await asyncio.wait_for(self._changed.wait(),
+                                               timeout=15.0)
+                    except asyncio.TimeoutError:
+                        pass  # heartbeat loop; re-check state
+
+    async def _handle_result(self, key: str,
+                             writer: asyncio.StreamWriter) -> None:
+        """Serve one result by cache key: memo first, then disk."""
+        if len(key) != 64 or not set(key) <= _HEX:
+            raise ProtocolError(
+                "result keys are 64-char lowercase hex digests")
+        payload = self._result_payloads.get(key)
+        if payload is not None:
+            self._result_payloads.move_to_end(key)
+            self.stats.add("service.results_memo_hits")
+            await self._respond(writer, 200, {"key": key,
+                                              "result": payload})
+            return
+        assert self._loop is not None
+        result = await self._loop.run_in_executor(
+            None, functools.partial(self._cache.load, key))
+        if result is None:
+            self.stats.add("service.results_misses")
+            await self._respond(writer, 404, {
+                "error": f"no cached result for key {key}"})
+            return
+        payload = _result_to_payload(result)
+        self._memoize_result(key, payload)
+        self.stats.add("service.results_disk_hits")
+        await self._respond(writer, 200, {"key": key, "result": payload})
+
+    async def _handle_stats(self, writer: asyncio.StreamWriter) -> None:
+        from repro.experiments.runner import SWEEP_STATS
+        assert self._loop is not None
+        entries, total = await self._loop.run_in_executor(
+            None, lambda: (len(self._cache), self._cache.total_bytes()))
+        await self._respond(writer, 200, {
+            "service": self.stats.as_dict(),
+            "sweep": SWEEP_STATS.as_dict(),
+            "cache": {
+                "entries": entries,
+                "bytes": total,
+                "budget": self._cache.budget,
+                "directory": str(self._cache.directory),
+            },
+            "records": len(self._records),
+            "active": self._active_count(),
+        })

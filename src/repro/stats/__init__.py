@@ -1,6 +1,6 @@
 """Statistics collection and reporting."""
 
-from repro.stats.counters import StatsCollector
+from repro.stats.counters import StatsCollector, ThreadSafeStatsCollector
 from repro.stats.report import (
     arithmetic_mean,
     format_table,
@@ -14,6 +14,7 @@ from repro.stats.report import (
 
 __all__ = [
     "StatsCollector",
+    "ThreadSafeStatsCollector",
     "arithmetic_mean",
     "harmonic_mean",
     "geometric_mean",

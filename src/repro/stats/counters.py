@@ -4,10 +4,20 @@ Every hardware model in the simulator shares one :class:`StatsCollector`
 and bumps named counters on events.  Counters are created on first use;
 reading a counter that was never bumped returns 0, which keeps reporting
 code independent of which mechanisms were actually instantiated.
+
+Thread-safety: :class:`StatsCollector` is deliberately lock-free — every
+per-simulation collector is confined to the thread (or pool worker
+process) running that simulation, and a lock in ``add`` would tax the
+simulator's hottest path.  Collectors that *are* shared across threads —
+the process-wide ``SWEEP_STATS`` accumulator, the job server's service
+counters — must use :class:`ThreadSafeStatsCollector`, whose mutators
+and snapshot reads hold a lock (``value += amount`` is a read-modify-
+write, so concurrent ``add`` calls on the plain class lose updates).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from typing import Dict, Iterator, Tuple
 
@@ -120,3 +130,70 @@ class StatsCollector:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StatsCollector({len(self._counters)} counters)"
+
+
+class ThreadSafeStatsCollector(StatsCollector):
+    """A :class:`StatsCollector` safe to mutate from multiple threads.
+
+    Every mutator (``add``/``set``/``maximum``/``merge``/``reset``) and
+    every multi-item snapshot (``items``/``as_dict``/``with_prefix``)
+    runs under one reentrant lock, so concurrent increments never lose
+    updates and snapshots never observe a half-applied ``merge``.
+    Single-value reads (:meth:`StatsCollector.get`) stay lock-free —
+    reading one float is atomic under the GIL.
+
+    Use this for collectors shared across threads (the sweep runner's
+    process-wide ``SWEEP_STATS``, the job server's service counters);
+    per-simulation collectors stay on the lock-free base class because
+    they are thread-confined and ``add`` sits on the simulator hot path.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.RLock()
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter *name* by *amount* (atomically)."""
+        with self._lock:
+            super().add(name, amount)
+
+    def set(self, name: str, value: float) -> None:
+        """Set gauge *name* to an absolute value (atomically)."""
+        with self._lock:
+            super().set(name, value)
+
+    def maximum(self, name: str, value: float) -> None:
+        """Raise high-water mark *name* to *value* (atomically)."""
+        with self._lock:
+            super().maximum(name, value)
+
+    def merge(self, other: "StatsCollector") -> None:
+        """Fold *other* in under the lock (one atomic batch).
+
+        *other* is typically a thread-confined per-sweep collector, so
+        only this side needs the lock.
+        """
+        with self._lock:
+            super().merge(other)
+
+    def reset(self) -> None:
+        """Forget every counter (atomically)."""
+        with self._lock:
+            super().reset()
+
+    clear = reset
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        """(name, value) pairs from one consistent snapshot."""
+        with self._lock:
+            return iter(sorted(self._counters.items()))
+
+    def as_dict(self) -> Dict[str, float]:
+        """A consistent plain-dict copy of every counter."""
+        with self._lock:
+            return dict(self._counters)
+
+    def with_prefix(self, prefix: str) -> Dict[str, float]:
+        """All counters under ``prefix.`` from one consistent snapshot."""
+        with self._lock:
+            return super().with_prefix(prefix)

@@ -48,6 +48,29 @@ class TestParser:
                                           "--pipeview=8"])
         assert args.pipeview == 8
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host is None and args.port is None
+        assert args.max_active == 2 and args.budget is None
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit"])
+        assert args.server == "127.0.0.1"
+        assert "w16" in args.configs and not args.json
+
+    def test_submit_server_parsing(self):
+        from repro.__main__ import _parse_server
+        from repro.service import DEFAULT_HOST, DEFAULT_PORT
+
+        assert _parse_server("10.0.0.9:9000") == ("10.0.0.9", 9000)
+        assert _parse_server("10.0.0.9") == ("10.0.0.9", DEFAULT_PORT)
+        assert _parse_server(":9000") == (DEFAULT_HOST, 9000)
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.requests == 1000 and args.concurrency == 64
+        assert not args.no_verify and args.seed == 0
+
     def test_trace_defaults(self):
         args = build_parser().parse_args(["trace", "pr-2x8w", "gzip"])
         assert args.output == "repro-trace.json"

@@ -205,6 +205,60 @@ class TestPrepCache:
         clear_prep_caches()
         suite.clear_caches()
 
+    def test_corrupt_stream_bundle_is_quarantined(self, tmp_path,
+                                                  monkeypatch):
+        """A torn/garbage pickle is moved aside as *.pkl.corrupt (never
+        silently unlinked), counted, and transparently re-emulated."""
+        monkeypatch.setenv(prep.CACHE_DIR_ENV, str(tmp_path))
+        clear_prep_caches()
+        suite.clear_caches()
+        _, clean, _ = prep.get_oracle("gzip", 2000)
+        bundle = list((tmp_path / "streams").glob("gzip-*.pkl"))[0]
+        bundle.write_bytes(b"\x80\x04 not a pickle")
+
+        clear_prep_caches()
+        suite.clear_caches()
+        before = prep.PREP_STATS.get("prep.stream_corrupt")
+        _, recovered, _ = prep.get_oracle("gzip", 2000)
+        assert prep.PREP_STATS.get("prep.stream_corrupt") == before + 1
+        corpse = bundle.with_name(bundle.name + ".corrupt")
+        assert corpse.exists()  # evidence kept for postmortems
+        assert corpse.read_bytes() == b"\x80\x04 not a pickle"
+        # Recovery re-emulated the identical stream and re-stored it.
+        assert [r.pc for r in recovered.stream] == \
+            [r.pc for r in clean.stream]
+        assert bundle.exists()
+
+        # The quarantined corpse never shadows the healthy rewrite.
+        clear_prep_caches()
+        suite.clear_caches()
+        marker = prep.PREP_STATS.get("prep.stream_corrupt")
+        prep.get_oracle("gzip", 2000)
+        assert prep.PREP_STATS.get("prep.stream_corrupt") == marker
+        clear_prep_caches()
+        suite.clear_caches()
+
+    def test_wrong_typed_bundle_is_quarantined(self, tmp_path,
+                                               monkeypatch):
+        """A well-formed pickle of the wrong shape is corrupt too."""
+        import pickle
+
+        monkeypatch.setenv(prep.CACHE_DIR_ENV, str(tmp_path))
+        clear_prep_caches()
+        suite.clear_caches()
+        prep.get_oracle("mcf", 1500)
+        bundle = list((tmp_path / "streams").glob("mcf-*.pkl"))[0]
+        bundle.write_bytes(pickle.dumps(("just", "strings")))
+
+        clear_prep_caches()
+        suite.clear_caches()
+        before = prep.PREP_STATS.get("prep.stream_corrupt")
+        prep.get_oracle("mcf", 1500)
+        assert prep.PREP_STATS.get("prep.stream_corrupt") == before + 1
+        assert bundle.with_name(bundle.name + ".corrupt").exists()
+        clear_prep_caches()
+        suite.clear_caches()
+
 
 class TestCheckpointSeam:
     def test_run_until_stops_at_commit_bound(self):

@@ -1,0 +1,339 @@
+"""Tests for the sweep job server: wire protocol, HTTP endpoints,
+cache-backed result serving, and a miniature load-generator run."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import faults
+from repro.experiments.runner import (
+    ResultCache,
+    SweepJob,
+    _result_to_payload,
+    run_sweep,
+)
+from repro.service import protocol
+from repro.service.client import ServiceClient, ServiceError, result_from_wire
+from repro.service.loadgen import run_loadgen
+from repro.service.protocol import (
+    ProtocolError,
+    job_from_wire,
+    job_to_wire,
+    jobs_from_wire,
+)
+from repro.service.server import ServiceConfig, SweepService
+
+LENGTH = 400
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_faults(monkeypatch):
+    """Keep every test hermetic against an inherited REPRO_FAULTS."""
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+
+
+class TestProtocol:
+    def test_round_trip_minimal(self):
+        job = SweepJob("w16", "gzip", LENGTH)
+        assert job_from_wire(job_to_wire(job)) == job
+
+    def test_round_trip_every_field(self):
+        job = SweepJob("pf-2x8w", "mcf", LENGTH, total_l1_storage=8192,
+                       predictor_entries=4096,
+                       overrides=(("fragment.max_length", 32),
+                                  ("frontend.num_fragment_buffers", 8)),
+                       warm=False, label="alias",
+                       sampling=(5000, 1000, 300))
+        decoded = job_from_wire(job_to_wire(job))
+        assert decoded == job
+        assert decoded.cache_key() == job.cache_key()
+
+    def test_wire_form_is_json_safe(self):
+        job = SweepJob("w16", "gzip", LENGTH, sampling=(5000, 1000, 300))
+        assert job_from_wire(json.loads(json.dumps(job_to_wire(job)))) == job
+
+    def test_single_object_submission_becomes_list(self):
+        jobs = jobs_from_wire(job_to_wire(SweepJob("w16", "gzip", LENGTH)))
+        assert len(jobs) == 1
+
+    @pytest.mark.parametrize("payload", [
+        None,
+        [],
+        "w16",
+        {"benchmark": "gzip", "length": LENGTH},              # no config
+        {"config_name": "w16", "benchmark": "gzip"},          # no length
+        {"config_name": "w16", "benchmark": "gzip", "length": 0},
+        {"config_name": "w16", "benchmark": "gzip", "length": True},
+        {"config_name": "w16", "benchmark": "gzip", "length": LENGTH,
+         "bogus": 1},
+        {"config_name": "w16", "benchmark": "gzip", "length": LENGTH,
+         "overrides": [["only-a-path"]]},
+        {"config_name": "w16", "benchmark": "gzip", "length": LENGTH,
+         "overrides": [["path", {"nested": 1}]]},
+        {"config_name": "w16", "benchmark": "gzip", "length": LENGTH,
+         "sampling": [5000, 1000]},
+        {"config_name": "w16", "benchmark": "gzip", "length": LENGTH,
+         "sampling": [5000, 1000, "warm"]},
+        {"config_name": "w16", "benchmark": "gzip", "length": LENGTH,
+         "warm": "yes"},
+        {"config_name": "w16", "benchmark": "gzip", "length": LENGTH,
+         "label": 7},
+    ])
+    def test_malformed_jobs_rejected(self, payload):
+        with pytest.raises(ProtocolError):
+            jobs_from_wire(payload)
+
+
+def with_service(tmp_path, scenario, **config_kwargs):
+    """Run *scenario(service, client)* against a live server on an
+    ephemeral port, then shut it down cleanly."""
+    config_kwargs.setdefault("sweep_workers", 1)
+    config_kwargs.setdefault("cache_dir", str(tmp_path / "svc_cache"))
+
+    async def main():
+        service = SweepService(ServiceConfig(port=0, **config_kwargs))
+        await service.start()
+        client = ServiceClient(port=service.port, timeout=120.0)
+        try:
+            return await scenario(service, client)
+        finally:
+            service.request_shutdown()
+            await service.serve_forever()
+
+    return asyncio.run(main())
+
+
+class TestServer:
+    def test_health(self, tmp_path):
+        async def scenario(service, client):
+            return await client.health()
+
+        health = with_service(tmp_path, scenario)
+        assert health["ok"] is True
+        assert health["protocol"] == protocol.PROTOCOL_VERSION
+
+    def test_submit_matches_direct_run(self, tmp_path):
+        jobs = [SweepJob("w16", "gzip", LENGTH),
+                SweepJob("tc", "mcf", LENGTH)]
+
+        async def scenario(service, client):
+            record = await client.submit(jobs, workers=1)
+            assert record["state"] in (protocol.QUEUED, protocol.RUNNING,
+                                       protocol.DONE)
+            final = await client.wait(record["id"], deadline=300)
+            return final
+
+        final = with_service(tmp_path, scenario)
+        assert final["state"] == protocol.DONE
+        assert final["failures"] == []
+        assert final["completed"] == len(jobs)
+        direct = run_sweep(jobs, workers=1, cache=ResultCache(enabled=False))
+        for job, payload in zip(jobs, final["results"]):
+            expected = _result_to_payload(direct.results[job])
+            assert json.loads(json.dumps(payload)) == json.loads(
+                json.dumps(expected))
+
+    def test_duplicate_submit_served_from_cache(self, tmp_path):
+        jobs = [SweepJob("w16", "gzip", LENGTH)]
+
+        async def scenario(service, client):
+            first = await client.submit(jobs, workers=1)
+            await client.wait(first["id"], deadline=300)
+            second = await client.submit(jobs, workers=1)
+            return await client.wait(second["id"], deadline=300)
+
+        final = with_service(tmp_path, scenario)
+        assert final["state"] == protocol.DONE
+        assert final["cached"] == len(jobs)
+        assert final["completed"] == 0  # nothing re-executed
+
+    def test_result_fetch_hit_and_miss(self, tmp_path):
+        job = SweepJob("w16", "gzip", LENGTH)
+
+        async def scenario(service, client):
+            record = await client.submit([job], workers=1)
+            await client.wait(record["id"], deadline=300)
+            hit = await client.result_for(job)
+            miss = await client.result_for_key("f" * 64)
+            return hit, miss
+
+        hit, miss = with_service(tmp_path, scenario)
+        assert miss is None
+        direct = run_sweep([job], workers=1,
+                           cache=ResultCache(enabled=False))
+        assert json.loads(json.dumps(_result_to_payload(hit))) == \
+            json.loads(json.dumps(_result_to_payload(direct.results[job])))
+
+    def test_result_survives_memo_flush(self, tmp_path):
+        """The disk cache, not the memo, is the system of record."""
+        job = SweepJob("tc", "gzip", LENGTH)
+
+        async def scenario(service, client):
+            record = await client.submit([job], workers=1)
+            await client.wait(record["id"], deadline=300)
+            service._result_payloads.clear()
+            service._memo.clear()
+            return await client.result_for(job)
+
+        assert with_service(tmp_path, scenario) is not None
+
+    def test_events_stream_replays_to_done(self, tmp_path):
+        jobs = [SweepJob("w16", "gzip", LENGTH)]
+
+        async def scenario(service, client):
+            record = await client.submit(jobs, workers=1)
+            await client.wait(record["id"], deadline=300)
+            return [event async for event in client.events(record["id"])]
+
+        events = with_service(tmp_path, scenario)
+        assert events[-1]["type"] == "done"
+        assert events[-1]["failures"] == 0
+        assert any(event["type"] == "progress" for event in events)
+
+    def test_error_paths(self, tmp_path):
+        async def scenario(service, client):
+            statuses = {}
+            response = await client._request("POST", "/jobs", None)
+            statuses["empty_submit"] = response.status
+            response = await client._request(
+                "POST", "/jobs", {"jobs": [{"config_name": "w16"}]})
+            statuses["malformed_job"] = response.status
+            response = await client._request("GET", "/jobs/no-such-id")
+            statuses["unknown_id"] = response.status
+            response = await client._request("GET", "/results/nothex")
+            statuses["bad_key"] = response.status
+            response = await client._request("GET", "/nowhere")
+            statuses["unknown_route"] = response.status
+            response = await client._request("DELETE", "/jobs")
+            statuses["bad_method"] = response.status
+            return statuses, await client.stats()
+
+        statuses, stats = with_service(tmp_path, scenario)
+        assert statuses == {"empty_submit": 400, "malformed_job": 400,
+                            "unknown_id": 404, "bad_key": 400,
+                            "unknown_route": 404, "bad_method": 405}
+        assert stats["service"].get("service.http_5xx", 0) == 0
+        assert stats["service"]["service.bad_requests"] >= 3
+
+    def test_submit_options_validated(self, tmp_path):
+        job_payload = job_to_wire(SweepJob("w16", "gzip", LENGTH))
+
+        async def scenario(service, client):
+            response = await client._request(
+                "POST", "/jobs", {"jobs": [job_payload], "workers": "four"})
+            return response.status
+
+        assert with_service(tmp_path, scenario) == 400
+
+    def test_stats_endpoint_shape(self, tmp_path):
+        job = SweepJob("w16", "gzip", LENGTH)
+
+        async def scenario(service, client):
+            record = await client.submit([job], workers=1)
+            await client.wait(record["id"], deadline=300)
+            await client.result_for(job)
+            return await client.stats()
+
+        stats = with_service(tmp_path, scenario)
+        assert {"service", "sweep", "cache", "records", "active"} <= set(stats)
+        assert stats["cache"]["entries"] >= 1
+        assert stats["cache"]["bytes"] > 0
+        assert stats["service"]["service.requests"] >= 3
+
+    def test_long_poll_returns_on_completion(self, tmp_path):
+        jobs = [SweepJob("w16", "gzip", LENGTH)]
+
+        async def scenario(service, client):
+            record = await client.submit(jobs, workers=1)
+            snapshot = await client.status(record["id"], wait=60.0)
+            return snapshot
+
+        snapshot = with_service(tmp_path, scenario)
+        assert snapshot["state"] in protocol.TERMINAL_STATES
+
+    def test_faulty_sweep_reports_structured_failure(self, tmp_path,
+                                                     monkeypatch):
+        monkeypatch.setenv(
+            faults.FAULTS_ENV,
+            "worker_exception match=gzip attempts=*")
+        jobs = [SweepJob("w16", "gzip", LENGTH),
+                SweepJob("w16", "mcf", LENGTH)]
+
+        async def scenario(service, client):
+            record = await client.submit(jobs, workers=1, retries=1)
+            return await client.wait(record["id"], deadline=300)
+
+        final = with_service(tmp_path, scenario)
+        # The sweep finishes (DONE) with one structured failure; the
+        # server never turns a job failure into a 5xx.
+        assert final["state"] == protocol.DONE
+        assert len(final["failures"]) == 1
+        assert "gzip" in final["failures"][0]["job"]
+        assert final["results"][1] is not None  # mcf still served
+
+    def test_result_from_wire_round_trip(self, tmp_path):
+        job = SweepJob("w16", "gzip", LENGTH)
+
+        async def scenario(service, client):
+            record = await client.submit([job], workers=1)
+            final = await client.wait(record["id"], deadline=300)
+            return final["results"][0]
+
+        payload = with_service(tmp_path, scenario)
+        result = result_from_wire(payload)
+        assert result.benchmark == "gzip"
+        assert result.cycles > 0
+        assert result.ipc > 0
+
+
+class TestLoadgen:
+    def test_mini_load_run_is_clean(self, tmp_path):
+        """A scaled-down acceptance run: mixed concurrent requests, no
+        5xx, bit-identical serial verification, budget honoured."""
+        cache_dir = str(tmp_path / "svc_cache")
+
+        async def scenario(service, client):
+            return await run_loadgen(
+                port=service.port, requests=40, concurrency=12,
+                configs=("w16", "tc"), benchmarks=("gzip",),
+                length=LENGTH, workers=1, cache_dir=cache_dir)
+
+        report = with_service(tmp_path, scenario, cache_dir=cache_dir,
+                              cache_budget=64 * 1024 * 1024)
+        assert report.ok, report.format_text()
+        assert report.requests == 40
+        assert report.verified_jobs == 2
+        assert report.cache_bytes is not None
+
+    def test_loadgen_flags_injected_faults_without_5xx(self, tmp_path,
+                                                       monkeypatch):
+        """Under an aggressive fault plan the server still never 5xxs;
+        the seed failures surface as structured report entries."""
+        monkeypatch.setenv(
+            faults.FAULTS_ENV,
+            "worker_exception match=gzip attempts=*")
+        cache_dir = str(tmp_path / "svc_cache")
+
+        async def scenario(service, client):
+            return await run_loadgen(
+                port=service.port, requests=20, concurrency=8,
+                configs=("w16",), benchmarks=("gzip", "mcf"),
+                length=LENGTH, workers=1, verify=False,
+                cache_dir=cache_dir)
+
+        report = with_service(tmp_path, scenario, cache_dir=cache_dir)
+        assert report.server_errors == 0
+        assert report.seed_failures == 1
+
+
+class TestServiceClientErrors:
+    def test_unreachable_server_is_transport_error(self):
+        client = ServiceClient(port=1, timeout=2.0)
+
+        async def go():
+            await client.health()
+
+        with pytest.raises(ServiceError) as excinfo:
+            asyncio.run(go())
+        assert excinfo.value.status is None

@@ -158,3 +158,116 @@ class TestTables:
                             {"tc": [1.0, 2.0], "pr": [3.0, 4.0]})
         assert text.startswith("Figure X")
         assert "tc" in text and "pr" in text and "16" in text
+
+
+class TestThreadSafeStatsCollector:
+    """The cross-thread collector variant the job server, SWEEP_STATS
+    and PREP_STATS use (plain StatsCollector stays lock-free for the
+    thread-confined per-simulation hot path)."""
+
+    THREADS = 8
+    PER_THREAD = 10_000
+
+    def _run_threads(self, target):
+        import threading
+
+        workers = [threading.Thread(target=target)
+                   for _ in range(self.THREADS)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+    def test_concurrent_adds_are_exact(self):
+        from repro.stats import ThreadSafeStatsCollector
+
+        stats = ThreadSafeStatsCollector()
+
+        def work():
+            for _ in range(self.PER_THREAD):
+                stats.add("hits")
+
+        self._run_threads(work)
+        assert stats.get("hits") == self.THREADS * self.PER_THREAD
+
+    def test_concurrent_merges_are_exact(self):
+        from repro.stats import StatsCollector, ThreadSafeStatsCollector
+
+        stats = ThreadSafeStatsCollector()
+        delta = StatsCollector()
+        delta.add("jobs", 1)
+
+        def work():
+            for _ in range(500):
+                stats.merge(delta)
+
+        self._run_threads(work)
+        assert stats.get("jobs") == self.THREADS * 500
+
+    def test_concurrent_maximum_keeps_high_water_mark(self):
+        from repro.stats import ThreadSafeStatsCollector
+
+        stats = ThreadSafeStatsCollector()
+
+        def work():
+            for value in range(1000):
+                stats.maximum("peak", value)
+
+        self._run_threads(work)
+        assert stats.get("peak") == 999
+
+    def test_reads_during_writes_are_consistent(self):
+        from repro.stats import ThreadSafeStatsCollector
+
+        stats = ThreadSafeStatsCollector()
+        snapshots = []
+
+        def writer():
+            for _ in range(2000):
+                stats.add("n")
+
+        def reader():
+            for _ in range(200):
+                view = stats.as_dict()
+                snapshots.append(view.get("n", 0.0))
+                list(stats.items())
+                stats.with_prefix("n")
+
+        import threading
+
+        threads = ([threading.Thread(target=writer) for _ in range(4)]
+                   + [threading.Thread(target=reader) for _ in range(4)])
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.get("n") == 4 * 2000
+        # Snapshots taken mid-write must be internally consistent
+        # (monotone non-decreasing counts, never out of range).
+        assert all(0 <= value <= 8000 for value in snapshots)
+
+    def test_semantics_match_base_collector(self):
+        from repro.stats import StatsCollector, ThreadSafeStatsCollector
+
+        plain, safe = StatsCollector(), ThreadSafeStatsCollector()
+        for stats in (plain, safe):
+            stats.add("a", 2)
+            stats.set("gauge", 7)
+            stats.maximum("peak", 3)
+            stats.maximum("peak", 1)
+            other = StatsCollector()
+            other.add("a", 1)
+            other.set("gauge", 9)
+            stats.merge(other)
+        assert plain.as_dict() == safe.as_dict()
+
+    def test_reset_and_clear_alias(self):
+        from repro.stats import ThreadSafeStatsCollector
+
+        stats = ThreadSafeStatsCollector()
+        stats.add("x")
+        stats.reset()
+        assert "x" not in stats
+        stats.add("y")
+        stats.clear()
+        assert stats.as_dict() == {}
