@@ -13,7 +13,9 @@ Subcommands:
 * ``sweep`` — run a (configs x benchmarks) matrix on the parallel runner
   with the persistent result cache, printing progress and a summary
   (``--json`` for machine-readable output, ``--sampled [PERIOD]`` for
-  interval-sampled jobs);
+  interval-sampled jobs, ``--checkpoint N`` for durable mid-run
+  snapshots, ``--resume [SWEEP_ID]`` to continue a crashed sweep from
+  its manifest);
 * ``trace`` — record a fragment-lifecycle event trace and export it as
   Chrome trace-event JSON for Perfetto / ``chrome://tracing``;
 * ``profile`` — attribute the simulator's own wall-clock to pipeline
@@ -139,7 +141,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = run_simulation(args.config, args.benchmark,
                             max_instructions=args.instructions,
                             warm=not args.cold, observability=obs,
-                            uop_log=uop_log, sampling=_sampling_arg(args))
+                            uop_log=uop_log, sampling=_sampling_arg(args),
+                            checkpoint_every=args.checkpoint)
     traces = ([UopTrace.from_uop(uop) for uop in uop_log]
               if uop_log is not None else [])
     if args.json:
@@ -189,7 +192,15 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Run the full figure sweep through the parallel sweep runner."""
+    """Run the full figure sweep through the parallel sweep runner.
+
+    Every sweep writes a durable manifest (``<cache dir>/sweeps/``)
+    before running, so a crashed or killed invocation can be resumed
+    with ``--resume [SWEEP_ID]``: completed jobs return from the result
+    cache, and jobs launched with ``--checkpoint N`` restart from their
+    latest durable snapshot instead of from zero.
+    """
+    from repro.experiments import manifest as manifests
     from repro.experiments.common import (
         experiment_benchmarks,
         experiment_length,
@@ -202,19 +213,43 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"cleared {removed} cached result(s)")
         return 0
 
-    benchmarks = args.benchmarks or experiment_benchmarks()
-    length = args.instructions or experiment_length()
-    sampling_config = _sampling_arg(args)
-    sampling = (None if sampling_config is None else
-                (sampling_config.period, sampling_config.unit,
-                 sampling_config.warmup))
-    jobs = [SweepJob(config_name=config, benchmark=bench, length=length,
-                     sampling=sampling)
-            for config in args.configs for bench in benchmarks]
+    progress_out = sys.stderr if args.json else sys.stdout
+    if args.resume is not None:
+        try:
+            if args.resume == "latest":
+                manifest = manifests.latest_manifest()
+                if manifest is None:
+                    print("no incomplete sweep manifest to resume",
+                          file=sys.stderr)
+                    return 1
+            else:
+                manifest = manifests.load_manifest(args.resume)
+        except manifests.ManifestError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        jobs = manifest.jobs
+        print(f"resuming sweep {manifest.sweep_id} "
+              f"({len(jobs)} job(s))", flush=True, file=progress_out)
+    else:
+        benchmarks = args.benchmarks or experiment_benchmarks()
+        length = args.instructions or experiment_length()
+        sampling_config = _sampling_arg(args)
+        sampling = (None if sampling_config is None else
+                    (sampling_config.period, sampling_config.unit,
+                     sampling_config.warmup))
+        jobs = [SweepJob(config_name=config, benchmark=bench,
+                         length=length, sampling=sampling,
+                         checkpoint=args.checkpoint)
+                for config in args.configs for bench in benchmarks]
+        manifest = manifests.write_manifest(jobs, options={
+            "workers": args.workers, "retries": args.retries,
+            "timeout": args.timeout})
+        print(f"sweep {manifest.sweep_id} "
+              f"(resume with: repro sweep --resume {manifest.sweep_id})",
+              flush=True, file=progress_out)
 
     done = [0]
     # Progress goes to stderr under --json so stdout stays parseable.
-    progress_out = sys.stderr if args.json else sys.stdout
 
     def progress(job, result, seconds):
         done[0] += 1
@@ -225,6 +260,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     report = run_sweep(jobs, workers=args.workers, cache=cache,
                        progress=progress, retries=args.retries,
                        timeout=args.timeout)
+    if not report.failures:
+        # Failed sweeps stay incomplete so ``--resume`` retries them.
+        manifests.mark_complete(manifest)
     if args.json:
         payload = {
             "results": [_result_payload(result)
@@ -236,20 +274,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 1 if report.failures else 0
     rows = []
-    for config in args.configs:
-        for bench in benchmarks:
-            job = SweepJob(config_name=config, benchmark=bench,
-                           length=length, sampling=sampling)
-            result = report.results.get(job)
-            if result is None:
-                failure = report.failures.get(job)
-                rows.append([config, bench,
-                             "FAILED" if failure is None
-                             else f"FAILED:{failure.error_type}",
-                             "-", "-", "-", "-"])
-                continue
-            row = _result_row(result)
-            rows.append([row[0], bench] + row[1:])
+    for job in jobs:
+        result = report.results.get(job)
+        if result is None:
+            failure = report.failures.get(job)
+            rows.append([job.config_name, job.benchmark,
+                         "FAILED" if failure is None
+                         else f"FAILED:{failure.error_type}",
+                         "-", "-", "-", "-"])
+            continue
+        row = _result_row(result)
+        rows.append([row[0], job.benchmark] + row[1:])
     print(format_table(
         ["front-end", "benchmark", "IPC", "fetch/cyc", "rename/cyc",
          "util", "cycles"], rows))
@@ -338,7 +373,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=DEFAULT_PORT if args.port is None else args.port,
         sweep_workers=args.workers,
         max_active=args.max_active, cache_dir=args.cache_dir,
-        cache_budget=parse_cache_budget(args.budget))
+        cache_budget=parse_cache_budget(args.budget),
+        journal=not args.no_journal, journal_path=args.journal_path)
 
     async def main() -> None:
         service = SweepService(config)
@@ -512,6 +548,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "print the time-series summary")
     run_p.add_argument("--json", action="store_true",
                        help="emit the result as JSON")
+    run_p.add_argument("--checkpoint", type=int, default=None, metavar="N",
+                       help="write a durable resume checkpoint every N "
+                            "committed instructions (default: "
+                            "REPRO_CHECKPOINT or off)")
     _add_sampling_flags(run_p)
     run_p.set_defaults(func=cmd_run)
 
@@ -553,6 +593,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--json", action="store_true",
                          help="emit results and summary as JSON "
                               "(progress goes to stderr)")
+    sweep_p.add_argument("--checkpoint", type=int, default=None,
+                         metavar="N",
+                         help="per-job durable checkpoints every N "
+                              "committed instructions, so --resume "
+                              "restarts in-flight jobs mid-stream")
+    sweep_p.add_argument("--resume", nargs="?", const="latest",
+                         default=None, metavar="SWEEP_ID",
+                         help="resume a crashed/killed sweep from its "
+                              "manifest (default: the most recent "
+                              "incomplete one)")
     _add_sampling_flags(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 
@@ -608,6 +658,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--budget", default=None, metavar="BYTES",
                          help="cache size budget, e.g. 256M "
                               "(default: REPRO_CACHE_BUDGET or unlimited)")
+    serve_p.add_argument("--no-journal", action="store_true",
+                         help="disable the durable job journal (jobs "
+                              "are forgotten on restart)")
+    serve_p.add_argument("--journal-path", default=None, metavar="PATH",
+                         help="journal file override (default: "
+                              "<cache dir>/service/journal.ndjson)")
     serve_p.set_defaults(func=cmd_serve)
 
     submit_p = sub.add_parser(

@@ -307,6 +307,9 @@ ENV_KNOBS: Dict[str, str] = {
     "REPRO_SAMPLE": "interval-sampling period (0/unset = full detail)",
     "REPRO_SAMPLE_UNIT": "instructions per sampling unit",
     "REPRO_SAMPLE_WARMUP": "detailed warm-up instructions per sample",
+    "REPRO_CHECKPOINT": "durable checkpoint interval in instructions",
+    "REPRO_CHECKPOINT_DIR": "checkpoint directory override",
+    "REPRO_CHECKPOINT_KEEP": "checkpoints retained per run",
 }
 
 

@@ -207,10 +207,7 @@ class Processor:
                 if invariants is not None:
                     invariants.check(self)
                 profiler.stop("observe", t0)
-        if not self._done:
-            self.stats.set("sim.timeout", 1)
-        self.stats.set("sim.cycles", self.now)
-        self.stats.set("sim.committed", self._committed)
+        self.stamp_summary(timed_out=not self._done)
         if obs is not None:
             obs.finalize(self)
         return self
@@ -801,3 +798,41 @@ class Processor:
     def committed(self) -> int:
         """Architecturally committed instructions so far."""
         return self._committed
+
+    @property
+    def stream_length(self) -> int:
+        """Total oracle records to commit (NOPs already eliminated)."""
+        return len(self._oracle)
+
+    def stamp_summary(self, timed_out: bool = False) -> None:
+        """Stamp the ``sim.*`` summary counters.
+
+        Factored out of :meth:`run` so drivers that steer the loop
+        through :meth:`run_until` segments (checkpointed runs, see
+        :mod:`repro.checkpoint`) finish with the same counter contract.
+        """
+        if timed_out:
+            self.stats.set("sim.timeout", 1)
+        self.stats.set("sim.cycles", self.now)
+        self.stats.set("sim.committed", self._committed)
+
+    def adopt_warm_state(self, donor) -> None:
+        """Adopt every *warm* structure from a duck-typed donor.
+
+        The donor exposes ``bimodal``, ``trace_predictor``,
+        ``liveout_predictor``, ``memory`` (or bare ``l1i``/``l1d``/``l2``
+        caches) and ``trace_cache``; each structure's ``adopt_state``
+        enforces geometry equality.  This is the single seam both warm-
+        snapshot cloning (:mod:`repro.sampling.prep`) and checkpoint
+        restore (:mod:`repro.checkpoint`) go through.  Transient pipeline
+        state is untouched — callers pair this with :meth:`restart_at`.
+        """
+        self.bimodal.adopt_state(donor.bimodal)
+        self.trace_predictor.adopt_state(donor.trace_predictor)
+        self.liveout_predictor.adopt_state(donor.liveout_predictor)
+        memory = getattr(donor, "memory", donor)
+        self.memory.l1i.adopt_state(memory.l1i)
+        self.memory.l1d.adopt_state(memory.l1d)
+        self.memory.l2.adopt_state(memory.l2)
+        if self.trace_cache is not None:
+            self.trace_cache.adopt_state(donor.trace_cache)

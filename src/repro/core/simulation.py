@@ -140,7 +140,8 @@ def run_simulation(config: Union[str, ProcessorConfig],
                    observability: Optional[Observability] = None,
                    uop_log: Optional[List[MicroOp]] = None,
                    sampling: Union[None, bool, int,
-                                   "SamplingConfig"] = None
+                                   "SamplingConfig"] = None,
+                   checkpoint_every: Union[None, bool, int] = None
                    ) -> SimulationResult:
     """Simulate *benchmark* on the given front-end configuration.
 
@@ -178,6 +179,17 @@ def run_simulation(config: Union[str, ProcessorConfig],
             Sampled results are extrapolated estimates carrying
             ``sampling.*`` confidence counters; ``observability`` and
             ``uop_log`` are ignored in sampled mode.
+        checkpoint_every: durable checkpoint/restore (see
+            :mod:`repro.checkpoint`).  ``None`` defers to
+            ``REPRO_CHECKPOINT`` (unset or 0 = off), ``0``/``False``
+            force off, and a positive int snapshots the warmed processor
+            state to disk every N committed instructions; an interrupted
+            run automatically resumes from the newest valid snapshot and
+            is bit-identical to an uninterrupted run with the same
+            cadence.  Checkpoint boundaries drain the pipeline, so the
+            cadence is part of the run's identity (and of sweep cache
+            keys).  ``observability`` and ``uop_log`` are ignored in
+            checkpointed full-detail mode.
 
     Returns:
         A :class:`SimulationResult` with every counter the models emit.
@@ -189,6 +201,7 @@ def run_simulation(config: Union[str, ProcessorConfig],
         InvariantError: an enabled per-cycle audit found inconsistent
             pipeline state.
     """
+    from repro import checkpoint
     from repro.sampling import engine as sampling_engine
     from repro.sampling import prep
 
@@ -201,11 +214,43 @@ def run_simulation(config: Union[str, ProcessorConfig],
     bench_name = benchmark if isinstance(benchmark, str) else program.name
 
     sampling_config = sampling_engine.resolve_sampling(sampling)
+    every = checkpoint.resolve_checkpoint_every(checkpoint_every)
+    manager = None
+    if every is not None:
+        stream_fp = prep.stream_fingerprint(stream_key, program)
+        sampling_tuple = (sampling_config.as_tuple()
+                          if sampling_config is not None else None)
+        manager = checkpoint.CheckpointManager(
+            checkpoint.run_fingerprint(processor_config, stream_fp, warm,
+                                       sampling_tuple, every),
+            description=f"{config_name}/{bench_name}")
+
     if sampling_config is not None:
         return sampling_engine.run_sampled(
             processor_config, program, oracle, sampling_config,
             config_name=config_name, benchmark=bench_name, warm=warm,
-            stream_key=stream_key, pin=program)
+            stream_key=stream_key, pin=program,
+            checkpoint_every=every, checkpoint_manager=manager)
+
+    if manager is not None:
+        # Checkpointed full-detail run: observability and the uop log
+        # are ignored (the segment driver steers run_until directly,
+        # like sampled windows do).
+        processor = Processor(processor_config, program, oracle)
+        warm_cb = None
+        if warm:
+            warm_cb = lambda: prep.warm_from_snapshot(  # noqa: E731
+                processor, oracle, stream_key, pin=program)
+        checkpoint.run_checkpointed(processor, every, manager,
+                                    max_cycles=max_cycles,
+                                    warm_cb=warm_cb)
+        return SimulationResult(
+            benchmark=bench_name,
+            config_name=config_name,
+            cycles=processor.now,
+            committed=processor.committed,
+            counters=processor.stats.as_dict(),
+        )
 
     if observability is None:
         observability = Observability.from_env()

@@ -1,0 +1,184 @@
+"""Durable sweep manifests: crash-resumable ``repro sweep`` runs.
+
+A sweep that dies mid-flight (crash, preemption, ``kill -9``) already
+loses no *completed* work — finished jobs sit in the content-addressed
+:class:`~repro.experiments.runner.ResultCache` — but it used to lose its
+*description*: nothing on disk said which jobs the sweep comprised, so
+"run it again" meant reconstructing the command line.  A manifest
+persists exactly that: the job list (in the service wire form, so one
+serialization covers both layers), the run options, and a completed
+flag, written atomically under ``<cache dir>/sweeps/``.
+
+``repro sweep --resume [SWEEP_ID]`` reloads the manifest (the most
+recent incomplete one by default) and re-runs the sweep: completed jobs
+are served from the result cache, and jobs that were in flight restart
+— from their latest durable checkpoint when the sweep was launched with
+``--checkpoint N`` (see :mod:`repro.checkpoint`), from zero otherwise.
+
+Corrupt manifests (torn writes) are quarantined to ``*.json.corrupt``
+and skipped, the same policy as every other durable artifact here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.experiments.runner import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, SweepJob
+from repro.service.protocol import jobs_from_wire, jobs_to_wire
+
+#: Bump when the manifest format changes incompatibly.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+class ManifestError(ReproError):
+    """Raised for a missing or unusable sweep manifest."""
+
+
+def manifest_dir() -> Path:
+    """Where manifests live: ``<cache dir>/sweeps``."""
+    root = Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+    return root / "sweeps"
+
+
+def sweep_id_for(jobs: Sequence[SweepJob]) -> str:
+    """Content-addressed sweep identity: a digest over the job keys.
+
+    Order-independent (the digest sorts), so the same matrix submitted
+    in any order resumes the same manifest.
+    """
+    digest = hashlib.sha256(
+        "|".join(sorted(job.cache_key() for job in jobs)).encode())
+    return digest.hexdigest()[:12]
+
+
+@dataclass
+class SweepManifest:
+    """One durable sweep description."""
+
+    sweep_id: str
+    jobs: List[SweepJob]
+    options: Dict[str, Any] = field(default_factory=dict)
+    created: float = 0.0
+    completed: bool = False
+
+    def path(self, directory: Optional[Path] = None) -> Path:
+        """The manifest's file under *directory* (default manifest dir)."""
+        return (directory or manifest_dir()) / f"{self.sweep_id}.json"
+
+
+def _write(manifest: SweepManifest, directory: Optional[Path] = None) -> Path:
+    """Atomically persist *manifest*; returns its path."""
+    directory = directory or manifest_dir()
+    payload = {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "sweep_id": manifest.sweep_id,
+        "created": manifest.created,
+        "completed": manifest.completed,
+        "options": manifest.options,
+        "jobs": jobs_to_wire(manifest.jobs),
+    }
+    path = manifest.path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(directory), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=1)
+    except BaseException:
+        os.unlink(tmp)
+        raise
+    os.replace(tmp, path)
+    return path
+
+
+def write_manifest(jobs: Sequence[SweepJob],
+                   options: Optional[Dict[str, Any]] = None,
+                   directory: Optional[Path] = None) -> SweepManifest:
+    """Persist a new (incomplete) manifest for *jobs* before running them.
+
+    Re-launching the identical matrix reuses the same id and simply
+    rewrites the manifest (still incomplete until :func:`mark_complete`).
+    """
+    manifest = SweepManifest(
+        sweep_id=sweep_id_for(jobs),
+        jobs=list(jobs),
+        options=dict(options or {}),
+        created=time.time(),
+    )
+    _write(manifest, directory)
+    return manifest
+
+
+def mark_complete(manifest: SweepManifest,
+                  directory: Optional[Path] = None) -> None:
+    """Flip *manifest* to completed and persist it."""
+    manifest.completed = True
+    _write(manifest, directory)
+
+
+def _load_path(path: Path) -> SweepManifest:
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+        if payload.get("schema") != MANIFEST_SCHEMA_VERSION:
+            raise ValueError(f"manifest schema {payload.get('schema')!r}")
+        return SweepManifest(
+            sweep_id=str(payload["sweep_id"]),
+            jobs=jobs_from_wire(payload["jobs"]),
+            options=dict(payload.get("options") or {}),
+            created=float(payload.get("created") or 0.0),
+            completed=bool(payload.get("completed")),
+        )
+    except Exception as exc:
+        quarantined = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantined)
+        except OSError:  # pragma: no cover - concurrent quarantine
+            pass
+        raise ManifestError(f"corrupt sweep manifest {path.name}: {exc}")
+
+
+def load_manifest(sweep_id: str,
+                  directory: Optional[Path] = None) -> SweepManifest:
+    """Load one manifest by id; raises :class:`ManifestError` if absent
+    or corrupt (corrupt files are quarantined to ``*.json.corrupt``)."""
+    path = (directory or manifest_dir()) / f"{sweep_id}.json"
+    if not path.is_file():
+        raise ManifestError(f"no sweep manifest {sweep_id!r} under "
+                            f"{path.parent}")
+    return _load_path(path)
+
+
+def list_manifests(directory: Optional[Path] = None) -> List[SweepManifest]:
+    """Every readable manifest, newest first (corrupt ones quarantined)."""
+    directory = directory or manifest_dir()
+    if not directory.is_dir():
+        return []
+    manifests = []
+    for path in directory.glob("*.json"):
+        try:
+            manifests.append(_load_path(path))
+        except ManifestError:
+            continue
+    manifests.sort(key=lambda m: m.created, reverse=True)
+    return manifests
+
+
+def latest_manifest(directory: Optional[Path] = None
+                    ) -> Optional[SweepManifest]:
+    """The most recent *incomplete* manifest, or None.
+
+    This is what a bare ``repro sweep --resume`` picks up: the sweep
+    that most recently started and never marked itself done.
+    """
+    for manifest in list_manifests(directory):
+        if not manifest.completed:
+            return manifest
+    return None

@@ -192,6 +192,12 @@ class SweepJob:
     #: worker) so the content-addressed cache key always matches what
     #: actually ran.
     sampling: Optional[Tuple[int, int, int]] = None
+    #: Durable checkpoint interval in committed instructions, or None
+    #: for no checkpointing (see :mod:`repro.checkpoint`).  Explicit-by-
+    #: value like ``sampling``: checkpoint boundaries drain the pipeline,
+    #: so the cadence is part of the result's identity and must never be
+    #: resolved from a worker's environment.
+    checkpoint: Optional[int] = None
 
     def build_config(self) -> ProcessorConfig:
         """Resolve the named configuration and apply every override."""
@@ -230,6 +236,11 @@ class SweepJob:
             # Only sampled jobs carry the field, so every pre-existing
             # full-detail cache entry keeps its key.
             fields["sampling"] = list(self.sampling)
+        if self.checkpoint is not None:
+            # Same back-compat pattern: full-detail checkpoint boundaries
+            # drain the pipeline, so the cadence changes the (still
+            # deterministic) schedule and therefore the result identity.
+            fields["checkpoint"] = self.checkpoint
         payload = json.dumps(fields, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()
 
@@ -248,6 +259,8 @@ class SweepJob:
         if self.sampling is not None:
             period, unit, warmup = self.sampling
             parts.append(f"sampled={period}x{unit}+{warmup}")
+        if self.checkpoint is not None:
+            parts.append(f"ckpt={self.checkpoint}")
         return "/".join(parts)
 
 
@@ -575,10 +588,15 @@ def _execute_job(job: SweepJob,
                                        warmup=warmup)
     else:
         sampling = False
+    # Checkpointing likewise: job.checkpoint or nothing (False blocks
+    # a worker's inherited REPRO_CHECKPOINT from skewing identity).
+    checkpoint_every: Any = (job.checkpoint if job.checkpoint is not None
+                             else False)
     result = run_simulation(job.build_config(), job.benchmark,
                             max_instructions=job.length,
                             config_name=job.label or job.config_name,
-                            warm=job.warm, sampling=sampling)
+                            warm=job.warm, sampling=sampling,
+                            checkpoint_every=checkpoint_every)
     return _result_to_payload(result), time.perf_counter() - start
 
 

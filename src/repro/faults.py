@@ -12,7 +12,13 @@ injection points that tests and the CI smoke job flip on:
 * ``slow_job`` — the job sleeps before simulating (exercises per-job
   wall-clock timeouts);
 * ``truncated_write`` — :class:`~repro.experiments.runner.ResultCache`
-  writes only a prefix of the entry (exercises corrupt-entry quarantine).
+  writes only a prefix of the entry (exercises corrupt-entry quarantine);
+* ``checkpoint_corrupt`` — :class:`~repro.checkpoint.CheckpointManager`
+  persists only a prefix of a snapshot (exercises checkpoint quarantine
+  and fall-back to the previous snapshot);
+* ``kill_mid_unit`` — the process dies with ``os._exit`` immediately
+  after durably storing its Nth checkpoint (exercises kill-and-resume;
+  ``attempts`` selects checkpoint ordinals here).
 
 Faults are configured through the ``REPRO_FAULTS`` environment variable
 so they propagate to ``multiprocessing`` pool workers without any shared
@@ -37,7 +43,8 @@ Each directive is a fault kind followed by ``key=value`` options:
 ``seconds``
     ``slow_job`` sleep duration (default 1.0).
 ``keep``
-    ``truncated_write`` fraction of the payload kept (default 0.5).
+    ``truncated_write`` / ``checkpoint_corrupt`` fraction of the payload
+    kept (default 0.5).
 
 Everything here is inert unless ``REPRO_FAULTS`` is set (or a plan is
 installed programmatically via :func:`install`), so production sweeps
@@ -58,6 +65,7 @@ FAULTS_ENV = "REPRO_FAULTS"
 
 KNOWN_KINDS = frozenset({
     "worker_exception", "worker_crash", "slow_job", "truncated_write",
+    "checkpoint_corrupt", "kill_mid_unit",
 })
 
 
@@ -183,6 +191,29 @@ class FaultPlan:
             if spec.kind == "truncated_write" and spec.applies(description):
                 return text[:max(1, int(len(text) * spec.keep))]
         return text
+
+    def on_checkpoint_write(self, description: str, data: bytes) -> bytes:
+        """Possibly mutate a checkpoint snapshot's pickled payload."""
+        for spec in self.specs:
+            if (spec.kind == "checkpoint_corrupt"
+                    and spec.applies(description)):
+                return data[:max(1, int(len(data) * spec.keep))]
+        return data
+
+    def on_checkpoint_stored(self, description: str, ordinal: int) -> None:
+        """Fire post-store faults after checkpoint *ordinal* is durable.
+
+        ``kill_mid_unit`` reuses the ``attempts`` selector as checkpoint
+        ordinals (the absolute store count for this run), so a resumed
+        run — whose next stores carry higher ordinals — does not
+        re-trigger the same kill.
+        """
+        for spec in self.specs:
+            if (spec.kind == "kill_mid_unit"
+                    and spec.applies(description, ordinal)):
+                # Same hard death as worker_crash: the snapshot just
+                # written is durable, nothing else gets flushed.
+                os._exit(23)
 
 
 #: Parsed-plan cache keyed by the raw env value (workers inherit the env).

@@ -89,6 +89,11 @@ class SamplingConfig:
             unit=int(os.environ.get(UNIT_ENV) or DEFAULT_UNIT),
             warmup=int(os.environ.get(WARMUP_ENV) or DEFAULT_WARMUP))
 
+    def as_tuple(self) -> tuple:
+        """``(period, unit, warmup)`` — the identity tuple cache keys
+        and checkpoint fingerprints embed."""
+        return (self.period, self.unit, self.warmup)
+
 
 def resolve_sampling(value: Union[None, bool, int, SamplingConfig]
                      ) -> Optional[SamplingConfig]:
@@ -119,7 +124,9 @@ def run_sampled(processor_config: ProcessorConfig,
                 benchmark: str,
                 warm: bool = True,
                 stream_key: Optional[StreamKey] = None,
-                pin: object = None) -> SimulationResult:
+                pin: object = None,
+                checkpoint_every: Optional[int] = None,
+                checkpoint_manager=None) -> SimulationResult:
     """Interval-sample *oracle* and extrapolate a full-run result.
 
     With ``warm=True`` the processor is first functionally warmed on the
@@ -128,12 +135,23 @@ def run_sampled(processor_config: ProcessorConfig,
     and gaps then maintain cache recency only; ``warm=False`` is the
     pure-SMARTS mode where gap warming alone trains the structures.
 
+    With a *checkpoint_manager* (see :mod:`repro.checkpoint`), the run
+    snapshots its state at measured-unit boundaries roughly every
+    *checkpoint_every* stream instructions and resumes from the newest
+    valid snapshot.  Sampled runs already restart the pipeline at every
+    window, so checkpointing is perturbation-free here: results are
+    bit-identical with checkpointing on, off, or resumed mid-stream.
+
     The returned result's extrapolated counters are *estimates* scaled
     from the measured windows; ``sampling.*`` entries (units, discarded
     warm-up cycles, CPI confidence half-width) are exact measurements.
     """
+    from repro import checkpoint as ckpt
+
     processor = Processor(processor_config, program, oracle, obs=None)
-    if warm:
+    snap = (checkpoint_manager.latest()
+            if checkpoint_manager is not None else None)
+    if snap is None and warm:
         if stream_key is not None:
             warm_from_snapshot(processor, oracle, stream_key, pin=pin)
         else:
@@ -163,8 +181,31 @@ def run_sampled(processor_config: ProcessorConfig,
     unit_insts: List[int] = []
     unit_cycles: List[int] = []
     measured_counters: Dict[str, float] = {}
+    start_ui = 0
+    last_ckpt = 0
 
-    for j in measured_units:
+    if snap is not None:
+        # Resume: processor state (predictors, caches, MSHRs, stats,
+        # now) comes from the snapshot; the loop accumulators ride in
+        # its ``extra`` payload.  The next iteration's restart_at
+        # supersedes the restore's re-entry point.
+        snap.restore(processor)
+        extra = snap.extra
+        start_ui = extra["ui"]
+        cursor = extra["cursor"]
+        gap_insts = extra["gap_insts"]
+        warmup_cycles = extra["warmup_cycles"]
+        warmup_insts = extra["warmup_insts"]
+        timeouts = extra["timeouts"]
+        unit_insts = list(extra["unit_insts"])
+        unit_cycles = list(extra["unit_cycles"])
+        measured_counters = dict(extra["measured_counters"])
+        warmer._seen_line = extra["seen_line"]
+        last_ckpt = cursor
+        ckpt.CHECKPOINT_STATS.add("checkpoint.resumed")
+
+    for ui in range(start_ui, len(measured_units)):
+        j = measured_units[ui]
         m_start = j * unit
         m_end = min(m_start + unit, total)
         w_start = max(m_start - sampling.warmup, cursor)
@@ -203,7 +244,32 @@ def run_sampled(processor_config: ProcessorConfig,
         unit_insts.append(m_end - m_start)
         unit_cycles.append(cycles)
         cursor = m_end
+
+        # Measured-unit boundaries are drained checkpoint seams already;
+        # capture is read-only, so storing perturbs nothing.
+        if (checkpoint_manager is not None and checkpoint_every
+                and ui + 1 < len(measured_units)
+                and cursor - last_ckpt >= checkpoint_every):
+            extra = {
+                "ui": ui + 1,
+                "cursor": cursor,
+                "gap_insts": gap_insts,
+                "warmup_cycles": warmup_cycles,
+                "warmup_insts": warmup_insts,
+                "timeouts": timeouts,
+                "unit_insts": list(unit_insts),
+                "unit_cycles": list(unit_cycles),
+                "measured_counters": dict(measured_counters),
+                "seen_line": warmer._seen_line,
+            }
+            checkpoint_manager.store(
+                ckpt.ProcessorSnapshot.capture(
+                    processor, checkpoint_manager.fingerprint, extra=extra),
+                ordinal=cursor // checkpoint_every)
+            last_ckpt = cursor
     # The trailing gap (after the last measured unit) warms nothing.
+    if checkpoint_manager is not None:
+        checkpoint_manager.clear()
 
     # SMARTS aggregation: CPI = mean of per-unit CPIs; 95% CLT interval.
     cpis = [c / i for c, i in zip(unit_cycles, unit_insts)]

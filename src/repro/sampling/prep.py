@@ -290,6 +290,26 @@ def _warm_digest(config: ProcessorConfig) -> str:
     return hashlib.sha256(repr(parts).encode()).hexdigest()[:16]
 
 
+def stream_fingerprint(key: StreamKey, program: Program) -> str:
+    """Stable *cross-process* identity for an oracle stream.
+
+    The in-process :data:`StreamKey` keys ad-hoc programs by object id,
+    which is meaningless to another process; durable artifacts (the
+    checkpoint store, see :mod:`repro.checkpoint`) need content identity
+    instead.  Suite benchmarks reuse the workload-spec digest that keys
+    the on-disk stream cache; ad-hoc programs hash their full text
+    segment (programs are static and small, and the digest is computed
+    once per run, not per instruction).
+    """
+    kind, ident, length = key
+    if kind == "bench":
+        return f"bench-{ident}-{_stream_digest(str(ident))}-{length}"
+    text = "|".join(repr(inst) for inst in program.instructions)
+    digest = hashlib.sha256(
+        f"{program.name}|{text}".encode()).hexdigest()[:12]
+    return f"program-{digest}-{length}"
+
+
 def warm_from_snapshot(processor: "Processor", oracle,
                        key: StreamKey, pin: object = None) -> None:
     """Warm *processor* by cloning a cached trained snapshot.
@@ -314,14 +334,7 @@ def warm_from_snapshot(processor: "Processor", oracle,
     else:
         _snapshots.move_to_end(cache_key)
 
-    processor.bimodal.adopt_state(snapshot.bimodal)
-    processor.trace_predictor.adopt_state(snapshot.trace_predictor)
-    processor.liveout_predictor.adopt_state(snapshot.liveout_predictor)
-    processor.memory.l1i.adopt_state(snapshot.memory.l1i)
-    processor.memory.l1d.adopt_state(snapshot.memory.l1d)
-    processor.memory.l2.adopt_state(snapshot.memory.l2)
-    if processor.trace_cache is not None:
-        processor.trace_cache.adopt_state(snapshot.trace_cache)
+    processor.adopt_warm_state(snapshot)
     # Same post-warming contract as warm_processor: clean stats, empty
     # speculative history (the snapshot's history is already empty, but
     # the explicit reset keeps the invariant obvious).

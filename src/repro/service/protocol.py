@@ -34,6 +34,10 @@ QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 ERROR = "error"
+#: The server went down with this submission in flight; a restarted
+#: server re-queues it (journal recovery), at which point it leaves
+#: this state again — so it is *not* terminal.
+INTERRUPTED = "interrupted"
 
 #: States a submission can never leave.
 TERMINAL_STATES = frozenset({DONE, ERROR})
@@ -66,6 +70,8 @@ def job_to_wire(job: SweepJob) -> Dict[str, Any]:
         payload["label"] = job.label
     if job.sampling is not None:
         payload["sampling"] = list(job.sampling)
+    if job.checkpoint is not None:
+        payload["checkpoint"] = job.checkpoint
     return payload
 
 
@@ -87,7 +93,8 @@ def job_from_wire(payload: Any) -> SweepJob:
         raise ProtocolError(f"job must be an object, got {type(payload).__name__}")
     unknown = set(payload) - {
         "config_name", "benchmark", "length", "total_l1_storage",
-        "predictor_entries", "overrides", "warm", "label", "sampling"}
+        "predictor_entries", "overrides", "warm", "label", "sampling",
+        "checkpoint"}
     if unknown:
         raise ProtocolError(f"unknown job field(s) {sorted(unknown)}")
     config_name = _require(payload, "config_name", str)
@@ -122,6 +129,11 @@ def job_from_wire(payload: Any) -> SweepJob:
                                 "(expected [period, unit, warmup])")
         sampling = tuple(sampling)
 
+    checkpoint = optional_int("checkpoint")
+    if checkpoint is not None and checkpoint <= 0:
+        raise ProtocolError(
+            f"job checkpoint interval must be positive, got {checkpoint}")
+
     warm = payload.get("warm", True)
     if not isinstance(warm, bool):
         raise ProtocolError("job field 'warm' must be a boolean")
@@ -139,6 +151,7 @@ def job_from_wire(payload: Any) -> SweepJob:
         warm=warm,
         label=label,
         sampling=sampling,
+        checkpoint=checkpoint,
     )
 
 

@@ -36,6 +36,19 @@ Endpoints::
     GET  /jobs/<id>/events      NDJSON stream of progress events
     GET  /results/<cache-key>   one result straight from memo/disk cache
     POST /shutdown              graceful stop (repro serve honours it)
+
+Durability: every submission lifecycle event is appended to a journal
+(``<cache dir>/service/journal.ndjson``, one flushed JSON line per
+event).  A restarted — or ``kill -9``'d and restarted — server replays
+the journal on :meth:`SweepService.start`: finished submissions keep
+answering ``GET /jobs/<id>`` (their results re-hydrate from the disk
+cache by key), and submissions that were queued, running, or marked
+``interrupted`` by a graceful shutdown are re-queued under their
+original ids — completed jobs come back from the cache and in-flight
+simulations restart from their latest durable checkpoint when the jobs
+carry one (see :mod:`repro.checkpoint`).  Result payloads are never
+journaled; the content-addressed :class:`ResultCache` already persists
+them, so the journal stays small and is compacted on every recovery.
 """
 
 from __future__ import annotations
@@ -44,10 +57,12 @@ import asyncio
 import functools
 import json
 import os
+import tempfile
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
@@ -94,6 +109,77 @@ class ServiceConfig:
     cache_dir: Optional[str] = None
     #: Cache size budget in bytes (None = ``REPRO_CACHE_BUDGET``).
     cache_budget: Optional[int] = None
+    #: Persist the job registry as an append-only journal and recover
+    #: it on start (False = the pre-durability in-memory behaviour).
+    journal: bool = True
+    #: Journal file override (None = ``<cache dir>/service/journal.ndjson``).
+    journal_path: Optional[str] = None
+
+
+class _Journal:
+    """Append-only NDJSON journal of submission lifecycle events.
+
+    One flushed line per event, so a crash loses at most the event being
+    written; replay tolerates a torn tail (and any unparseable line) by
+    skipping it.  :meth:`rewrite` compacts the file atomically — used on
+    recovery so the journal never grows across restarts.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._handle = None
+
+    def open(self) -> None:
+        """Open (creating parents) for appending."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def append(self, event: dict) -> None:
+        """Durably append one event (no-op before :meth:`open`)."""
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def replay(self) -> List[dict]:
+        """Every parseable event, in append order."""
+        if not self.path.is_file():
+            return []
+        events = []
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except ValueError:
+                    continue  # torn tail / corruption: skip, keep rest
+        return events
+
+    def rewrite(self, events: List[dict]) -> None:
+        """Atomically replace the journal's contents with *events*."""
+        was_open = self._handle is not None
+        self.close()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for event in events:
+                    handle.write(json.dumps(event, sort_keys=True) + "\n")
+        except BaseException:
+            os.unlink(tmp)
+            raise
+        os.replace(tmp, self.path)
+        if was_open:
+            self.open()
+
+    def close(self) -> None:
+        """Flush and release the append handle."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
 
 class JobRecord:
@@ -165,6 +251,7 @@ class SweepService:
         self._result_payloads: "OrderedDict[str, dict]" = OrderedDict()
         self._records: "OrderedDict[str, JobRecord]" = OrderedDict()
         self._seq = 0
+        self._journal: Optional[_Journal] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._changed: Optional[asyncio.Condition] = None
@@ -184,10 +271,24 @@ class SweepService:
         return self._server.sockets[0].getsockname()[1]
 
     async def start(self) -> None:
-        """Bind and start accepting connections (non-blocking)."""
+        """Bind and start accepting connections (non-blocking).
+
+        When journaling is enabled this first replays the journal —
+        recovering finished submissions and re-queueing interrupted
+        ones — *before* the listener binds, so no request ever observes
+        a half-recovered registry.
+        """
         self._loop = asyncio.get_running_loop()
         self._changed = asyncio.Condition()
         self._stopping = asyncio.Event()
+        if self.config.journal:
+            path = (Path(self.config.journal_path)
+                    if self.config.journal_path is not None
+                    else Path(self._cache.directory)
+                    / "service" / "journal.ndjson")
+            self._journal = _Journal(path)
+            self._recover()
+            self._journal.open()
         self._server = await asyncio.start_server(
             self._handle, self.config.host, self.config.port,
             limit=1 << 20)
@@ -204,15 +305,171 @@ class SweepService:
             self._loop.call_soon_threadsafe(self._stopping.set)
 
     async def close(self) -> None:
-        """Stop accepting, finish in-flight sweeps, release the pool."""
+        """Stop accepting, flush durable state, release the pool.
+
+        Live submissions are journaled as ``interrupted`` *before* the
+        executor drains, so a SIGTERM that outruns a long sweep still
+        leaves a durable record the next server re-queues.  A sweep
+        that does finish during the drain supersedes its interruption
+        with a ``done`` event (journal replay keeps the last word).
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        # Let running sweeps finish (they hold mp pools); nothing new
-        # can be submitted once the listener is down.
+        for record in self._records.values():
+            if record.state not in protocol.TERMINAL_STATES:
+                record.state = protocol.INTERRUPTED
+                record.events.append({"type": "state", "state": record.state})
+                self._journal_append({"event": "interrupted",
+                                      "id": record.id, "t": time.time()})
+                self.stats.add("service.interrupted")
+        # Let running sweeps finish (they hold mp pools) but drop any
+        # still-queued submissions; nothing new can be submitted once
+        # the listener is down.
         await asyncio.get_running_loop().run_in_executor(
-            None, functools.partial(self._executor.shutdown, wait=True))
+            None, functools.partial(self._executor.shutdown, wait=True,
+                                    cancel_futures=True))
+        await asyncio.sleep(0)  # drain completion callbacks just posted
+        if self._journal is not None:
+            self._journal.close()
+
+    # ------------------------------------------------------------------
+    # Journal + recovery
+
+    def _journal_append(self, event: dict) -> None:
+        """Best-effort durable append (a full disk must not kill jobs)."""
+        if self._journal is None:
+            return
+        try:
+            self._journal.append(event)
+        except OSError:
+            self.stats.add("service.journal_errors")
+
+    def _submit_event(self, record: JobRecord) -> dict:
+        return {
+            "event": "submit",
+            "id": record.id,
+            "t": record.submitted,
+            "jobs": protocol.jobs_to_wire(record.jobs),
+            "workers": record.workers,
+            "retries": record.retries,
+            "timeout": record.timeout,
+            "tag": record.tag,
+        }
+
+    def _done_event(self, record: JobRecord) -> dict:
+        return {
+            "event": "done",
+            "id": record.id,
+            "t": record.finished,
+            "executed": record.completed,
+            "cached": record.cached,
+            "failures": record.failures,
+            "stats": record.stats,
+        }
+
+    def _recover(self) -> None:
+        """Rebuild the registry from the journal, then re-queue live work.
+
+        Runs before the listener binds.  Terminal submissions come back
+        answering ``GET /jobs/<id>`` (payloads re-hydrate lazily from
+        the disk cache by key — the journal never stores results);
+        queued/running/interrupted ones are re-submitted to the
+        executor under their original ids, where completed jobs return
+        from the result cache and in-flight simulations resume from
+        their latest durable checkpoint.  The journal is compacted to
+        one summary per retained record so it never grows across
+        restarts.
+        """
+        assert self._journal is not None
+        for event in self._journal.replay():
+            kind = event.get("event")
+            record_id = event.get("id")
+            if not isinstance(record_id, str):
+                continue
+            if kind == "submit":
+                try:
+                    jobs = protocol.jobs_from_wire(event.get("jobs"))
+                except ProtocolError:
+                    continue  # unreadable job list: drop the record
+                record = JobRecord(
+                    record_id, jobs,
+                    event.get("workers"), event.get("retries"),
+                    event.get("timeout"), event.get("tag"))
+                record.submitted = float(event.get("t") or record.submitted)
+                self._records[record_id] = record
+                self._records.move_to_end(record_id)
+                continue
+            record = self._records.get(record_id)
+            if record is None:
+                continue
+            if kind == "running":
+                record.state = protocol.RUNNING
+                record.started = float(event.get("t") or 0) or None
+            elif kind == "done":
+                record.state = protocol.DONE
+                record.finished = float(event.get("t") or 0) or None
+                record.completed = int(event.get("executed") or 0)
+                record.cached = event.get("cached")
+                record.failures = list(event.get("failures") or [])
+                record.stats = dict(event.get("stats") or {})
+                record.keys = [job.cache_key() for job in record.jobs]
+                record.events.append({
+                    "type": "done",
+                    "total": len(record.jobs),
+                    "executed": record.completed,
+                    "cached": record.cached,
+                    "failures": len(record.failures),
+                })
+            elif kind == "error":
+                record.state = protocol.ERROR
+                record.finished = float(event.get("t") or 0) or None
+                record.error = str(event.get("message") or "sweep failed")
+                record.events.append({"type": "error",
+                                      "error": record.error})
+            elif kind == "interrupted":
+                record.state = protocol.INTERRUPTED
+        if not self._records:
+            return
+        if len(self._records) > MAX_RECORDS:
+            for stale_id in [rid for rid, rec in self._records.items()
+                             if rec.state in protocol.TERMINAL_STATES]:
+                if len(self._records) <= MAX_RECORDS:
+                    break
+                del self._records[stale_id]
+        for record_id in self._records:
+            prefix = record_id.split("-", 1)[0]
+            if prefix.isdigit():
+                self._seq = max(self._seq, int(prefix))
+        compacted = []
+        requeue = []
+        for record in self._records.values():
+            compacted.append(self._submit_event(record))
+            if record.state == protocol.DONE:
+                compacted.append(self._done_event(record))
+            elif record.state == protocol.ERROR:
+                compacted.append({"event": "error", "id": record.id,
+                                  "t": record.finished,
+                                  "message": record.error})
+            else:
+                record.state = protocol.QUEUED
+                record.started = None
+                record.finished = None
+                record.completed = 0
+                record.keys = None
+                record.events = [{"type": "state", "state": "requeued"}]
+                requeue.append(record)
+        try:
+            self._journal.rewrite(compacted)
+        except OSError:
+            self.stats.add("service.journal_errors")
+        self.stats.add("service.recovered_records", len(self._records))
+        assert self._loop is not None
+        for record in requeue:
+            self.stats.add("service.requeued")
+            self._loop.run_in_executor(self._executor,
+                                       self._run_record, record)
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -374,6 +631,7 @@ class SweepService:
             del self._records[stale_id]
         self.stats.add("service.submissions")
         self.stats.add("service.jobs_submitted", len(jobs))
+        self._journal_append(self._submit_event(record))
         assert self._loop is not None
         self._loop.run_in_executor(self._executor, self._run_record, record)
         await self._respond(writer, 202, {
@@ -433,6 +691,8 @@ class SweepService:
         record.started = time.time()
         record.keys = keys
         record.events.append({"type": "state", "state": record.state})
+        self._journal_append({"event": "running", "id": record.id,
+                              "t": record.started})
         self._broadcast()
 
     def _note_progress(self, record: JobRecord, event: dict) -> None:
@@ -475,6 +735,7 @@ class SweepService:
         self.stats.add("service.jobs_completed", len(record.jobs))
         if failures:
             self.stats.add("service.job_failures", len(failures))
+        self._journal_append(self._done_event(record))
         self._broadcast()
 
     def _mark_error(self, record: JobRecord, message: str) -> None:
@@ -483,6 +744,8 @@ class SweepService:
         record.error = message
         record.events.append({"type": "error", "error": message})
         self.stats.add("service.sweep_errors")
+        self._journal_append({"event": "error", "id": record.id,
+                              "t": record.finished, "message": message})
         self._broadcast()
 
     def _broadcast(self) -> None:
@@ -506,10 +769,58 @@ class SweepService:
     def _record_or_404(self, record_id: str) -> Optional[JobRecord]:
         return self._records.get(record_id)
 
+    async def _ensure_payloads(self, record: JobRecord) -> None:
+        """Re-hydrate a finished submission's results from the cache.
+
+        A journal-recovered record knows its cache keys but not its
+        payloads (results are never journaled); load them memo-first,
+        disk-second.  Jobs whose cached result was evicted stay None.
+        """
+        if (record.state != protocol.DONE or record.payloads is not None
+                or record.keys is None):
+            return
+        assert self._loop is not None
+        payloads: List[Optional[dict]] = []
+        for key in record.keys:
+            payload = self._result_payloads.get(key)
+            if payload is None:
+                result = await self._loop.run_in_executor(
+                    None, functools.partial(self._cache.load, key))
+                if result is not None:
+                    payload = _result_to_payload(result)
+                    self._memoize_result(key, payload)
+            payloads.append(payload)
+        record.payloads = payloads
+        self.stats.add("service.results_recovered",
+                       sum(1 for p in payloads if p is not None))
+
     async def _handle_status(self, record_id: str, query: dict,
                              writer: asyncio.StreamWriter) -> None:
         record = self._record_or_404(record_id)
         if record is None:
+            # Unknown id (forgotten record, pre-journal restart) but a
+            # well-formed cache key: fall back to the disk cache so a
+            # client holding a job key is never stranded by a restart.
+            if len(record_id) == 64 and set(record_id) <= _HEX:
+                payload = self._result_payloads.get(record_id)
+                if payload is None:
+                    assert self._loop is not None
+                    result = await self._loop.run_in_executor(
+                        None, functools.partial(self._cache.load,
+                                                record_id))
+                    if result is not None:
+                        payload = _result_to_payload(result)
+                        self._memoize_result(record_id, payload)
+                if payload is not None:
+                    self.stats.add("service.status_cache_fallbacks")
+                    await self._respond(writer, 200, {
+                        "id": record_id,
+                        "state": protocol.DONE,
+                        "source": "cache",
+                        "keys": [record_id],
+                        "results": [payload],
+                    })
+                    return
             await self._respond(writer, 404, {
                 "error": f"unknown job id {record_id!r}"})
             return
@@ -533,6 +844,8 @@ class SweepService:
                 except asyncio.TimeoutError:
                     break
         include_results = query.get("results") in ("1", "true", "yes")
+        if include_results:
+            await self._ensure_payloads(record)
         await self._respond(writer, 200,
                             record.snapshot(include_results))
 

@@ -128,6 +128,27 @@ class StatsCollector:
     # ``clear`` mirrors the dict/set vocabulary.
     clear = reset
 
+    def state(self) -> Tuple[Dict[str, float], frozenset, frozenset]:
+        """A picklable snapshot of the collector's complete state.
+
+        Unlike :meth:`as_dict`, the snapshot preserves the gauge /
+        high-water classification, so :meth:`restore_state` rebuilds a
+        collector whose future :meth:`merge` behaviour is identical —
+        the contract checkpoint/restore depends on.
+        """
+        return (dict(self._counters), frozenset(self._gauges),
+                frozenset(self._highwater))
+
+    def restore_state(
+        self, state: Tuple[Dict[str, float], frozenset, frozenset],
+    ) -> None:
+        """Replace all state with a snapshot taken by :meth:`state`."""
+        counters, gauges, highwater = state
+        self._counters.clear()
+        self._counters.update(counters)
+        self._gauges = set(gauges)
+        self._highwater = set(highwater)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StatsCollector({len(self._counters)} counters)"
 
@@ -197,3 +218,15 @@ class ThreadSafeStatsCollector(StatsCollector):
         """All counters under ``prefix.`` from one consistent snapshot."""
         with self._lock:
             return super().with_prefix(prefix)
+
+    def state(self) -> Tuple[Dict[str, float], frozenset, frozenset]:
+        """One consistent picklable snapshot of the complete state."""
+        with self._lock:
+            return super().state()
+
+    def restore_state(
+        self, state: Tuple[Dict[str, float], frozenset, frozenset],
+    ) -> None:
+        """Replace all state with a snapshot (atomically)."""
+        with self._lock:
+            super().restore_state(state)

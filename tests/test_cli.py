@@ -203,3 +203,68 @@ class TestObservabilityCommands:
         assert len(payload["results"]) == 1
         assert payload["failures"] == []
         assert payload["summary"]["sweep.jobs"] == 1
+
+
+class TestDurableSweepCli:
+    def test_parser_checkpoint_and_resume_flags(self):
+        args = build_parser().parse_args(["sweep", "--checkpoint", "500"])
+        assert args.checkpoint == 500 and args.resume is None
+        args = build_parser().parse_args(["sweep", "--resume"])
+        assert args.resume == "latest"
+        args = build_parser().parse_args(["sweep", "--resume", "cafe12"])
+        assert args.resume == "cafe12"
+        args = build_parser().parse_args(["run", "w16", "gzip",
+                                          "--checkpoint", "500"])
+        assert args.checkpoint == 500
+
+    def test_parser_serve_journal_flags(self):
+        args = build_parser().parse_args(["serve"])
+        assert not args.no_journal and args.journal_path is None
+        args = build_parser().parse_args(["serve", "--no-journal",
+                                          "--journal-path", "j.ndjson"])
+        assert args.no_journal and args.journal_path == "j.ndjson"
+
+    def test_sweep_writes_manifest_and_resumes(self, capsys, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ["sweep", "--configs", "w16", "--benchmarks", "gzip",
+                "-n", "1500", "--checkpoint", "600", "--workers", "1"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "resume with: repro sweep --resume" in out
+        sweep_id = out.split("sweep ")[1].split()[0]
+        assert (tmp_path / "sweeps" / f"{sweep_id}.json").exists()
+
+        # Explicit resume of the (completed) sweep serves from cache.
+        assert main(["sweep", "--resume", sweep_id]) == 0
+        out = capsys.readouterr().out
+        assert f"resuming sweep {sweep_id}" in out
+        assert "executed      0" in out
+        assert "disk hits     1" in out
+
+    def test_bare_resume_with_nothing_incomplete_fails(self, capsys,
+                                                       tmp_path,
+                                                       monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["sweep", "--configs", "w16", "--benchmarks", "gzip",
+                     "-n", "1500", "--workers", "1"]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--resume"]) == 1
+        assert "no incomplete sweep" in capsys.readouterr().err
+
+    def test_resume_unknown_id_fails(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["sweep", "--resume", "feedfacecafe"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_checkpoint_resumable_output_matches(self, capsys,
+                                                     tmp_path,
+                                                     monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "ck"))
+        argv = ["run", "w16", "gzip", "-n", "1500", "--json",
+                "--checkpoint", "600"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        assert json.loads(capsys.readouterr().out) == first

@@ -337,3 +337,189 @@ class TestServiceClientErrors:
         with pytest.raises(ServiceError) as excinfo:
             asyncio.run(go())
         assert excinfo.value.status is None
+
+
+class TestDurability:
+    """Journal-backed recovery: the registry survives server restarts."""
+
+    @staticmethod
+    def _config_kwargs(tmp_path):
+        return {"sweep_workers": 1,
+                "cache_dir": str(tmp_path / "svc_cache")}
+
+    def _restarted_pair(self, tmp_path, first, second, **extra):
+        """Run *first* against one server, then *second* against a new
+        server over the same cache dir (a simulated restart)."""
+        kwargs = dict(self._config_kwargs(tmp_path), **extra)
+
+        async def main():
+            service = SweepService(ServiceConfig(port=0, **kwargs))
+            await service.start()
+            client = ServiceClient(port=service.port, timeout=120.0)
+            try:
+                carried = await first(service, client)
+            finally:
+                service.request_shutdown()
+                await service.serve_forever()
+            reborn = SweepService(ServiceConfig(port=0, **kwargs))
+            await reborn.start()
+            client = ServiceClient(port=reborn.port, timeout=120.0)
+            try:
+                return await second(reborn, client, carried)
+            finally:
+                reborn.request_shutdown()
+                await reborn.serve_forever()
+
+        return asyncio.run(main())
+
+    def test_finished_submission_survives_restart(self, tmp_path):
+        jobs = [SweepJob("w16", "gzip", LENGTH)]
+
+        async def first(service, client):
+            record = await client.submit(jobs, workers=1)
+            final = await client.wait(record["id"], deadline=300)
+            return record["id"], final
+
+        async def second(service, client, carried):
+            record_id, final = carried
+            assert service.stats.get("service.recovered_records") >= 1
+            snapshot = await client.status(record_id, results=True)
+            return final, snapshot
+
+        final, snapshot = self._restarted_pair(tmp_path, first, second)
+        assert snapshot["state"] == protocol.DONE
+        assert snapshot["keys"] == final["keys"]
+        # Results re-hydrate from the disk cache by key, bit-identical.
+        assert json.loads(json.dumps(snapshot["results"])) \
+            == json.loads(json.dumps(final["results"]))
+
+    def test_interrupted_submission_requeued_on_restart(self, tmp_path):
+        """A submission the old server never finished (journal shows
+        submit+running, as after a ``kill -9``) runs again under its
+        original id on the next server."""
+        import time as _time
+        from pathlib import Path
+
+        from repro.service.server import _Journal
+
+        jobs = [SweepJob("w16", "gzip", LENGTH)]
+        cache_dir = Path(tmp_path / "svc_cache")
+        journal = _Journal(cache_dir / "service" / "journal.ndjson")
+        journal.open()
+        journal.append({"event": "submit", "id": "000007-abcdef",
+                        "t": _time.time(),
+                        "jobs": [job_to_wire(job) for job in jobs],
+                        "workers": 1, "retries": None, "timeout": None,
+                        "tag": "orphan"})
+        journal.append({"event": "running", "id": "000007-abcdef",
+                        "t": _time.time()})
+        journal.close()
+
+        async def scenario(service, client):
+            assert service.stats.get("service.requeued") == 1
+            final = await client.wait("000007-abcdef", deadline=300)
+            return final, service.stats.get("service.recovered_records")
+
+        final, recovered = with_service(
+            tmp_path, scenario, cache_dir=str(cache_dir))
+        assert final["state"] == protocol.DONE
+        assert final["failures"] == []
+        assert recovered == 1
+
+    def test_unknown_id_falls_back_to_cache_key(self, tmp_path):
+        """GET /jobs/<key> for a forgotten record (no journal) still
+        answers from the disk cache."""
+        job = SweepJob("w16", "gzip", LENGTH)
+
+        async def first(service, client):
+            record = await client.submit([job], workers=1)
+            await client.wait(record["id"], deadline=300)
+            return record["id"]
+
+        async def second(service, client, old_id):
+            # No journal: the record id really is gone...
+            with pytest.raises(ServiceError) as excinfo:
+                await client.status(old_id)
+            assert excinfo.value.status == 404
+            # ...but the content-addressed key still resolves.
+            return await client.status(job.cache_key(), results=True)
+
+        snapshot = self._restarted_pair(tmp_path, first, second,
+                                        journal=False)
+        assert snapshot["state"] == protocol.DONE
+        assert snapshot["source"] == "cache"
+        assert snapshot["results"][0]["counters"]["sim.committed"] > 0
+
+    def test_no_journal_mode_writes_nothing(self, tmp_path):
+        from pathlib import Path
+
+        async def scenario(service, client):
+            record = await client.submit([SweepJob("w16", "gzip", LENGTH)],
+                                         workers=1)
+            await client.wait(record["id"], deadline=300)
+
+        with_service(tmp_path, scenario, journal=False)
+        assert not (Path(tmp_path / "svc_cache") / "service").exists()
+
+    def test_journal_compacts_on_recovery(self, tmp_path):
+        from pathlib import Path
+
+        jobs = [SweepJob("w16", "gzip", LENGTH)]
+        path = Path(tmp_path / "svc_cache") / "service" / "journal.ndjson"
+
+        async def first(service, client):
+            record = await client.submit(jobs, workers=1)
+            await client.wait(record["id"], deadline=300)
+            return len(path.read_text().splitlines())
+
+        async def second(service, client, lines_before):
+            # submit + running + done, compacted to submit + done.
+            return lines_before, len(path.read_text().splitlines())
+
+        before, after = self._restarted_pair(tmp_path, first, second)
+        assert before == 3
+        assert after == 2
+
+    def test_torn_journal_tail_is_skipped(self, tmp_path):
+        import time as _time
+        from pathlib import Path
+
+        from repro.service.server import _Journal
+
+        cache_dir = Path(tmp_path / "svc_cache")
+        journal = _Journal(cache_dir / "service" / "journal.ndjson")
+        journal.open()
+        journal.append({"event": "submit", "id": "000003-aaaaaa",
+                        "t": _time.time(),
+                        "jobs": [job_to_wire(SweepJob("w16", "gzip",
+                                                      LENGTH))],
+                        "workers": 1, "retries": None, "timeout": None,
+                        "tag": None})
+        journal.close()
+        with open(journal.path, "a") as handle:
+            handle.write('{"event": "done", "id": "000003-a')  # torn
+
+        async def scenario(service, client):
+            final = await client.wait("000003-aaaaaa", deadline=300)
+            return final
+
+        final = with_service(tmp_path, scenario, cache_dir=str(cache_dir))
+        assert final["state"] == protocol.DONE
+
+
+class TestProtocolCheckpoint:
+    def test_checkpoint_round_trips(self):
+        job = SweepJob("w16", "gzip", LENGTH, checkpoint=500)
+        decoded = job_from_wire(json.loads(json.dumps(job_to_wire(job))))
+        assert decoded == job
+        assert decoded.cache_key() == job.cache_key()
+
+    def test_unset_checkpoint_stays_off_the_wire(self):
+        assert "checkpoint" not in job_to_wire(SweepJob("w16", "gzip",
+                                                        LENGTH))
+
+    @pytest.mark.parametrize("value", [0, -100, True, "soon", 1.5])
+    def test_bad_checkpoint_rejected(self, value):
+        with pytest.raises(ProtocolError):
+            job_from_wire({"config_name": "w16", "benchmark": "gzip",
+                           "length": LENGTH, "checkpoint": value})

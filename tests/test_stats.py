@@ -271,3 +271,56 @@ class TestThreadSafeStatsCollector:
         stats.add("y")
         stats.clear()
         assert stats.as_dict() == {}
+
+
+class TestStateRoundTrip:
+    """``state()``/``restore_state()`` — the checkpoint serialization
+    seam: a restored collector must be indistinguishable, gauge and
+    high-water semantics included."""
+
+    def _populated(self, cls):
+        stats = cls()
+        stats.add("counter", 5)
+        stats.set("gauge", 7)
+        stats.maximum("peak", 3)
+        return stats
+
+    def test_round_trip_preserves_semantics(self):
+        from repro.stats import StatsCollector
+
+        donor = self._populated(StatsCollector)
+        clone = StatsCollector()
+        clone.restore_state(donor.state())
+        assert clone.as_dict() == donor.as_dict()
+        # Gauge/high-water behaviour survives the round trip.
+        clone.set("gauge", 2)
+        assert clone.get("gauge") == 2
+        clone.maximum("peak", 1)
+        assert clone.get("peak") == 3
+
+    def test_state_is_a_snapshot_not_a_view(self):
+        from repro.stats import StatsCollector
+
+        donor = self._populated(StatsCollector)
+        state = donor.state()
+        donor.add("counter", 100)
+        clone = StatsCollector()
+        clone.restore_state(state)
+        assert clone.get("counter") == 5
+
+    def test_thread_safe_round_trip(self):
+        from repro.stats import StatsCollector, ThreadSafeStatsCollector
+
+        donor = self._populated(ThreadSafeStatsCollector)
+        clone = StatsCollector()
+        clone.restore_state(donor.state())
+        assert clone.as_dict() == donor.as_dict()
+
+    def test_restore_overwrites_existing_state(self):
+        from repro.stats import StatsCollector
+
+        target = StatsCollector()
+        target.add("stale", 9)
+        target.restore_state(self._populated(StatsCollector).state())
+        assert "stale" not in target
+        assert target.get("counter") == 5
