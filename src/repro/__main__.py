@@ -20,6 +20,10 @@ Subcommands:
   Chrome trace-event JSON for Perfetto / ``chrome://tracing``;
 * ``profile`` — attribute the simulator's own wall-clock to pipeline
   phases (self-profiling);
+* ``attach`` — live view of a running simulation or service job
+  (``REPRO_LIVE=1`` runs publish telemetry; attach by status-file path,
+  pid, or job id with ``--server``); ``--once --json`` prints one
+  schema-validated snapshot for scripts and CI;
 * ``bench-info`` — show the synthetic suite's characteristics (Table 2);
 * ``serve`` — run the long-lived async sweep job server
   (:mod:`repro.service`): submit/poll/stream jobs over HTTP, cached
@@ -33,6 +37,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
 
@@ -138,11 +143,16 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     obs = _make_observability(args)
     uop_log = [] if args.pipeview is not None else None
+    live = None
+    if args.live is not None:
+        from repro.config import LiveConfig
+        live = (LiveConfig() if args.live is True
+                else LiveConfig(path=args.live))
     result = run_simulation(args.config, args.benchmark,
                             max_instructions=args.instructions,
                             warm=not args.cold, observability=obs,
                             uop_log=uop_log, sampling=_sampling_arg(args),
-                            checkpoint_every=args.checkpoint)
+                            checkpoint_every=args.checkpoint, live=live)
     traces = ([UopTrace.from_uop(uop) for uop in uop_log]
               if uop_log is not None else [])
     if args.json:
@@ -189,6 +199,58 @@ def cmd_figure(args: argparse.Namespace) -> int:
     from repro import experiments
     print(FIGURES[args.name](experiments))
     return 0
+
+
+def _attach_sweep(sweep, fleet, out):
+    """Run *sweep* on a worker thread while rendering the fleet table.
+
+    On a TTY the table redraws in place (ANSI cursor-up); on a pipe or
+    in CI it degrades to one summary line whenever the fleet counts
+    change, so logs stay readable.
+    """
+    import threading
+
+    from repro.obs.attach import render_fleet_lines
+
+    box = {}
+
+    def run():
+        try:
+            box["report"] = sweep()
+        except BaseException as exc:  # re-raised on the main thread
+            box["error"] = exc
+
+    thread = threading.Thread(target=run, name="repro-sweep", daemon=True)
+    thread.start()
+    tty = out.isatty()
+    printed = 0
+    last_counts = None
+    while True:
+        thread.join(timeout=0.5)
+        alive = thread.is_alive()
+        snapshot = fleet.snapshot("running" if alive else "done")
+        if tty:
+            lines = render_fleet_lines(snapshot, fleet.history(),
+                                       width=100)
+            if printed:
+                out.write(f"\x1b[{printed}A\x1b[J")
+            out.write("\n".join(lines) + "\n")
+            out.flush()
+            printed = len(lines)
+        else:
+            counts = (snapshot["jobs_done"], snapshot["cache_hits"],
+                      snapshot["jobs_failed"], snapshot["retries"],
+                      snapshot["state"])
+            if counts != last_counts:
+                last_counts = counts
+                lines = render_fleet_lines(snapshot, [], width=100)
+                out.write(lines[1] + "\n")
+                out.flush()
+        if not alive:
+            break
+    if "error" in box:
+        raise box["error"]
+    return box["report"]
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -248,18 +310,44 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               f"(resume with: repro sweep --resume {manifest.sweep_id})",
               flush=True, file=progress_out)
 
+    # Fleet telemetry: on for --attach / --live, or ambiently via
+    # REPRO_LIVE — same knobs as a single run, sweep-shaped snapshots.
+    from repro.config import LiveConfig
+    if args.attach or args.live is not None:
+        live_config = (LiveConfig() if args.live in (None, True)
+                       else LiveConfig(path=args.live))
+    else:
+        live_config = LiveConfig.from_env()
+    fleet = None
+    if live_config is not None:
+        from repro.obs.live import SweepFleet
+        fleet = SweepFleet(live_config, len(jobs), tag=manifest.sweep_id)
+        fleet.publish()  # jobs_total visible to attach before any event
+        print(f"fleet telemetry: repro attach {fleet.path}",
+              flush=True, file=progress_out)
+
     done = [0]
     # Progress goes to stderr under --json so stdout stays parseable.
 
     def progress(job, result, seconds):
         done[0] += 1
-        print(f"  [{done[0]}/{len(jobs)}] {job.describe():40} "
-              f"IPC={result.ipc:.2f}  ({seconds:.1f}s)",
-              flush=True, file=progress_out)
+        if fleet is not None:
+            fleet.note_done(job, result, seconds)
+        if not args.attach:
+            print(f"  [{done[0]}/{len(jobs)}] {job.describe():40} "
+                  f"IPC={result.ipc:.2f}  ({seconds:.1f}s)",
+                  flush=True, file=progress_out)
 
-    report = run_sweep(jobs, workers=args.workers, cache=cache,
-                       progress=progress, retries=args.retries,
-                       timeout=args.timeout)
+    sweep = functools.partial(
+        run_sweep, jobs, workers=args.workers, cache=cache,
+        progress=progress, retries=args.retries, timeout=args.timeout,
+        observer=None if fleet is None else fleet.observe)
+    if args.attach:
+        report = _attach_sweep(sweep, fleet, progress_out)
+    else:
+        report = sweep()
+    if fleet is not None:
+        fleet.publish_final()
     if not report.failures:
         # Failed sweeps stay incomplete so ``--resume`` retries them.
         manifests.mark_complete(manifest)
@@ -316,6 +404,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
     print(f"wrote {args.output}: {events} trace events "
           f"({obs.tracer.dropped} dropped at the {args.limit} cap)")
     print("load it in https://ui.perfetto.dev or chrome://tracing")
+    if obs.tracer.dropped:
+        print(f"warning: trace truncated — {obs.tracer.dropped} event(s) "
+              f"dropped at the {args.limit}-event cap; re-run with a "
+              f"higher --limit or fewer instructions for a complete trace",
+              file=sys.stderr)
     return 0
 
 
@@ -345,6 +438,41 @@ def cmd_profile(args: argparse.Namespace) -> int:
         print()
         print(obs.metrics.summary_text())
     return 0
+
+
+def cmd_attach(args: argparse.Namespace) -> int:
+    """Attach a live view to a running simulation or service job."""
+    import time
+
+    from repro.obs import attach as attach_mod
+
+    server = _parse_server(args.server) if args.server else None
+    try:
+        source = attach_mod.resolve_source(args.target, server=server)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not args.once:
+        return attach_mod.run_tui(source, interval=args.interval)
+    deadline = time.monotonic() + args.wait
+    while True:
+        snapshot, problems = attach_mod.snapshot_once(source)
+        if snapshot is not None:
+            break
+        if time.monotonic() >= deadline:
+            print(f"no telemetry at {source.describe} — is the run "
+                  f"using REPRO_LIVE=1?", file=sys.stderr)
+            source.close()
+            return 2
+        time.sleep(0.2)
+    source.close()
+    for problem in problems:
+        print(f"schema: {problem}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print("\n".join(attach_mod.render_lines(snapshot, [snapshot])))
+    return 3 if problems else 0
 
 
 def _parse_server(text: str):
@@ -552,6 +680,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a durable resume checkpoint every N "
                             "committed instructions (default: "
                             "REPRO_CHECKPOINT or off)")
+    run_p.add_argument("--live", nargs="?", const=True, default=None,
+                       metavar="PATH",
+                       help="publish live telemetry for 'repro attach' "
+                            "(to PATH, or the default .repro_live/ "
+                            "status file; also REPRO_LIVE=1)")
     _add_sampling_flags(run_p)
     run_p.set_defaults(func=cmd_run)
 
@@ -590,6 +723,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-job wall-clock timeout in seconds; "
                               "0 disables "
                               "(default: REPRO_JOB_TIMEOUT or none)")
+    sweep_p.add_argument("--attach", action="store_true",
+                         help="render a live fleet table (job states, "
+                              "cache hits, retries, ETA) while the "
+                              "sweep runs")
+    sweep_p.add_argument("--live", nargs="?", const=True, metavar="PATH",
+                         default=None,
+                         help="publish fleet telemetry for repro attach "
+                              "(optional status-file PATH; REPRO_LIVE=1 "
+                              "also enables it)")
     sweep_p.add_argument("--json", action="store_true",
                          help="emit results and summary as JSON "
                               "(progress goes to stderr)")
@@ -639,6 +781,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the result, profile and metrics as "
                              "JSON")
     prof_p.set_defaults(func=cmd_profile)
+
+    attach_p = sub.add_parser(
+        "attach",
+        help="live view of a running simulation or service job")
+    attach_p.add_argument("target",
+                          help="status-file path, pid of a REPRO_LIVE "
+                               "run, or job id (with --server)")
+    attach_p.add_argument("--server", default=None, metavar="HOST:PORT",
+                          help="attach to a job on a running job server")
+    attach_p.add_argument("--once", action="store_true",
+                          help="print the newest snapshot and exit "
+                               "instead of opening the TUI")
+    attach_p.add_argument("--json", action="store_true",
+                          help="with --once: emit the snapshot as JSON")
+    attach_p.add_argument("--wait", type=float, default=0.0, metavar="S",
+                          help="with --once: wait up to S seconds for a "
+                               "first snapshot (default 0)")
+    attach_p.add_argument("--interval", type=float, default=0.5,
+                          metavar="S",
+                          help="TUI refresh interval in seconds "
+                               "(default 0.5)")
+    attach_p.set_defaults(func=cmd_attach)
 
     serve_p = sub.add_parser(
         "serve",

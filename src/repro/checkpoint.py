@@ -53,6 +53,7 @@ import hashlib
 import itertools
 import os
 import pickle
+import time
 from pathlib import Path
 from typing import Callable, List, Optional, Tuple
 
@@ -81,8 +82,11 @@ CHECKPOINT_VERSION = 1
 #: Process-wide checkpoint observability (thread-safe: the job server's
 #: executor threads run checkpointed simulations concurrently).  Counts
 #: ``checkpoint.stored`` / ``loaded`` / ``resumed`` / ``corrupt`` /
-#: ``fallback`` / ``pruned`` — deliberately *not* on ``processor.stats``,
-#: which must stay bit-identical across kill/resume.
+#: ``fallback`` / ``pruned`` plus the overhead gauges
+#: ``checkpoint.store_seconds`` / ``load_seconds`` / ``bytes`` (so
+#: durable-run cost shows up in sweep reports) — deliberately *not* on
+#: ``processor.stats``, which must stay bit-identical across
+#: kill/resume.
 CHECKPOINT_STATS = ThreadSafeStatsCollector()
 
 #: Unique tmp-name sequence (same discipline as ``ResultCache``).
@@ -264,6 +268,7 @@ class CheckpointManager:
         fires on it *after* the rename, so the snapshot an injected kill
         leaves behind is always durable.
         """
+        t0 = time.perf_counter()
         data = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
         plan = faults.active_plan()
         if plan is not None:
@@ -281,6 +286,9 @@ class CheckpointManager:
                 pass
             return None
         CHECKPOINT_STATS.add("checkpoint.stored")
+        CHECKPOINT_STATS.add("checkpoint.bytes", len(data))
+        CHECKPOINT_STATS.add("checkpoint.store_seconds",
+                             time.perf_counter() - t0)
         self._prune()
         if plan is not None and ordinal is not None:
             plan.on_checkpoint_stored(self.description, ordinal)
@@ -297,6 +305,7 @@ class CheckpointManager:
         """
         newest = True
         for index, path in self._candidates():
+            t0 = time.perf_counter()
             try:
                 with open(path, "rb") as handle:
                     snap = pickle.load(handle)
@@ -311,6 +320,8 @@ class CheckpointManager:
                 newest = False
                 continue
             CHECKPOINT_STATS.add("checkpoint.loaded")
+            CHECKPOINT_STATS.add("checkpoint.load_seconds",
+                                 time.perf_counter() - t0)
             if not newest:
                 CHECKPOINT_STATS.add("checkpoint.fallback")
             return snap
@@ -371,7 +382,8 @@ class CheckpointManager:
 
 def run_checkpointed(processor, every: int, manager: CheckpointManager,
                      max_cycles: Optional[int] = None,
-                     warm_cb: Optional[Callable[[], None]] = None):
+                     warm_cb: Optional[Callable[[], None]] = None,
+                     live=None):
     """Drive a full-detail run in checkpointed segments.
 
     Resumes from the newest valid snapshot when one exists (skipping
@@ -383,7 +395,9 @@ def run_checkpointed(processor, every: int, manager: CheckpointManager,
     Finishes with the same ``sim.*`` counter contract as
     :meth:`~repro.core.processor.Processor.run`; *max_cycles* bounds
     each segment rather than the whole run.  On completion the run's
-    snapshots are cleared.
+    snapshots are cleared.  A *live* publisher (usually the same one
+    attached to the processor) is told each stored ordinal so attach
+    clients see checkpoint progress.
     """
     snapshot = manager.latest()
     if snapshot is not None:
@@ -403,6 +417,8 @@ def run_checkpointed(processor, every: int, manager: CheckpointManager,
         manager.store(ProcessorSnapshot.capture(processor,
                                                 manager.fingerprint),
                       ordinal=processor.committed // every)
+        if live is not None:
+            live.note_checkpoint(processor.committed // every)
         processor.restart_at(processor.committed)
     processor.stamp_summary(timed_out=timed_out)
     if not timed_out:

@@ -274,6 +274,11 @@ OBS_TRACE_ENV = "REPRO_OBS_TRACE"
 OBS_TRACE_LIMIT_ENV = "REPRO_OBS_TRACE_LIMIT"
 OBS_PROFILE_ENV = "REPRO_OBS_PROFILE"
 
+#: Environment knobs for :class:`LiveConfig.from_env` (live telemetry).
+LIVE_ENV = "REPRO_LIVE"
+LIVE_PATH_ENV = "REPRO_LIVE_PATH"
+LIVE_EVERY_ENV = "REPRO_LIVE_EVERY"
+
 #: Hot-path fast paths (decoded-uop cache, fragment walk cache); see
 #: :mod:`repro.perf`.  On by default; ``REPRO_FAST=0`` selects the
 #: reference loop the golden-parity test compares against.
@@ -310,6 +315,9 @@ ENV_KNOBS: Dict[str, str] = {
     "REPRO_CHECKPOINT": "durable checkpoint interval in instructions",
     "REPRO_CHECKPOINT_DIR": "checkpoint directory override",
     "REPRO_CHECKPOINT_KEEP": "checkpoints retained per run",
+    "REPRO_LIVE": "live telemetry publisher (1 = on)",
+    "REPRO_LIVE_PATH": "live telemetry status-file path override",
+    "REPRO_LIVE_EVERY": "live telemetry snapshot cadence in cycles",
 }
 
 
@@ -368,6 +376,47 @@ class ObservabilityConfig:
             trace_path=None if (truthy or not trace_value) else trace_value,
             profile=bool(os.environ.get(OBS_PROFILE_ENV)),
         )
+
+
+@dataclass(frozen=True)
+class LiveConfig:
+    """Live telemetry publisher settings (:mod:`repro.obs.live`).
+
+    Like :class:`ObservabilityConfig`, this deliberately lives *outside*
+    :class:`ProcessorConfig`: publishing read-only snapshots of a running
+    simulation must never perturb result identity or cache keys.  The
+    snapshot cadence is expressed in simulated cycles so the telemetry
+    *content* is deterministic for a given run, even though emitting it
+    is pure I/O with no effect on the simulation.
+    """
+
+    #: Status-file destination; ``None`` derives a per-process default
+    #: under ``.repro_live/`` (see :func:`repro.obs.live.default_path`).
+    path: Optional[str] = None
+    #: Publish a snapshot every N simulated cycles.
+    every: int = 1000
+    #: Snapshot lines retained in the status file (NDJSON ring).
+    history: int = 240
+
+    def __post_init__(self) -> None:
+        _positive("live publish cadence", self.every)
+        _positive("live history depth", self.history)
+
+    @classmethod
+    def from_env(cls) -> Optional["LiveConfig"]:
+        """Build from ``REPRO_LIVE*``; ``None`` unless switched on.
+
+        ``REPRO_LIVE=1`` enables publishing to the default path;
+        ``REPRO_LIVE_PATH`` both enables and overrides the destination.
+        """
+        enabled = os.environ.get(LIVE_ENV, "").lower() in (
+            "1", "true", "yes", "on")
+        path = os.environ.get(LIVE_PATH_ENV) or None
+        if not enabled and not path:
+            return None
+        return cls(
+            path=path,
+            every=int(os.environ.get(LIVE_EVERY_ENV, 0) or 0) or 1000)
 
 
 @dataclass(frozen=True)

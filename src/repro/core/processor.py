@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs import Observability
+    from repro.obs.live import LiveTelemetry
     from repro.obs.profiling import PhaseProfiler
 
 from repro.config import ProcessorConfig
@@ -67,7 +68,8 @@ class Processor:
     def __init__(self, config: ProcessorConfig, program: Program,
                  oracle: List[DynamicInstruction],
                  watchdog=_FROM_ENV, invariants=_FROM_ENV,
-                 obs: Optional["Observability"] = None):
+                 obs: Optional["Observability"] = None,
+                 live: Optional["LiveTelemetry"] = None):
         self.config = config
         self.program = program
         self.stats = StatsCollector()
@@ -75,6 +77,9 @@ class Processor:
         #: Opt-in observability (see :mod:`repro.obs`); None = disabled.
         self.obs = obs
         self._tracer = obs.tracer if obs is not None else None
+        #: Opt-in live telemetry publisher (read-only snapshots of this
+        #: processor to a status file; see :mod:`repro.obs.live`).
+        self.live = live
 
         if config.frontend.fragment_buffer_size < config.fragment.max_length:
             raise ConfigError(
@@ -184,7 +189,7 @@ class Processor:
         limit = (len(self._oracle) * 30 + 20_000) if max_cycles is None \
             else max_cycles
         watchdog, invariants = self.watchdog, self.invariants
-        obs = self.obs
+        obs, live = self.obs, self.live
         metrics = obs.metrics if obs is not None else None
         profiler = obs.profiler if obs is not None else None
         if profiler is None:
@@ -192,6 +197,8 @@ class Processor:
                 self.step()
                 if metrics is not None:
                     metrics.maybe_sample(self)
+                if live is not None:
+                    live.maybe_publish(self)
                 if watchdog is not None:
                     watchdog.observe(self)
                 if invariants is not None:
@@ -202,6 +209,8 @@ class Processor:
                 t0 = profiler.start()
                 if metrics is not None:
                     metrics.maybe_sample(self)
+                if live is not None:
+                    live.maybe_publish(self)
                 if watchdog is not None:
                     watchdog.observe(self)
                 if invariants is not None:
@@ -222,9 +231,13 @@ class Processor:
         windows through: unlike :meth:`run` it neither finalises
         observability nor stamps the ``sim.*`` summary counters, so a
         window's counter deltas stay clean.  ``self.now`` keeps
-        accumulating across windows.  Returns True when the commit target
-        was reached, False on hitting the cycle bound (the caller decides
-        whether that poisons the sample).
+        accumulating across windows.  A :class:`PhaseProfiler` attached
+        via ``obs`` does stay live here (the instrumented step is
+        swapped in, exactly as in :meth:`run`), so sampled-mode host
+        time is attributable too; the metrics recorder stays idle so
+        windows see no mid-window gauge work.  Returns True when the
+        commit target was reached, False on hitting the cycle bound
+        (the caller decides whether that poisons the sample).
         """
         self._stop_at = min(stop_at, len(self._oracle))
         if self._committed >= self._stop_at:
@@ -235,12 +248,28 @@ class Processor:
                   if max_cycles is None else max_cycles)
         limit = self.now + budget
         watchdog, invariants = self.watchdog, self.invariants
-        while not self._done and self.now < limit:
-            self.step()
-            if watchdog is not None:
-                watchdog.observe(self)
-            if invariants is not None:
-                invariants.check(self)
+        live = self.live
+        profiler = self.obs.profiler if self.obs is not None else None
+        if profiler is None:
+            while not self._done and self.now < limit:
+                self.step()
+                if live is not None:
+                    live.maybe_publish(self)
+                if watchdog is not None:
+                    watchdog.observe(self)
+                if invariants is not None:
+                    invariants.check(self)
+        else:
+            while not self._done and self.now < limit:
+                self._step_profiled(profiler)
+                t0 = profiler.start()
+                if live is not None:
+                    live.maybe_publish(self)
+                if watchdog is not None:
+                    watchdog.observe(self)
+                if invariants is not None:
+                    invariants.check(self)
+                profiler.stop("observe", t0)
         return self._done
 
     def restart_at(self, index: int) -> None:

@@ -13,12 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.config import ProcessorConfig, frontend_config
+from repro.config import LiveConfig, ProcessorConfig, frontend_config
 from repro.core.invariants import InvariantChecker
 from repro.core.processor import Processor
 from repro.core.uop import MicroOp
 from repro.isa.program import Program
 from repro.obs import Observability
+from repro.obs.live import LiveTelemetry
 from repro.workloads import suite
 
 
@@ -130,6 +131,32 @@ def _resolve_config(config: Union[str, ProcessorConfig]
     return config.frontend.fetch_kind, config
 
 
+def _resolve_live(live: Union[None, bool, LiveConfig, LiveTelemetry],
+                  benchmark: str, config_name: str,
+                  mode: str) -> Optional[LiveTelemetry]:
+    """Build the live telemetry publisher for one run (or None).
+
+    ``None`` defers to the ``REPRO_LIVE*`` environment knobs, ``False``
+    forces off, ``True`` publishes with default settings, a
+    :class:`~repro.config.LiveConfig` gives full control, and a
+    ready-made :class:`~repro.obs.live.LiveTelemetry` is used as-is.
+    """
+    if live is None:
+        config = LiveConfig.from_env()
+    elif live is True:
+        config = LiveConfig()
+    elif live is False:
+        config = None
+    elif isinstance(live, LiveConfig):
+        config = live
+    else:
+        return live
+    if config is None:
+        return None
+    return LiveTelemetry(config, benchmark=benchmark,
+                         config_name=config_name, mode=mode)
+
+
 def run_simulation(config: Union[str, ProcessorConfig],
                    benchmark: Union[str, Program],
                    max_instructions: Optional[int] = None,
@@ -141,7 +168,8 @@ def run_simulation(config: Union[str, ProcessorConfig],
                    uop_log: Optional[List[MicroOp]] = None,
                    sampling: Union[None, bool, int,
                                    "SamplingConfig"] = None,
-                   checkpoint_every: Union[None, bool, int] = None
+                   checkpoint_every: Union[None, bool, int] = None,
+                   live: Union[None, bool, LiveConfig, LiveTelemetry] = None
                    ) -> SimulationResult:
     """Simulate *benchmark* on the given front-end configuration.
 
@@ -177,8 +205,10 @@ def run_simulation(config: Union[str, ProcessorConfig],
             the sampling period, and a
             :class:`~repro.sampling.SamplingConfig` gives full control.
             Sampled results are extrapolated estimates carrying
-            ``sampling.*`` confidence counters; ``observability`` and
-            ``uop_log`` are ignored in sampled mode.
+            ``sampling.*`` confidence counters; ``uop_log`` is ignored
+            in sampled mode, and of the observability pillars the
+            profiler and tracer stay live (``obs.*`` summaries land in
+            the counters) while metrics sampling is idle.
         checkpoint_every: durable checkpoint/restore (see
             :mod:`repro.checkpoint`).  ``None`` defers to
             ``REPRO_CHECKPOINT`` (unset or 0 = off), ``0``/``False``
@@ -190,6 +220,15 @@ def run_simulation(config: Union[str, ProcessorConfig],
             cadence is part of the run's identity (and of sweep cache
             keys).  ``observability`` and ``uop_log`` are ignored in
             checkpointed full-detail mode.
+        live: live telemetry (see :mod:`repro.obs.live`): snapshot the
+            running pipeline to a status file ``repro attach`` can
+            watch.  ``None`` defers to ``REPRO_LIVE*`` (default off),
+            ``False`` forces off, ``True`` publishes with defaults, a
+            :class:`~repro.config.LiveConfig` gives full control, and
+            a :class:`~repro.obs.live.LiveTelemetry` is used directly.
+            Works in every mode (full detail, sampled, checkpointed)
+            and never changes the result: publishing is read-only and
+            results are bit-identical with it on or off.
 
     Returns:
         A :class:`SimulationResult` with every counter the models emit.
@@ -230,20 +269,28 @@ def run_simulation(config: Union[str, ProcessorConfig],
             processor_config, program, oracle, sampling_config,
             config_name=config_name, benchmark=bench_name, warm=warm,
             stream_key=stream_key, pin=program,
-            checkpoint_every=every, checkpoint_manager=manager)
+            checkpoint_every=every, checkpoint_manager=manager,
+            observability=(observability if observability is not None
+                           else Observability.from_env()),
+            live=_resolve_live(live, bench_name, config_name, "sampled"))
 
     if manager is not None:
         # Checkpointed full-detail run: observability and the uop log
         # are ignored (the segment driver steers run_until directly,
-        # like sampled windows do).
-        processor = Processor(processor_config, program, oracle)
+        # like sampled windows do); live telemetry still publishes.
+        live_pub = _resolve_live(live, bench_name, config_name,
+                                 "checkpointed")
+        processor = Processor(processor_config, program, oracle,
+                              live=live_pub)
         warm_cb = None
         if warm:
             warm_cb = lambda: prep.warm_from_snapshot(  # noqa: E731
                 processor, oracle, stream_key, pin=program)
         checkpoint.run_checkpointed(processor, every, manager,
                                     max_cycles=max_cycles,
-                                    warm_cb=warm_cb)
+                                    warm_cb=warm_cb, live=live_pub)
+        if live_pub is not None:
+            live_pub.publish_final(processor)
         return SimulationResult(
             benchmark=bench_name,
             config_name=config_name,
@@ -252,15 +299,17 @@ def run_simulation(config: Union[str, ProcessorConfig],
             counters=processor.stats.as_dict(),
         )
 
+    live_pub = _resolve_live(live, bench_name, config_name, "full")
     if observability is None:
         observability = Observability.from_env()
     if invariant_checks is None:
         processor = Processor(processor_config, program, oracle,
-                              obs=observability)
+                              obs=observability, live=live_pub)
     else:
         checker = InvariantChecker() if invariant_checks else None
         processor = Processor(processor_config, program, oracle,
-                              invariants=checker, obs=observability)
+                              invariants=checker, obs=observability,
+                              live=live_pub)
     if uop_log is not None:
         processor.uop_log = uop_log
     if warm:
@@ -268,6 +317,8 @@ def run_simulation(config: Union[str, ProcessorConfig],
         # the training cost is paid once per (stream, warm config).
         prep.warm_from_snapshot(processor, oracle, stream_key, pin=program)
     processor.run(max_cycles=max_cycles)
+    if live_pub is not None:
+        live_pub.publish_final(processor)
     return SimulationResult(
         benchmark=bench_name,
         config_name=config_name,

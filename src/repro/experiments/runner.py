@@ -799,6 +799,17 @@ def run_job(job: SweepJob,
     return result
 
 
+def _notify(observer: Optional[Callable[[str, SweepJob, dict], None]],
+            kind: str, job: SweepJob, **info: Any) -> None:
+    """Best-effort observer callback — telemetry must not fail a sweep."""
+    if observer is None:
+        return
+    try:
+        observer(kind, job, info)
+    except Exception:
+        SWEEP_STATS.add("sweep.observer_errors")
+
+
 def run_sweep(jobs: Sequence[SweepJob],
               workers: Optional[int] = None,
               memo: Optional[MutableMapping[SweepJob,
@@ -808,7 +819,9 @@ def run_sweep(jobs: Sequence[SweepJob],
                                            float], None]] = None,
               retries: Optional[int] = None,
               timeout: Optional[float] = None,
-              backoff: Optional[float] = None
+              backoff: Optional[float] = None,
+              observer: Optional[Callable[[str, SweepJob, dict],
+                                          None]] = None
               ) -> SweepReport:
     """Run every job, fanning cache misses out over a process pool.
 
@@ -829,6 +842,13 @@ def run_sweep(jobs: Sequence[SweepJob],
     that fails every attempt becomes a :class:`JobFailure` in
     ``report.failures`` instead of aborting the sweep.  ``timeout=0``
     disables the explicit timeout.
+
+    *progress* fires per executed job; *observer*, when given, also sees
+    the telemetry-only events — ``("cached", job, {"source"})`` per
+    memo/disk hit, ``("retry", job, {"attempt"})`` per recovery attempt
+    and ``("failure", job, {"error", "attempts"})`` per exhausted job.
+    Both callbacks are best-effort: an observer that raises is counted
+    (``sweep.observer_errors``) and otherwise ignored.
     """
     start = time.perf_counter()
     stats = StatsCollector()
@@ -853,6 +873,7 @@ def run_sweep(jobs: Sequence[SweepJob],
         if memo is not None and job in memo:
             stats.add("sweep.memo_hits")
             report.results[job] = memo[job]
+            _notify(observer, "cached", job, source="memo")
             continue
         cached = cache.load(job.cache_key(), stats=stats)
         if cached is not None:
@@ -860,6 +881,7 @@ def run_sweep(jobs: Sequence[SweepJob],
             report.results[job] = cached
             if memo is not None:
                 memo[job] = cached
+            _notify(observer, "cached", job, source="disk")
             continue
         pending.append(job)
 
@@ -941,6 +963,7 @@ def run_sweep(jobs: Sequence[SweepJob],
             n = attempts[job]
             if n:  # a retry, not a first attempt
                 stats.add("sweep.retries")
+                _notify(observer, "retry", job, attempt=n + 1)
                 delay = backoff * (2 ** (n - 1))
                 if delay > 0:
                     time.sleep(delay)
@@ -961,6 +984,8 @@ def run_sweep(jobs: Sequence[SweepJob],
                 job=job, error_type=error_type, message=message,
                 attempts=attempts[job])
             stats.add("sweep.failures")
+            _notify(observer, "failure", job, error=error_type,
+                    attempts=attempts[job])
 
     wall = time.perf_counter() - start
     stats.set("sweep.wall_seconds", wall)

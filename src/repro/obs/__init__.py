@@ -21,11 +21,20 @@ Usage::
     result = run_simulation("pr-2x8w", "gcc", observability=obs)
     payload = obs.tracer.export(process_name="pr-2x8w/gcc")
 
+A fourth, independent piece — :class:`~repro.obs.live.LiveTelemetry` —
+publishes read-only snapshots of a *running* simulation to a status
+file for ``repro attach``; it is configured by :class:`LiveConfig`
+rather than :class:`ObservabilityConfig` because it also runs in modes
+(interval sampling, durable checkpointing) that bypass the pillar
+bundle.
+
 Environment knobs (read by :meth:`ObservabilityConfig.from_env`, which
 the default ``run_simulation`` path consults): ``REPRO_OBS_SAMPLE``
 (gauge sample interval in cycles), ``REPRO_OBS_RING`` (ring capacity),
 ``REPRO_OBS_TRACE`` (truthy, or a path to auto-export the trace to),
 ``REPRO_OBS_TRACE_LIMIT`` (event cap), ``REPRO_OBS_PROFILE`` (truthy).
+Live telemetry reads ``REPRO_LIVE``, ``REPRO_LIVE_PATH`` and
+``REPRO_LIVE_EVERY`` (see :meth:`LiveConfig.from_env`).
 """
 
 from __future__ import annotations
@@ -33,7 +42,13 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING, Optional
 
-from repro.config import ObservabilityConfig
+from repro.config import LiveConfig, ObservabilityConfig
+from repro.obs.live import (
+    LiveTelemetry,
+    SweepFleet,
+    read_snapshots,
+    validate_snapshot,
+)
 from repro.obs.metrics import MetricsRecorder, TimeSeries
 from repro.obs.profiling import PhaseProfiler
 from repro.obs.tracing import EventTracer, validate_chrome_trace
@@ -44,11 +59,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "Observability",
     "ObservabilityConfig",
+    "LiveConfig",
+    "LiveTelemetry",
+    "SweepFleet",
     "MetricsRecorder",
     "TimeSeries",
     "EventTracer",
     "PhaseProfiler",
+    "read_snapshots",
     "validate_chrome_trace",
+    "validate_snapshot",
 ]
 
 

@@ -27,6 +27,39 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.tracing import EventTracer
 
 
+#: The pipeline gauges sampled off a processor, in presentation order.
+#: Shared between :class:`MetricsRecorder` and the live telemetry
+#: publisher (:mod:`repro.obs.live`) so both report the same quantities.
+GAUGE_NAMES = (
+    "fragbuf.occupancy",
+    "window.used",
+    "sequencers.busy",
+    "rename.queue",
+    "dispatch.queue",
+    "fragments.in_flight",
+)
+
+
+def read_gauges(processor: "Processor") -> Tuple[float, ...]:
+    """Read every gauge in :data:`GAUGE_NAMES` order, strictly read-only.
+
+    This is the single place that knows how to interrogate the pipeline
+    structures; every query is a pure inspection (occupancy counts,
+    window fill, busy-sequencer count), which is what lets both the
+    metrics recorder and the live publisher guarantee bit-identical
+    simulation results whether or not they are attached.
+    """
+    fragments = processor.fragments
+    return (
+        processor.buffers.occupied_count(),
+        processor.core.window_used,
+        processor.engine.busy_sequencers(processor.now),
+        sum(f.renameable_count() for f in fragments),
+        processor.core.in_flight_dispatch(),
+        len(fragments),
+    )
+
+
 def _bucket_label(index: int) -> str:
     """Label of power-of-two histogram bucket *index* (0, 1, 2-3, 4-7...)."""
     if index <= 1:
@@ -101,14 +134,7 @@ class MetricsRecorder:
     """Samples pipeline gauges every ``interval`` cycles."""
 
     #: The gauges sampled off the processor, in presentation order.
-    GAUGES = (
-        "fragbuf.occupancy",
-        "window.used",
-        "sequencers.busy",
-        "rename.queue",
-        "dispatch.queue",
-        "fragments.in_flight",
-    )
+    GAUGES = GAUGE_NAMES
 
     def __init__(self, interval: int, capacity: int = 4096,
                  tracer: Optional["EventTracer"] = None):
@@ -131,15 +157,7 @@ class MetricsRecorder:
     def sample(self, processor: "Processor") -> None:
         """Snapshot every gauge at the processor's current cycle."""
         now = processor.now
-        fragments = processor.fragments
-        values = (
-            processor.buffers.occupied_count(),
-            processor.core.window_used,
-            processor.engine.busy_sequencers(now),
-            sum(f.renameable_count() for f in fragments),
-            processor.core.in_flight_dispatch(),
-            len(fragments),
-        )
+        values = read_gauges(processor)
         for name, value in zip(self.GAUGES, values):
             self.series[name].append(now, value)
             if self.tracer is not None:

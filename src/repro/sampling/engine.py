@@ -30,7 +30,7 @@ from __future__ import annotations
 import math
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import ProcessorConfig
 from repro.core.processor import Processor
@@ -40,6 +40,7 @@ from repro.emulator.stream import DynamicInstruction
 from repro.errors import ReproError
 from repro.isa.program import Program
 from repro.sampling.prep import StreamKey, warm_from_snapshot
+from repro.stats import StatsCollector
 
 #: Environment knobs (registered in repro.config.ENV_KNOBS).
 SAMPLE_ENV = "REPRO_SAMPLE"
@@ -116,6 +117,22 @@ def resolve_sampling(value: Union[None, bool, int, SamplingConfig]
     return SamplingConfig.from_env(int(value))
 
 
+def _cpi_stats(unit_cycles: Sequence[int],
+               unit_insts: Sequence[int]) -> Tuple[float, float, float]:
+    """SMARTS aggregation: (CPI mean, std, 95% CLT half-width)."""
+    cpis = [c / i for c, i in zip(unit_cycles, unit_insts)]
+    k = len(cpis)
+    cpi_mean = sum(cpis) / k
+    if k > 1:
+        variance = sum((c - cpi_mean) ** 2 for c in cpis) / (k - 1)
+        cpi_std = math.sqrt(variance)
+        halfwidth = _Z_95 * cpi_std / math.sqrt(k)
+    else:
+        cpi_std = 0.0
+        halfwidth = 0.0
+    return cpi_mean, cpi_std, halfwidth
+
+
 def run_sampled(processor_config: ProcessorConfig,
                 program: Program,
                 oracle: Sequence[DynamicInstruction],
@@ -126,7 +143,9 @@ def run_sampled(processor_config: ProcessorConfig,
                 stream_key: Optional[StreamKey] = None,
                 pin: object = None,
                 checkpoint_every: Optional[int] = None,
-                checkpoint_manager=None) -> SimulationResult:
+                checkpoint_manager=None,
+                observability=None,
+                live=None) -> SimulationResult:
     """Interval-sample *oracle* and extrapolate a full-run result.
 
     With ``warm=True`` the processor is first functionally warmed on the
@@ -145,10 +164,22 @@ def run_sampled(processor_config: ProcessorConfig,
     The returned result's extrapolated counters are *estimates* scaled
     from the measured windows; ``sampling.*`` entries (units, discarded
     warm-up cycles, CPI confidence half-width) are exact measurements.
+
+    An *observability* bundle attaches its profiler and tracer to the
+    detailed windows (``obs.profile.*`` / ``obs.trace.*`` land in the
+    returned counters, with gap fast-forwarding charged to a ``warm``
+    phase); the metrics recorder stays idle in sampled mode since the
+    run loop here is driven through ``run_until``.  A *live* publisher
+    (:class:`~repro.obs.live.LiveTelemetry`) additionally snapshots
+    window progress and per-unit confidence to its status file; both
+    are read-only and leave the result bit-identical.
     """
     from repro import checkpoint as ckpt
 
-    processor = Processor(processor_config, program, oracle, obs=None)
+    processor = Processor(processor_config, program, oracle,
+                          obs=observability, live=live)
+    profiler = (observability.profiler
+                if observability is not None else None)
     snap = (checkpoint_manager.latest()
             if checkpoint_manager is not None else None)
     if snap is None and warm:
@@ -214,11 +245,14 @@ def run_sampled(processor_config: ProcessorConfig,
         # for cache touches, exactly as pre-run warming would see them).
         if w_start > cursor:
             gap = oracle[raw_pos[cursor]:raw_pos[w_start]]
+            t0 = profiler.start() if profiler is not None else 0.0
             if warm:
                 warmer.feed_caches(gap)
             else:
                 warmer.feed(gap)
                 warmer.discard_partial()
+            if profiler is not None:
+                profiler.stop("warm", t0)
             gap_insts += w_start - cursor
 
         # Detailed warm-up prefix: cycles discarded, structures trained
@@ -245,6 +279,20 @@ def run_sampled(processor_config: ProcessorConfig,
         unit_cycles.append(cycles)
         cursor = m_end
 
+        if live is not None:
+            # Unit boundaries are the natural progress ticks in sampled
+            # mode; publish the rolling confidence alongside the gauges.
+            mean, _, halfwidth = _cpi_stats(unit_cycles, unit_insts)
+            live.note_sampling(
+                unit=ui + 1,
+                units_total=len(measured_units),
+                measured_insts=sum(unit_insts),
+                cpi_mean=round(mean, 6),
+                cpi_halfwidth=round(halfwidth, 6),
+                ipc_halfwidth_rel=round(halfwidth / mean, 6) if mean
+                else 0.0)
+            live.publish(processor)
+
         # Measured-unit boundaries are drained checkpoint seams already;
         # capture is read-only, so storing perturbs nothing.
         if (checkpoint_manager is not None and checkpoint_every
@@ -267,21 +315,15 @@ def run_sampled(processor_config: ProcessorConfig,
                     processor, checkpoint_manager.fingerprint, extra=extra),
                 ordinal=cursor // checkpoint_every)
             last_ckpt = cursor
+            if live is not None:
+                live.note_checkpoint(cursor // checkpoint_every)
     # The trailing gap (after the last measured unit) warms nothing.
     if checkpoint_manager is not None:
         checkpoint_manager.clear()
 
     # SMARTS aggregation: CPI = mean of per-unit CPIs; 95% CLT interval.
-    cpis = [c / i for c, i in zip(unit_cycles, unit_insts)]
-    k = len(cpis)
-    cpi_mean = sum(cpis) / k
-    if k > 1:
-        variance = sum((c - cpi_mean) ** 2 for c in cpis) / (k - 1)
-        cpi_std = math.sqrt(variance)
-        halfwidth = _Z_95 * cpi_std / math.sqrt(k)
-    else:
-        cpi_std = 0.0
-        halfwidth = 0.0
+    k = len(unit_cycles)
+    cpi_mean, cpi_std, halfwidth = _cpi_stats(unit_cycles, unit_insts)
     est_cycles = max(1, round(cpi_mean * total))
     measured_insts = sum(unit_insts)
 
@@ -312,6 +354,26 @@ def run_sampled(processor_config: ProcessorConfig,
         "sampling.ipc_halfwidth_rel": (halfwidth / cpi_mean
                                        if cpi_mean else 0.0),
     })
+    if observability is not None:
+        # run_until never finalises obs; fold the host-side summaries
+        # (exact measurements, not extrapolations) into the counters
+        # here.  Auto-export mirrors Observability.finalize.
+        obs_stats = StatsCollector()
+        if profiler is not None:
+            profiler.to_counters(obs_stats)
+        if observability.tracer is not None:
+            obs_stats.set("obs.trace.events",
+                          len(observability.tracer.events))
+            obs_stats.set("obs.trace.dropped", observability.tracer.dropped)
+        counters.update(obs_stats.as_dict())
+        if (observability.tracer is not None
+                and observability.config.trace_path):
+            observability.export_trace(
+                observability.config.trace_path,
+                process_name=program.name,
+                sequencers=processor_config.frontend.sequencers)
+    if live is not None:
+        live.publish_final(processor)
     return SimulationResult(
         benchmark=benchmark,
         config_name=config_name,

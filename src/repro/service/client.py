@@ -187,6 +187,23 @@ class ServiceClient:
 
     async def events(self, record_id: str) -> AsyncIterator[dict]:
         """GET /jobs/<id>/events — yield streamed NDJSON events."""
+        async for event in self._stream(f"/jobs/{record_id}/events"):
+            yield event
+
+    async def metrics(self, record_id: str) -> AsyncIterator[dict]:
+        """GET /jobs/<id>/metrics — yield streamed telemetry snapshots.
+
+        Each snapshot carries fleet progress (``jobs_done``,
+        ``jobs_failed``, ``cache_hits``, ``retries``) plus the
+        submission's monotonically increasing ``committed`` instruction
+        count; the stream ends when the submission reaches a terminal
+        state.
+        """
+        async for snapshot in self._stream(f"/jobs/{record_id}/metrics"):
+            yield snapshot
+
+    async def _stream(self, path: str) -> AsyncIterator[dict]:
+        """Follow one close-delimited NDJSON streaming endpoint."""
         try:
             reader, writer = await asyncio.wait_for(
                 asyncio.open_connection(self.host, self.port),
@@ -194,7 +211,7 @@ class ServiceClient:
         except (OSError, asyncio.TimeoutError) as exc:
             raise ServiceError(
                 f"cannot reach {self.host}:{self.port}: {exc}")
-        head = (f"GET /jobs/{record_id}/events HTTP/1.1\r\n"
+        head = (f"GET {path} HTTP/1.1\r\n"
                 f"Host: {self.host}:{self.port}\r\n"
                 "Connection: close\r\n\r\n")
         try:

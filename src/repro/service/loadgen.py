@@ -42,6 +42,7 @@ MIX = (
     ("status", 15),       # GET /jobs/<id>
     ("submit_dup", 10),   # POST /jobs re-submitting cached jobs
     ("events", 5),        # GET /jobs/<id>/events replay
+    ("metrics", 5),       # GET /jobs/<id>/metrics replay
     ("stats", 10),        # GET /stats
 )
 
@@ -104,6 +105,7 @@ class LoadReport:
                 if self.wall_seconds else 0.0,
             "latency_p50_ms": round(1e3 * self._percentile(0.50), 2),
             "latency_p95_ms": round(1e3 * self._percentile(0.95), 2),
+            "latency_p99_ms": round(1e3 * self._percentile(0.99), 2),
             "latency_max_ms": round(1e3 * self._percentile(1.0), 2),
             "cache_bytes": self.cache_bytes,
             "cache_budget": self.cache_budget,
@@ -119,7 +121,8 @@ class LoadReport:
                      "unexpected_status", "mismatches", "seed_failures",
                      "verified_jobs", "wall_seconds",
                      "requests_per_second", "latency_p50_ms",
-                     "latency_p95_ms", "latency_max_ms"):
+                     "latency_p95_ms", "latency_p99_ms",
+                     "latency_max_ms"):
             lines.append(f"  {name:22} {data[name]}")
         lines.append("  mix                    "
                      + " ".join(f"{k}={v}"
@@ -247,6 +250,16 @@ async def run_loadgen(host: str = protocol.DEFAULT_HOST,
                 elif kind == "events":
                     async for _ in client.events(record_id):
                         pass
+                elif kind == "metrics":
+                    last = -1
+                    async for snap in client.metrics(record_id):
+                        seq = snap.get("seq", 0)
+                        if seq <= last:
+                            report.unexpected_status += 1
+                            report.errors.append(
+                                f"[{index}] metrics seq not increasing")
+                            break
+                        last = seq
                 elif kind == "stats":
                     await client.stats()
             except ServiceError as exc:

@@ -34,6 +34,7 @@ Endpoints::
     GET  /jobs/<id>             status snapshot; ?wait=S long-polls,
                                 ?results=1 embeds results when done
     GET  /jobs/<id>/events      NDJSON stream of progress events
+    GET  /jobs/<id>/metrics     NDJSON stream of telemetry snapshots
     GET  /results/<cache-key>   one result straight from memo/disk cache
     POST /shutdown              graceful stop (repro serve honours it)
 
@@ -188,7 +189,8 @@ class JobRecord:
     __slots__ = ("id", "jobs", "workers", "retries", "timeout", "tag",
                  "state", "submitted", "started", "finished", "completed",
                  "cached", "keys", "payloads", "failures", "error",
-                 "events", "stats")
+                 "events", "stats", "metrics", "committed_insts",
+                 "simulated_cycles")
 
     def __init__(self, record_id: str, jobs: List[SweepJob],
                  workers: Optional[int], retries: Optional[int],
@@ -211,6 +213,13 @@ class JobRecord:
         self.error: Optional[str] = None
         self.events: List[dict] = []
         self.stats: Dict[str, float] = {}
+        #: Telemetry snapshots for GET /jobs/<id>/metrics, one per
+        #: lifecycle/progress event (bounded by the per-submit job cap).
+        self.metrics: List[dict] = []
+        #: Cumulative simulated work across executed jobs — gives the
+        #: metrics stream its monotonically increasing commit index.
+        self.committed_insts = 0
+        self.simulated_cycles = 0
 
     def snapshot(self, include_results: bool = False) -> dict:
         """JSON-ready status view of this submission."""
@@ -235,6 +244,33 @@ class JobRecord:
             view["stats"] = self.stats
         return view
 
+    def metrics_snapshot(self) -> dict:
+        """One telemetry line for the ``/jobs/<id>/metrics`` stream.
+
+        Fleet-shaped (``jobs_done`` et al.) rather than pipeline-shaped:
+        ``repro attach`` keys its renderer off that difference.  The
+        ``committed`` index is the running total of instructions the
+        submission's executed jobs have simulated, so it increases
+        monotonically across the stream just like a single run's.
+        """
+        now = time.time()
+        started = self.started or self.submitted
+        end = self.finished if self.finished is not None else now
+        return {
+            "seq": len(self.metrics),
+            "id": self.id,
+            "state": self.state,
+            "committed": self.committed_insts,
+            "ipc": round(self.committed_insts / self.simulated_cycles, 6)
+                   if self.simulated_cycles else 0.0,
+            "jobs_done": self.completed,
+            "jobs_total": len(self.jobs),
+            "jobs_failed": len(self.failures),
+            "cache_hits": self.cached or 0,
+            "retries": int(self.stats.get("sweep.retries", 0)),
+            "wall": round(max(0.0, end - started), 3),
+        }
+
 
 class SweepService:
     """The job server.  See the module docstring for the architecture."""
@@ -251,6 +287,9 @@ class SweepService:
         self._result_payloads: "OrderedDict[str, dict]" = OrderedDict()
         self._records: "OrderedDict[str, JobRecord]" = OrderedDict()
         self._seq = 0
+        #: Wall time of the last successful journal append (gauges the
+        #: journal's write lag on /stats; None until the first append).
+        self._journal_written: Optional[float] = None
         self._journal: Optional[_Journal] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -343,6 +382,8 @@ class SweepService:
             return
         try:
             self._journal.append(event)
+            self._journal_written = time.time()
+            self.stats.add("service.journal_appends")
         except OSError:
             self.stats.add("service.journal_errors")
 
@@ -570,6 +611,9 @@ class SweepService:
             elif (len(segments) == 3 and segments[0] == "jobs"
                     and segments[2] == "events" and method == "GET"):
                 await self._handle_events(segments[1], writer)
+            elif (len(segments) == 3 and segments[0] == "jobs"
+                    and segments[2] == "metrics" and method == "GET"):
+                await self._handle_metrics(segments[1], writer)
             elif (len(segments) == 2 and segments[0] == "results"
                     and method == "GET"):
                 await self._handle_result(segments[1], writer)
@@ -680,6 +724,8 @@ class SweepService:
             "job": job.describe(),
             "key": None,  # filled on the loop side from record.keys
             "ipc": round(result.ipc, 6),
+            "committed": result.committed,
+            "cycles": result.cycles,
             "seconds": round(seconds, 3),
         }
         self._post(self._note_progress, record, event)
@@ -691,12 +737,15 @@ class SweepService:
         record.started = time.time()
         record.keys = keys
         record.events.append({"type": "state", "state": record.state})
+        record.metrics.append(record.metrics_snapshot())
         self._journal_append({"event": "running", "id": record.id,
                               "t": record.started})
         self._broadcast()
 
     def _note_progress(self, record: JobRecord, event: dict) -> None:
         record.completed += 1
+        record.committed_insts += int(event.get("committed") or 0)
+        record.simulated_cycles += int(event.get("cycles") or 0)
         event["done"] = record.completed
         event["total"] = len(record.jobs)
         if record.keys is not None:
@@ -708,6 +757,7 @@ class SweepService:
                     event["key"] = key
                     break
         record.events.append(event)
+        record.metrics.append(record.metrics_snapshot())
         self.stats.add("service.jobs_executed")
         self._broadcast()
 
@@ -732,6 +782,7 @@ class SweepService:
             "cached": record.cached,
             "failures": len(failures),
         })
+        record.metrics.append(record.metrics_snapshot())
         self.stats.add("service.jobs_completed", len(record.jobs))
         if failures:
             self.stats.add("service.job_failures", len(failures))
@@ -743,6 +794,7 @@ class SweepService:
         record.finished = time.time()
         record.error = message
         record.events.append({"type": "error", "error": message})
+        record.metrics.append(record.metrics_snapshot())
         self.stats.add("service.sweep_errors")
         self._journal_append({"event": "error", "id": record.id,
                               "t": record.finished, "message": message})
@@ -862,6 +914,32 @@ class SweepService:
             await self._respond(writer, 404, {
                 "error": f"unknown job id {record_id!r}"})
             return
+        await self._stream_lines(record, writer, lambda rec: rec.events)
+
+    async def _handle_metrics(self, record_id: str,
+                              writer: asyncio.StreamWriter) -> None:
+        """Stream a submission's telemetry snapshots as NDJSON.
+
+        Same transport as ``/events`` but each line is a cumulative
+        :meth:`JobRecord.metrics_snapshot` — fleet progress plus a
+        monotonically increasing ``committed`` index — which is what
+        ``repro attach <job-id> --server ...`` renders.
+        """
+        record = self._record_or_404(record_id)
+        if record is None:
+            await self._respond(writer, 404, {
+                "error": f"unknown job id {record_id!r}"})
+            return
+        if not record.metrics and record.state in protocol.TERMINAL_STATES:
+            # Journal-recovered submissions predate their metrics ring;
+            # synthesize the terminal snapshot so attach always sees one.
+            record.metrics.append(record.metrics_snapshot())
+        await self._stream_lines(record, writer, lambda rec: rec.metrics)
+
+    async def _stream_lines(self, record: JobRecord,
+                            writer: asyncio.StreamWriter,
+                            lines_of) -> None:
+        """Replay-then-follow one of *record*'s line lists as NDJSON."""
         writer.write(b"HTTP/1.1 200 OK\r\n"
                      b"Content-Type: application/x-ndjson\r\n"
                      b"Connection: close\r\n\r\n")
@@ -869,9 +947,9 @@ class SweepService:
         self.stats.add("service.http_2xx")
         cursor = 0
         while True:
-            while cursor < len(record.events):
-                line = json.dumps(record.events[cursor],
-                                  sort_keys=True) + "\n"
+            lines = lines_of(record)
+            while cursor < len(lines):
+                line = json.dumps(lines[cursor], sort_keys=True) + "\n"
                 writer.write(line.encode())
                 cursor += 1
             await writer.drain()
@@ -879,7 +957,7 @@ class SweepService:
                 return
             assert self._changed is not None
             async with self._changed:
-                if (cursor >= len(record.events)
+                if (cursor >= len(lines_of(record))
                         and record.state not in protocol.TERMINAL_STATES):
                     try:
                         await asyncio.wait_for(self._changed.wait(),
@@ -913,20 +991,54 @@ class SweepService:
         self.stats.add("service.results_disk_hits")
         await self._respond(writer, 200, {"key": key, "result": payload})
 
+    def _gauges(self, sweep_stats: Dict[str, float]) -> Dict[str, Any]:
+        """Point-in-time operational gauges for ``/stats``.
+
+        Unlike the monotonic counters, these describe the server *now*:
+        queued work, executor saturation, how well the result cache is
+        absorbing jobs, and how recently the journal was written.
+        """
+        queued = sum(1 for record in self._records.values()
+                     if record.state == protocol.QUEUED)
+        running = sum(1 for record in self._records.values()
+                      if record.state == protocol.RUNNING)
+        slots = max(1, self.config.max_active)
+        jobs = sweep_stats.get("sweep.jobs", 0.0)
+        hits = (sweep_stats.get("sweep.memo_hits", 0.0)
+                + sweep_stats.get("sweep.disk_hits", 0.0))
+        return {
+            "queue_depth": queued,
+            "executor": {
+                "active": running,
+                "max": slots,
+                "utilization": round(running / slots, 4),
+            },
+            "cache_hit_rate": round(hits / jobs, 4) if jobs else 0.0,
+            "journal": {
+                "appends": int(self.stats.get("service.journal_appends")),
+                "errors": int(self.stats.get("service.journal_errors")),
+                "lag_seconds":
+                    None if self._journal_written is None
+                    else round(time.time() - self._journal_written, 3),
+            },
+        }
+
     async def _handle_stats(self, writer: asyncio.StreamWriter) -> None:
         from repro.experiments.runner import SWEEP_STATS
         assert self._loop is not None
         entries, total = await self._loop.run_in_executor(
             None, lambda: (len(self._cache), self._cache.total_bytes()))
+        sweep_stats = SWEEP_STATS.as_dict()
         await self._respond(writer, 200, {
             "service": self.stats.as_dict(),
-            "sweep": SWEEP_STATS.as_dict(),
+            "sweep": sweep_stats,
             "cache": {
                 "entries": entries,
                 "bytes": total,
                 "budget": self._cache.budget,
                 "directory": str(self._cache.directory),
             },
+            "gauges": self._gauges(sweep_stats),
             "records": len(self._records),
             "active": self._active_count(),
         })
