@@ -16,6 +16,13 @@ on a >30% throughput regression::
     PYTHONPATH=src python benchmarks/bench_perf.py --smoke \\
         --check benchmarks/BENCH_perf_baseline.json
 
+``--soa`` adds a section timing the batched tier (``REPRO_FAST=2``)
+against tier 1 in the same invocation; ``--soa-gate`` additionally
+fails the run unless every config clears the noise-tolerant speedup
+floor (within-record ratio, so machine speed cancels exactly)::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py --smoke --soa-gate
+
 See docs/PERFORMANCE.md for how to read the record.
 """
 
@@ -60,6 +67,19 @@ def main(argv=None) -> int:
                              "--smoke)")
     parser.add_argument("--no-phases", action="store_true",
                         help="skip the profiled run for phase breakdown")
+    parser.add_argument("--soa", action="store_true",
+                        help="pin the matrix to REPRO_FAST=1 and add a "
+                             "'soa' section re-running it at REPRO_FAST=2 "
+                             "with per-entry speedup_vs_fast")
+    parser.add_argument("--soa-gate", action="store_true",
+                        help="implies --soa; exit 1 unless every SoA "
+                             "entry beats the speedup floor vs tier 1 "
+                             "within this same record")
+    parser.add_argument("--soa-floor", type=float,
+                        default=perf.SOA_GATE_SPEEDUP,
+                        help="speedup floor for --soa-gate (default: "
+                             f"{perf.SOA_GATE_SPEEDUP}; the design "
+                             f"target is {perf.SOA_TARGET_SPEEDUP})")
     parser.add_argument("--output", "-o", default="BENCH_perf.json",
                         help="record path (default: BENCH_perf.json)")
     parser.add_argument("--check", metavar="BASELINE",
@@ -88,7 +108,8 @@ def main(argv=None) -> int:
                              instructions=instructions,
                              repeats=args.repeats,
                              phase_breakdown=not args.no_phases,
-                             sampled_instructions=sampled_instructions)
+                             sampled_instructions=sampled_instructions,
+                             soa=args.soa or args.soa_gate)
     perf.write_record(record, args.output)
 
     header = (f"{'config':10s} {'cycles/s':>12s} {'uops/s':>12s} "
@@ -101,6 +122,13 @@ def main(argv=None) -> int:
               f"{entry['uops_per_sec']:12.1f} "
               f"{entry['wall_seconds']:8.4f} "
               f"{'-' if hit is None else format(hit, '9.4f')}")
+    if "soa" in record:
+        print(f"\nSoA tier (REPRO_FAST=2) vs tier 1, same record:")
+        print(f"{'config':10s} {'cycles/s':>12s} {'speedup':>8s}")
+        for entry in record["soa"]:
+            print(f"{entry['config']:10s} "
+                  f"{entry['sim_cycles_per_sec']:12.1f} "
+                  f"{entry['speedup_vs_fast']:7.2f}x")
     if "sampled" in record:
         print(f"\nsampled vs full detail "
               f"({record['sampled'][0]['instructions']} instructions):")
@@ -126,6 +154,16 @@ def main(argv=None) -> int:
                 print(f"  {failure}", file=sys.stderr)
             return 1
         print(f"regression check vs {args.check}: OK")
+
+    if args.soa_gate:
+        failures = perf.check_soa_speedup(record, target=args.soa_floor)
+        if failures:
+            print(f"\nSoA GATE FAILED (floor {args.soa_floor}x):",
+                  file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"SoA gate (>= {args.soa_floor}x vs tier 1): OK")
     return 0
 
 

@@ -106,6 +106,12 @@ class OutOfOrderCore:
             uop.dispatch_ready_cycle = ready_at
             self._dispatch.append(uop)
 
+    def queue_dispatched(self, uops: List[MicroOp]) -> None:
+        """Tier-2 twin of :meth:`dispatch` for uops whose
+        ``dispatch_ready_cycle`` was already stamped in the rename build
+        loop — one C-level extend instead of a per-uop pass."""
+        self._dispatch.extend(uops)
+
     def _attach_waiter(self, source, consumer: MicroOp) -> bool:
         """Register *consumer* to be woken when *source* completes.
 
@@ -186,6 +192,107 @@ class OutOfOrderCore:
             self._drain_dispatch(now)
         if self._ready:
             self._issue(now)
+        return completed
+
+    def cycle_soa(self, now: int) -> List[MicroOp]:
+        """Tier-2 (``REPRO_FAST=2``) twin of :meth:`cycle`.
+
+        Same phase order, same observable effects — the dispatch-insert
+        and issue loops are inlined with hoisted lookups, and the
+        overwhelmingly common :class:`MicroOp` source skips the
+        placeholder-chain walk of :meth:`_attach_waiter`.  The parity
+        matrix in tests/test_perf_soa.py holds both paths bit-identical.
+        """
+        completed = (self._complete(now) if now in self._completions
+                     else self._EMPTY)
+        dispatch = self._dispatch
+        ready = self._ready
+        heappush = heapq.heappush
+        if dispatch:
+            done = UopState.DONE
+            committed = UopState.COMMITTED
+            squashed = UopState.SQUASHED
+            renamed = UopState.RENAMED
+            ready_state = UopState.READY
+            waiting = UopState.WAITING
+            popleft = dispatch.popleft
+            attach = self._attach_waiter
+            while dispatch and dispatch[0].dispatch_ready_cycle <= now:
+                uop = popleft()
+                state = uop.state
+                if state is squashed:
+                    continue
+                if state is not renamed:
+                    raise SimulationError(
+                        f"dispatching uop in state {uop.state}")
+                pending = 0
+                for source in uop.sources:
+                    if source.__class__ is MicroOp:
+                        sstate = source.state
+                        if sstate is done or sstate is committed:
+                            continue
+                        source.consumers.append(uop)
+                        pending += 1
+                    elif attach(source, uop):
+                        pending += 1
+                uop.pending = pending
+                if pending == 0:
+                    uop.state = ready_state
+                    heappush(ready, (uop.seq, uop))
+                else:
+                    uop.state = waiting
+        if ready:
+            config = self.config
+            counts_get = config.fu_counts.get
+            width = config.issue_width
+            latencies = config.fu_latencies
+            completions = self._completions
+            data_access = self.memory.data_access
+            used: Dict[str, int] = {}
+            used_get = used.get
+            heappop = heapq.heappop
+            ready_state = UopState.READY
+            executing = UopState.EXECUTING
+            issued = 0
+            skipped: List[Tuple[int, MicroOp]] = []
+            while ready and issued < width:
+                item = heappop(ready)
+                uop = item[1]
+                if uop.state is not ready_state:
+                    continue  # squashed while queued
+                decoded = uop.decoded
+                pool = (decoded.pool if decoded is not None
+                        else _FU_POOL[uop.inst.op_class])
+                in_use = used_get(pool, 0)
+                if in_use >= counts_get(pool, 0):
+                    skipped.append(item)
+                    continue
+                used[pool] = in_use + 1
+                issued += 1
+                # _start_execution, inlined.
+                uop.state = executing
+                uop.issue_cycle = now
+                key = (decoded.latency_key if decoded is not None
+                       else _LATENCY_KEY[uop.inst.op_class])
+                done_at = now + latencies[key]
+                inst = uop.inst
+                if inst.is_mem and uop.record is not None \
+                        and uop.record.ea is not None:
+                    data_ready = data_access(uop.record.ea, now)
+                    if inst.is_load:
+                        done_at = max(done_at, data_ready + 1)
+                # Wrong-path memory ops have no architectural address;
+                # they are charged the L1-hit path only.
+                bucket = completions.get(done_at)
+                if bucket is None:
+                    completions[done_at] = [uop]
+                else:
+                    bucket.append(uop)
+            for item in skipped:
+                heappush(ready, item)
+            if skipped:
+                self.stats.add("exec.fu_structural_stalls", len(skipped))
+            self.stats.add("exec.issued", issued)
         return completed
 
     def _complete(self, now: int) -> List[MicroOp]:

@@ -279,9 +279,10 @@ LIVE_ENV = "REPRO_LIVE"
 LIVE_PATH_ENV = "REPRO_LIVE_PATH"
 LIVE_EVERY_ENV = "REPRO_LIVE_EVERY"
 
-#: Hot-path fast paths (decoded-uop cache, fragment walk cache); see
-#: :mod:`repro.perf`.  On by default; ``REPRO_FAST=0`` selects the
-#: reference loop the golden-parity test compares against.
+#: Speed-tier switch; see :mod:`repro.perf`.  ``0`` selects the
+#: reference loop the golden-parity tests compare against, ``1`` (the
+#: default) the behaviour-preserving hot-path caches, ``2`` the batched
+#: structure-of-arrays cycle step.
 PERF_FAST_ENV = "REPRO_FAST"
 
 #: Every ``REPRO_*`` environment knob the simulator understands, with a
@@ -293,6 +294,8 @@ ENV_KNOBS: Dict[str, str] = {
     "REPRO_SWEEP_INSTRUCTIONS": "instruction budget for sweep jobs",
     "REPRO_EXPERIMENT_BENCHMARKS": "benchmark subset for experiments",
     "REPRO_SWEEP_WORKERS": "sweep runner worker processes",
+    "REPRO_SWEEP_GROUP": "group stream-sharing sweep jobs per worker "
+                         "(0 = scatter)",
     "REPRO_SWEEP_RETRIES": "sweep job retry attempts",
     "REPRO_SWEEP_BACKOFF": "base delay between sweep job retries",
     "REPRO_JOB_TIMEOUT": "per-job wall-clock timeout in sweeps",
@@ -308,7 +311,8 @@ ENV_KNOBS: Dict[str, str] = {
     "REPRO_OBS_TRACE": "pipeline event trace (path or 1)",
     "REPRO_OBS_TRACE_LIMIT": "trace event cap",
     "REPRO_OBS_PROFILE": "per-phase wall-clock profiling",
-    "REPRO_FAST": "hot-path caches (0 = reference loop)",
+    "REPRO_FAST": "speed tier: 0 reference loop, 1 hot-path caches, "
+                  "2 batched SoA step",
     "REPRO_SAMPLE": "interval-sampling period (0/unset = full detail)",
     "REPRO_SAMPLE_UNIT": "instructions per sampling unit",
     "REPRO_SAMPLE_WARMUP": "detailed warm-up instructions per sample",

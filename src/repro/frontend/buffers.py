@@ -37,7 +37,7 @@ class FragmentInFlight:
         "mispredict_position", "mispredict_target",
         "committed_count", "records",
         "alloc_cycle", "fetch_start_cycle", "fetch_sequencer",
-        "rename_done_cycle", "_static_len",
+        "rename_done_cycle", "_static_len", "soa_meta",
     )
 
     def __init__(self, seq: int, key: FragmentKey,
@@ -50,6 +50,9 @@ class FragmentInFlight:
         #: ``len(static_frag.instructions)``, snapshotted: length checks
         #: run several times per instruction on the rename hot path.
         self._static_len = len(static_frag.instructions)
+        #: Tier-2 batched metadata (:class:`repro.perf.soa.FragMeta`),
+        #: attached by the processor's SoA tagger; None below tier 2.
+        self.soa_meta = None
         self.buffer_index: Optional[int] = None
 
         # Fetch progress.
@@ -176,14 +179,17 @@ class FragmentBufferArray:
     def __init__(self, num_buffers: int, stats: StatsCollector):
         self.stats = stats
         self._buffers = [_Buffer(i) for i in range(num_buffers)]
+        #: Count of unoccupied buffers — maintained by allocate/release
+        #: (the only occupant writers) so the per-cycle fetch gate is O(1).
+        self._free = num_buffers
 
     def free_count(self) -> int:
         """Buffers without an occupant."""
-        return sum(1 for b in self._buffers if b.occupant is None)
+        return self._free
 
     def occupied_count(self) -> int:
         """Buffers currently holding an in-flight fragment."""
-        return sum(1 for b in self._buffers if b.occupant is not None)
+        return len(self._buffers) - self._free
 
     def allocate(self, fragment: FragmentInFlight, now: int) -> bool:
         """Assign a buffer to *fragment*; returns False when all are busy.
@@ -191,12 +197,27 @@ class FragmentBufferArray:
         If a free buffer retains the same fragment key, its contents are
         reused: the fragment is complete immediately and needs no fetch.
         """
-        free = [b for b in self._buffers if b.occupant is None]
-        if not free:
+        if not self._free:
             self.stats.add("fragbuf.alloc_stalls")
             return False
 
-        reuse = next((b for b in free if b.retained_key == fragment.key), None)
+        # One pass: first free buffer retaining this key wins; otherwise
+        # the free buffer freed longest ago (earliest free_time, first in
+        # buffer order on ties), preserving recently retired fragments
+        # for reuse.
+        key = fragment.key
+        reuse = None
+        oldest = None
+        oldest_time = 0
+        for b in self._buffers:
+            if b.occupant is not None:
+                continue
+            if b.retained_key == key:
+                reuse = b
+                break
+            if oldest is None or b.free_time < oldest_time:
+                oldest = b
+                oldest_time = b.free_time
         if reuse is not None:
             buffer = reuse
             fragment.reused = True
@@ -207,10 +228,9 @@ class FragmentBufferArray:
             fragment.fetch_start_cycle = now
             self.stats.add("fragbuf.reuses")
         else:
-            # Prefer the buffer freed longest ago, preserving recently
-            # retired fragments for reuse.
-            buffer = min(free, key=lambda b: b.free_time)
+            buffer = oldest
         buffer.occupant = fragment
+        self._free -= 1
         buffer.retained_key = None
         buffer.retained_frag = None
         fragment.buffer_index = buffer.index
@@ -226,6 +246,7 @@ class FragmentBufferArray:
         buffer = self._buffers[fragment.buffer_index]
         if buffer.occupant is fragment:
             buffer.occupant = None
+            self._free += 1
             buffer.free_time = now
             if retain and fragment.complete:
                 buffer.retained_key = fragment.key

@@ -39,7 +39,9 @@ class FrontEndControl:
     def __init__(self, program: Program, fragment_config: FragmentConfig,
                  predictor: TracePredictor, ras: ReturnAddressStack,
                  stats: StatsCollector, start_pc: int,
-                 direction_fallback=None):
+                 direction_fallback=None,
+                 walk_cache: Optional[bool] = None,
+                 walk_memo: bool = False):
         self.program = program
         self.fragment_config = fragment_config
         self.predictor = predictor
@@ -62,9 +64,26 @@ class FrontEndControl:
         #: pure functions of the key (the bimodal fallback trains over
         #: time, so a walk that asked it may answer differently later).
         #: None under ``REPRO_FAST=0`` (the golden-parity reference).
+        #: The *walk_cache* parameter pins the choice explicitly (the
+        #: processor resolves it from its PerfConfig so benchmark runs
+        #: can mix tiers in one process); None defers to the environment.
+        if walk_cache is None:
+            walk_cache = fast_paths_enabled()
         self._walk_cache: Optional[
             Dict[Tuple[int, Tuple[bool, ...]], StaticFragment]] = (
-            {} if fast_paths_enabled() else None)
+            {} if walk_cache else None)
+        #: Tier-2 verify-on-hit memo for walks that *did* consult the
+        #: fallback: each entry records the fragment plus the exact
+        #: ``(pc, answer)`` sequence the fallback produced during the
+        #: original walk.  A hit re-asks the (pure) fallback the same
+        #: questions in the same order; if every answer still matches,
+        #: replaying the cached fragment is bit-identical to re-walking.
+        #: Any drift (the bimodal table trained since) falls back to a
+        #: fresh walk.  See ``docs/DATA_LAYOUT.md``.
+        self._fallback_memo: Optional[Dict[
+            Tuple[int, Tuple[bool, ...]],
+            Tuple[StaticFragment, Tuple[Tuple[int, bool], ...]]]] = (
+            {} if (walk_memo and walk_cache) else None)
 
     # -- fragment generation ----------------------------------------------
 
@@ -93,15 +112,29 @@ class FrontEndControl:
         self.stats.add("frontend.fragments_created")
         return fragment
 
+    def prewarm(self, start: int, directions) -> Optional[StaticFragment]:
+        """Pre-walk one fragment key into the walk caches.
+
+        Functional-warming hook: only the pure walk cache and the
+        verify-on-hit fallback memo are populated — both replay
+        bit-identically (the memo re-verifies its recorded fallback
+        answers on every hit), so prewarming cannot change results.
+        Returns the walked fragment, or None when caching is off."""
+        if self._walk_cache is None:
+            return None
+        return self._walk(start, directions)
+
     def _walk(self, start: int, directions) -> StaticFragment:
         """Walk (or recall) the fragment at ``(start, directions)``.
 
-        Walks are memoised only when the direction fallback was never
-        consulted: with every conditional branch covered by a supplied
-        direction bit, the walk is a pure function of the key and the
-        (immutable) program, so replaying the cached result is
-        bit-identical to re-walking — including predictor state, which
-        is untouched either way.
+        Walks that never consulted the direction fallback are memoised
+        unconditionally: with every conditional branch covered by a
+        supplied direction bit, the walk is a pure function of the key
+        and the (immutable) program.  Under tier 2, fallback-consulted
+        walks are additionally memoised with the fallback's recorded
+        answers and verified on every hit (the bimodal table trains over
+        time, so yesterday's answers may have drifted); either way the
+        replayed result is bit-identical to re-walking.
         """
         cache = self._walk_cache
         fallback = self.direction_fallback
@@ -112,19 +145,34 @@ class FrontEndControl:
         cached = cache.get(key)
         if cached is not None:
             return cached
-        consulted = False
+        memo = self._fallback_memo
+        if memo is not None and fallback is not None:
+            entry = memo.get(key)
+            if entry is not None:
+                static_frag, checks = entry
+                for pc, answer in checks:
+                    if fallback(pc) is not answer:
+                        break
+                else:
+                    return static_frag
+        asked: list = []
         gated = None
         if fallback is not None:
-            def gated(pc, _fallback=fallback):
-                nonlocal consulted
-                consulted = True
-                return _fallback(pc)
+            append = asked.append
+            def gated(pc, _fallback=fallback, _append=append):
+                answer = _fallback(pc)
+                _append((pc, answer))
+                return answer
         static_frag = walk_fragment(self.program, start, directions,
                                     self.fragment_config, fallback=gated)
-        if not consulted:
+        if not asked:
             if len(cache) >= _WALK_CACHE_CAPACITY:
                 cache.clear()
             cache[key] = static_frag
+        elif memo is not None:
+            if len(memo) >= _WALK_CACHE_CAPACITY:
+                memo.clear()
+            memo[key] = (static_frag, tuple(asked))
         return static_frag
 
     def _resolve_start(self, prediction: Optional[FragmentKey]):

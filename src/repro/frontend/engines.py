@@ -93,6 +93,13 @@ class FillEngine:
         """Sequencers with fetchable work this cycle (observability)."""
         raise NotImplementedError
 
+    def prewarm_chunks(self, meta, pcs) -> None:
+        """Eagerly build per-fragment fetch chunk tables (tier 2).
+
+        Functional-warming hook: chunk tables are pure functions of the
+        static fragment and the sequencer geometry, so prebuilding them
+        during warming is invisible to the timed run's results."""
+
 
 class SequentialFillEngine(FillEngine):
     """W16: a single full-width sequencer, single-ported cache.
@@ -117,8 +124,14 @@ class SequentialFillEngine(FillEngine):
         """Queue *fragment* for fetch."""
         self._queue.append(fragment)
 
+    def prewarm_chunks(self, meta, pcs) -> None:
+        """Prebuild the W16 sequencer's chunk table for one fragment."""
+        self._sequencer.prewarm_chunks(meta, pcs)
+
     def cycle(self, now: int) -> int:
         """Fetch up to one fragment's worth of instructions this cycle."""
+        if self._current is None and not self._queue:
+            return 0  # idle: nothing queued, nothing in flight
         self._gate.reset()
         if self._current is not None and (self._current.complete
                                           or self._current.squashed):
@@ -165,8 +178,14 @@ class TraceCacheFillEngine(FillEngine):
         """Queue *fragment* for trace-cache lookup and fetch."""
         self._queue.append(fragment)
 
+    def prewarm_chunks(self, meta, pcs) -> None:
+        """Prebuild the fill-path sequencer's chunk table."""
+        self._sequencer.prewarm_chunks(meta, pcs)
+
     def cycle(self, now: int) -> int:
         """Probe the trace cache, then fill at most one fragment."""
+        if self._filling is None and not self._queue:
+            return 0  # idle: nothing queued, nothing in flight
         self._gate.reset()
         if self._filling is not None and (self._filling.squashed
                                           or self._filling.complete):
@@ -235,20 +254,32 @@ class ParallelFillEngine(FillEngine):
         """Add *fragment* to the pool competing for sequencers."""
         self._pending.append(fragment)
 
+    def prewarm_chunks(self, meta, pcs) -> None:
+        """Prebuild the chunk table (all sequencers share one geometry)."""
+        self._sequencers[0].prewarm_chunks(meta, pcs)
+
     def cycle(self, now: int) -> int:
         """Let the oldest fetchable fragments use the sequencers."""
+        pending = self._pending
+        if not pending:
+            return 0
         self._gate.reset()
-        self._pending = [f for f in self._pending
-                         if not (f.squashed or f.complete)]
         # Oldest fetchable fragments win sequencers this cycle; fragments
         # waiting on a miss are skipped, overlapping the miss with the
         # fetch of younger fragments.
-        candidates = [f for f in self._pending
-                      if f.fetch_stall_until <= now]
+        keep: List[FragmentInFlight] = []
+        candidates: List[FragmentInFlight] = []
+        for f in pending:
+            if f.squashed or f.complete:
+                continue
+            keep.append(f)
+            if f.fetch_stall_until <= now:
+                candidates.append(f)
+        self._pending = keep
         fetched = 0
         for sequencer, fragment in zip(self._sequencers, candidates):
             fetched += sequencer.fetch_fragment(fragment, now, self._gate)
-        stalled = len(self._pending) - len(candidates)
+        stalled = len(keep) - len(candidates)
         if stalled:
             self.stats.add("fetch.miss_stall_cycles", stalled)
         return fetched

@@ -28,6 +28,12 @@ class Cache:
         # Each set maps line-address -> None in LRU order (oldest first).
         self._sets: List[OrderedDict] = [OrderedDict()
                                          for _ in range(self._num_sets)]
+        # Stat keys, precomputed: lookup/fill run once per modelled cache
+        # access and the f-string formatting dominated their cost.
+        self._hits_key = f"{name}.hits"
+        self._misses_key = f"{name}.misses"
+        self._evictions_key = f"{name}.evictions"
+        self._fills_key = f"{name}.fills"
 
     # -- address helpers ---------------------------------------------------
 
@@ -51,35 +57,35 @@ class Cache:
         Counts a hit or miss.  On a hit the line is promoted to MRU unless
         *update_lru* is false.
         """
-        line = self.line_addr(addr)
-        cache_set = self._sets[self.set_index(line)]
+        line = addr >> self._line_shift
+        cache_set = self._sets[line % self._num_sets]
         if line in cache_set:
             if update_lru:
                 cache_set.move_to_end(line)
-            self.stats.add(f"{self.name}.hits")
+            self.stats.add(self._hits_key)
             return True
-        self.stats.add(f"{self.name}.misses")
+        self.stats.add(self._misses_key)
         return False
 
     def probe(self, addr: int) -> bool:
         """Tag check with no statistics and no LRU update."""
-        line = self.line_addr(addr)
-        return line in self._sets[self.set_index(line)]
+        line = addr >> self._line_shift
+        return line in self._sets[line % self._num_sets]
 
     def fill(self, addr: int) -> Optional[int]:
         """Install the line containing *addr*; return the evicted line
         address (or None).  Filling a resident line just promotes it."""
-        line = self.line_addr(addr)
-        cache_set = self._sets[self.set_index(line)]
+        line = addr >> self._line_shift
+        cache_set = self._sets[line % self._num_sets]
         if line in cache_set:
             cache_set.move_to_end(line)
             return None
         victim = None
         if len(cache_set) >= self.config.assoc:
             victim, _ = cache_set.popitem(last=False)
-            self.stats.add(f"{self.name}.evictions")
+            self.stats.add(self._evictions_key)
         cache_set[line] = None
-        self.stats.add(f"{self.name}.fills")
+        self.stats.add(self._fills_key)
         return victim
 
     def adopt_state(self, donor: "Cache") -> None:

@@ -36,6 +36,13 @@ class MemoryPort:
         self.name = name
         #: line address -> cycle at which the in-flight fill completes.
         self._mshrs: Dict[int, int] = {}
+        # Hot-path precomputes: access() runs once per modelled memory
+        # request and the f-string stat keys plus config chasing showed
+        # up in profiles.
+        self._merges_key = f"{name}.mshr_merges"
+        self._miss_key = f"{name}.miss_requests"
+        self._line_shift = l1.config.line_bytes.bit_length() - 1
+        self._l1_latency = l1.config.latency
 
     def access(self, addr: int, now: int) -> int:
         """Request the line containing *addr* at cycle *now*.
@@ -44,18 +51,21 @@ class MemoryPort:
         equal to ``now + l1.latency - 1`` means "available this cycle" for
         1-cycle L1s.
         """
-        self._expire_mshrs(now)
-        line = self.l1.line_addr(addr)
-        if self._mshrs.get(line, -1) > now:
+        mshrs = self._mshrs
+        if len(mshrs) > 64:
+            self._expire_mshrs(now)
+            mshrs = self._mshrs
+        line = addr >> self._line_shift
+        if mshrs.get(line, -1) > now:
             # Merge with the in-flight miss; no new tag activity.
-            self.stats.add(f"{self.name}.mshr_merges")
-            return self._mshrs[line]
+            self.stats.add(self._merges_key)
+            return mshrs[line]
 
         if self.l1.lookup(addr):
-            return now + self.l1.config.latency - 1
+            return now + self._l1_latency - 1
 
         # L1 miss: probe L2, then memory.
-        latency = self.l1.config.latency
+        latency = self._l1_latency
         if self.l2.lookup(addr):
             latency += self.l2.config.latency
         else:
@@ -63,8 +73,8 @@ class MemoryPort:
             self.l2.fill(addr)
         self.l1.fill(addr)
         ready = now + latency - 1
-        self._mshrs[line] = ready
-        self.stats.add(f"{self.name}.miss_requests")
+        mshrs[line] = ready
+        self.stats.add(self._miss_key)
         return ready
 
     def is_hit(self, addr: int) -> bool:

@@ -1,0 +1,74 @@
+"""Speed tiers and the reproducible wall-clock benchmark harness.
+
+Three related jobs live in this package:
+
+* :mod:`repro.perf.knobs` — the ``REPRO_FAST`` tier switch.  Tier 0 is
+  the reference loop (the correctness oracle), tier 1 (default) enables
+  the behaviour-preserving hot-path caches, tier 2 adds the batched
+  structure-of-arrays cycle step.  The golden-parity tests
+  (``tests/test_perf.py``, ``tests/test_perf_soa.py``) run the tiers
+  side by side and assert every result counter is bit-identical, which
+  is what licenses the fast tiers in the first place.  Structural
+  optimizations (precomputed instruction attributes, the array-backed
+  rename map, idle-phase skipping) are unconditional — they are provably
+  behaviour-preserving and have no slow twin.
+
+* :mod:`repro.perf.soa` — the tier-2 batched state: flattened oracle
+  PCs and per-fragment decode/source/dest metadata the batched rename,
+  tagging and commit loops run over (layout in ``docs/DATA_LAYOUT.md``).
+
+* :mod:`repro.perf.bench` — the benchmark harness behind
+  ``benchmarks/bench_perf.py`` and the ``BENCH_perf*.json`` records.
+"""
+
+from repro.config import PERF_FAST_ENV
+from repro.perf.bench import (
+    PINNED_BENCHMARK,
+    PINNED_CONFIGS,
+    PINNED_INSTRUCTIONS,
+    SAMPLED_INSTRUCTIONS,
+    SCHEMA_VERSION,
+    SMOKE_INSTRUCTIONS,
+    SMOKE_SAMPLED_INSTRUCTIONS,
+    SOA_GATE_SPEEDUP,
+    SOA_TARGET_SPEEDUP,
+    calibrate,
+    check_soa_speedup,
+    compare_records,
+    load_record,
+    run_benchmark,
+    run_matrix,
+    run_sampled_benchmark,
+    write_record,
+)
+from repro.perf.knobs import (
+    PerfConfig,
+    fast_level,
+    fast_paths_enabled,
+    soa_enabled,
+)
+
+__all__ = [
+    "PERF_FAST_ENV",
+    "PINNED_BENCHMARK",
+    "PINNED_CONFIGS",
+    "PINNED_INSTRUCTIONS",
+    "SAMPLED_INSTRUCTIONS",
+    "SCHEMA_VERSION",
+    "SMOKE_INSTRUCTIONS",
+    "SMOKE_SAMPLED_INSTRUCTIONS",
+    "SOA_GATE_SPEEDUP",
+    "SOA_TARGET_SPEEDUP",
+    "PerfConfig",
+    "calibrate",
+    "check_soa_speedup",
+    "compare_records",
+    "fast_level",
+    "fast_paths_enabled",
+    "load_record",
+    "run_benchmark",
+    "run_matrix",
+    "run_sampled_benchmark",
+    "soa_enabled",
+    "write_record",
+]

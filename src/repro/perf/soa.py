@@ -1,0 +1,127 @@
+"""Tier-2 batched structure-of-arrays pipeline state (``REPRO_FAST=2``).
+
+The reference cycle loop re-derives the same per-instruction facts for
+every dynamic instance: oracle tagging compares PCs one attribute lookup
+at a time, rename asks the decode cache for operands per uop, commit
+releases window slots one at a time.  Tier 2 hoists everything that is a
+pure function of the *static* fragment into a :class:`FragMeta` built
+once per :class:`~repro.frontend.fragments.StaticFragment`, and flattens
+the oracle stream's PCs into one preallocated list so tagging a fragment
+becomes a single slice comparison.
+
+Index linkage invariants (see ``docs/DATA_LAYOUT.md`` for the full
+memory model):
+
+* ``SoAState.oracle_pcs[i]`` is the PC of oracle record ``i`` — the
+  flat mirror of ``Processor._oracle``; positions never move.
+* ``FragMeta.pcs/srcs/dest/decoded[p]`` describe static instruction
+  position ``p`` of one fragment; a fragment's dynamic uop at position
+  ``p`` is built from exactly these entries, so tier 2 produces
+  bit-identical uops to the reference ``_make_uop`` path.
+* Metadata is cached per *canonical fragment key*.  The key records the
+  actual direction of every conditional branch inside the fragment
+  (fallback-supplied bits included — see ``walk_fragment``), so for a
+  fixed program it fully determines the walk path: two static fragments
+  with equal keys carry the same ``Instruction`` objects position for
+  position, and sharing one metadata entry between them is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.uop import DecodeCache, DecodedUop
+from repro.emulator.stream import DynamicInstruction
+from repro.frontend.fragments import FragmentKey, StaticFragment
+
+
+class FragMeta:
+    """Per-static-fragment arrays the batched loops index by position."""
+
+    __slots__ = ("insts", "pcs", "srcs", "dest", "decoded", "src_plan",
+                 "chunks")
+
+    def __init__(self, static: StaticFragment, cache: DecodeCache):
+        #: The fragment's (non-NOP) instructions, aliased for the rename
+        #: hot loop.
+        self.insts = static.instructions
+        # One fused pass builds every per-position array (pcs, decoded,
+        # srcs, dest, src_plan): metadata construction is pure tier-2
+        # overhead, so its cost lands directly on the speedup ratio.
+        lookup = cache.lookup
+        #: PC per position — compared against ``oracle_pcs`` as a slice.
+        pcs: List[int] = []
+        #: One shared :class:`DecodedUop` per position.
+        decoded: List[DecodedUop] = []
+        #: Dependence-creating source registers per position.
+        srcs_l: List[Tuple[int, ...]] = []
+        #: Destination register per position (None = no rename effect).
+        dest_l: List[Optional[int]] = []
+        #: Per-position source-resolution plan for the parallel renamer.
+        #: Which map a source register resolves against is a pure
+        #: function of the static fragment (rename runs positions in
+        #: order, so the nearest earlier internal write — if any — always
+        #: wins over the incoming map).  Entry ``q >= 0``: the producer
+        #: is this fragment's own uop at position ``q``.  Entry
+        #: ``-(reg + 1)``: the source reads register ``reg`` from the
+        #: fragment's incoming map (or architectural state when absent).
+        plan: List[Tuple[int, ...]] = []
+        last_write: Dict[int, int] = {}
+        lw_get = last_write.get
+        for p, inst in enumerate(static.instructions):
+            addr = inst.addr
+            pcs.append(addr)
+            d = lookup(addr, inst)
+            decoded.append(d)
+            srcs = d.srcs
+            srcs_l.append(srcs)
+            dest = d.dest
+            dest_l.append(dest)
+            plan.append(tuple(lw_get(r, -(r + 1)) for r in srcs))
+            if dest is not None:
+                last_write[dest] = p
+        self.pcs = pcs
+        self.decoded = decoded
+        self.srcs = srcs_l
+        self.dest = dest_l
+        self.src_plan = plan
+        #: Per-cycle fetch chunk tables, lazily built by the sequencer:
+        #: ``(width, line_shift) -> {start_cursor: (end_cursor, fetched)}``.
+        #: A sequencer cycle's stopping point (width exhausted, line
+        #: boundary, taken transfer) is a pure function of the static
+        #: fragment, so the walk is computed once per geometry.
+        self.chunks: Dict[Tuple[int, int], Dict[int, Tuple[int, int]]] = {}
+
+
+class SoAState:
+    """Flat tier-2 state owned by one :class:`Processor` instance."""
+
+    __slots__ = ("oracle_pcs", "_cache", "_meta")
+
+    #: Metadata entries kept before the cache is wiped (a safety bound —
+    #: real workloads revisit far fewer distinct fragment keys).
+    _META_CAP = 8192
+
+    def __init__(self, oracle: List[DynamicInstruction],
+                 decode_cache: DecodeCache):
+        #: PC of every oracle record, flattened for slice comparison.
+        self.oracle_pcs: List[int] = [r.pc for r in oracle]
+        self._cache = decode_cache
+        self._meta: Dict[FragmentKey, FragMeta] = {}
+
+    def meta_for(self, static: StaticFragment) -> FragMeta:
+        """The (cached) batched metadata for *static*.
+
+        Keyed by the canonical fragment key rather than object identity:
+        walks that consulted the direction fallback produce fresh
+        ``StaticFragment`` objects every time (the walk cache cannot memo
+        them), but their canonical keys — and therefore instructions —
+        are identical, so the metadata is shared."""
+        meta = self._meta.get(static.key)
+        if meta is not None:
+            return meta
+        if len(self._meta) >= self._META_CAP:
+            self._meta.clear()
+        meta = FragMeta(static, self._cache)
+        self._meta[static.key] = meta
+        return meta

@@ -31,12 +31,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core.uop import MicroOp, PlaceholderProducer, Producer
+from repro.core.uop import MicroOp, PlaceholderProducer, Producer, UopState
 from repro.frontend.buffers import FragmentInFlight
 from repro.isa.registers import NUM_ARCH_REGS, ZERO_REG
 from repro.predictors.liveout import LiveOutPredictor
 from repro.rename.base import MakeUop, dest_of, link_sources
 from repro.stats import StatsCollector
+
+#: Shared empty incoming map for fragments renamed before phase 1 set one.
+_EMPTY: Dict[int, Producer] = {}
 
 
 class ParallelRenamer:
@@ -45,12 +48,17 @@ class ParallelRenamer:
     def __init__(self, renamers: int, renamer_width: int, window,
                  liveout_predictor: LiveOutPredictor,
                  stats: StatsCollector,
-                 use_liveout_prediction: bool = True):
+                 use_liveout_prediction: bool = True,
+                 dispatch_delay: int = 1):
         self.num_renamers = renamers
         self.renamer_width = renamer_width
         self.window = window
         self.liveout_predictor = liveout_predictor
         self.stats = stats
+        #: Backend dispatch-pipeline latency, so the tier-2 batch loop
+        #: can stamp ``dispatch_ready_cycle`` at build time and hand the
+        #: whole batch to the core in one extend.
+        self.dispatch_delay = dispatch_delay
         #: False selects the paper's *solution 1* (Section 4): no live-out
         #: prediction; every fragment forwards pass-through placeholders
         #: and consumers are delayed until the mappings become available.
@@ -64,6 +72,11 @@ class ParallelRenamer:
         #: Every fragment that flagged a misprediction this cycle (the
         #: selective re-execution policy must repair each one).
         self.pending_liveout_mispredicts: List[FragmentInFlight] = []
+        #: Whether this cycle finished any fragment's rename — the SoA
+        #: step skips the buffer-release scan on cycles where nothing
+        #: can have become releasable (rename_done is only ever set
+        #: inside a renamer cycle or on paths that release explicitly).
+        self.finished_any = False
 
     # -- per-cycle operation ----------------------------------------------
 
@@ -76,6 +89,47 @@ class ParallelRenamer:
         renamed = self._phase2(now, fragments, make_uop)
         self.stats.add("rename.insts", len(renamed))
         return renamed
+
+    def cycle_soa(self, now: int,
+                  fragments: List[FragmentInFlight]) -> tuple:
+        """Tier-2 batched twin of :meth:`cycle` (``REPRO_FAST=2``);
+        returns ``(renamed, wrongpath_count)``.
+
+        Phase 1 is untouched (it already runs at most once per cycle);
+        phase 2 renames each slot's batch through
+        :meth:`_rename_fragment_soa`, building uops straight from the
+        fragment's precomputed :class:`~repro.perf.soa.FragMeta` arrays.
+        """
+        self.pending_liveout_mispredict = None
+        self.pending_liveout_mispredicts = []
+        self.finished_any = False
+        self._phase1(now, fragments)
+
+        slots = self._slots
+        free = 0
+        for i, fragment in enumerate(slots):
+            if fragment is None:
+                free += 1
+            elif fragment.squashed or fragment.rename_done:
+                slots[i] = None
+                free += 1
+        if free:
+            # Only scan for candidates when a slot can actually take one.
+            assigned = {f.seq for f in slots if f is not None}
+            candidates = [f for f in fragments
+                          if f.phase1_done and not f.rename_done
+                          and not f.squashed and f.seq not in assigned]
+            for i in range(len(slots)):
+                if slots[i] is None and candidates:
+                    slots[i] = candidates.pop(0)
+
+        renamed: List[MicroOp] = []
+        wrong = 0
+        for fragment in list(slots):
+            if fragment is not None:
+                wrong += self._rename_fragment_soa(now, fragment, renamed)
+        self.stats.add("rename.insts", len(renamed))
+        return renamed, wrong
 
     # -- phase 1 -----------------------------------------------------------
 
@@ -196,6 +250,122 @@ class ParallelRenamer:
             self._finish_fragment(fragment, now)
         return renamed
 
+    def _rename_fragment_soa(self, now: int, fragment: FragmentInFlight,
+                             renamed: List[MicroOp]) -> int:
+        """Batched twin of :meth:`_rename_fragment` (appends into
+        *renamed*; returns the batch's wrong-path uop count).  Source
+        linking follows the precomputed ``FragMeta.src_plan`` — the same
+        internal-writer-over-incoming-map priority as
+        :func:`~repro.rename.base.link_sources`, resolved statically —
+        and the live-out misprediction conditions are re-checked per uop
+        because :meth:`_flag_mispredict` can fire mid-batch."""
+        wrong = 0
+        budget = min(self.renamer_width, fragment.renameable_count())
+        if budget > 0 and fragment.rename_started_cycle < 0:
+            fragment.rename_started_cycle = now
+            self.stats.add("rename.fragments_started")
+            if fragment.complete:
+                self.stats.add("rename.fragments_preconstructed")
+        if budget > 0:
+            stats = self.stats
+            meta = fragment.soa_meta
+            insts = meta.insts
+            pcs, dec_l = meta.pcs, meta.decoded
+            plan_l, dest_l = meta.src_plan, meta.dest
+            records = fragment.records
+            rec_len = len(records)
+            uops = fragment.uops
+            writers = fragment.internal_writers
+            incoming = fragment.incoming_map
+            incoming_get = incoming.get if incoming is not None else _EMPTY.get
+            placeholders_get = fragment.placeholders.get
+            prediction = fragment.liveout_prediction
+            # Locals mirror the per-uop re-check of the reference loop:
+            # only _flag_mispredict (called right here) can flip
+            # liveout_mispredicted mid-batch, so tracking it locally is
+            # exact.  is_last_write is inlined as a bitmap test.
+            check_liveout = (prediction is not None
+                             and not fragment.liveout_mispredicted)
+            lw_bits = prediction.last_writes if prediction is not None else 0
+            renamed_state = UopState.RENAMED
+            dispatch_ready = now + self.dispatch_delay
+            fseq = fragment.seq
+            seq_base = fseq << 8
+            m_target = fragment.mispredict_target
+            m_pos = (fragment.mispredict_position
+                     if m_target is not None else None)
+            start = fragment.read_count
+            for p in range(start, start + budget):
+                uop = MicroOp.__new__(MicroOp)
+                uop.seq = seq_base | p
+                uop.inst = insts[p]
+                uop.pc = pcs[p]
+                uop.fragment_seq = fseq
+                uop.position = p
+                entry = records[p] if p < rec_len else None
+                if entry is not None:
+                    uop.record = entry[0]
+                    uop.oracle_idx = entry[1]
+                else:
+                    uop.record = None
+                    uop.oracle_idx = -1
+                    wrong += 1
+                uop.decoded = dec_l[p]
+                uop.state = renamed_state
+                sources: List[Producer] = []
+                uop.sources = sources
+                uop.complete_cycle = -1
+                uop.renamed_cycle = now
+                uop.dispatch_ready_cycle = dispatch_ready
+                uop.consumers = []
+                uop.pending = 0
+                uop.redirect_target = m_target if p == m_pos else None
+                uop.issue_cycle = -1
+                uop.commit_cycle = -1
+                before_source = False
+                # src_plan resolves each source statically: codes >= 0
+                # name an earlier position in this fragment (always a
+                # MicroOp, never a placeholder), negative codes read
+                # register ``-(code + 1)`` from the incoming map.
+                for code in plan_l[p]:
+                    if code >= 0:
+                        sources.append(uops[code])
+                    else:
+                        producer = incoming_get(-1 - code)
+                        if producer is not None:
+                            sources.append(producer)
+                            if (producer.__class__ is PlaceholderProducer
+                                    and producer.producer is None):
+                                before_source = True
+                if before_source:
+                    stats.add("rename.before_source")
+                dest = dest_l[p]
+                if dest is not None:
+                    if check_liveout:
+                        placeholder = placeholders_get(dest)
+                        if placeholder is None:
+                            # Condition 1: write to an unpredicted live-out.
+                            self._flag_mispredict(fragment, "cond1")
+                            check_liveout = False
+                        elif lw_bits >> p & 1:
+                            if placeholder.producer is not None:
+                                self._flag_mispredict(fragment, "cond3")
+                                check_liveout = False
+                            else:
+                                placeholder.bind(uop)
+                        elif placeholder.producer is not None:
+                            # Condition 3: write after predicted last write.
+                            self._flag_mispredict(fragment, "cond3")
+                            check_liveout = False
+                    writers[dest] = uop
+                uops.append(uop)
+                renamed.append(uop)
+            fragment.read_count = start + budget
+        if (fragment.read_count >= fragment.length
+                and not fragment.rename_done):
+            self._finish_fragment(fragment, now)
+        return wrong
+
     def _handle_dest(self, fragment: FragmentInFlight, uop: MicroOp,
                      position: int) -> None:
         dest = dest_of(uop)
@@ -234,6 +404,7 @@ class ParallelRenamer:
         fragment.outgoing_actual = outgoing
         fragment.rename_done = True
         fragment.rename_done_cycle = now
+        self.finished_any = True
 
     def _resolve_cold_placeholders(self, fragment: FragmentInFlight) -> None:
         """Bind a cold fragment's pass-through placeholders now that its

@@ -51,6 +51,23 @@ DEFAULT_PERIOD = 16
 DEFAULT_UNIT = 1000
 DEFAULT_WARMUP = 1000
 
+
+def _env_int(name: str, default: int, minimum: int) -> int:
+    """An integer knob from the environment, or *default*.
+
+    Unset, blank, and below-*minimum* values all fall back to the
+    default.  The explicit minimum check matters: the natural
+    ``int(os.environ.get(name) or default)`` treats the *string* ``"0"``
+    as truthy, so ``REPRO_SAMPLE=0`` (every documented knob's "off"
+    spelling) would parse to a literal 0 and crash config validation
+    instead of deferring — the regression the test suite pins.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    value = int(raw)
+    return value if value >= minimum else default
+
 #: 95% two-sided normal quantile for the CLT confidence interval.
 _Z_95 = 1.96
 
@@ -84,11 +101,11 @@ class SamplingConfig:
         """Build a config from ``REPRO_SAMPLE_UNIT`` / ``_WARMUP``,
         with *period* overriding ``REPRO_SAMPLE`` (default 16)."""
         if period is None:
-            period = int(os.environ.get(SAMPLE_ENV) or DEFAULT_PERIOD)
+            period = _env_int(SAMPLE_ENV, DEFAULT_PERIOD, 1)
         return cls(
             period=period,
-            unit=int(os.environ.get(UNIT_ENV) or DEFAULT_UNIT),
-            warmup=int(os.environ.get(WARMUP_ENV) or DEFAULT_WARMUP))
+            unit=_env_int(UNIT_ENV, DEFAULT_UNIT, 1),
+            warmup=_env_int(WARMUP_ENV, DEFAULT_WARMUP, 0))
 
     def as_tuple(self) -> tuple:
         """``(period, unit, warmup)`` — the identity tuple cache keys
@@ -108,7 +125,7 @@ def resolve_sampling(value: Union[None, bool, int, SamplingConfig]
     if isinstance(value, SamplingConfig):
         return value
     if value is None:
-        period = int(os.environ.get(SAMPLE_ENV) or 0)
+        period = _env_int(SAMPLE_ENV, 0, 1)
         return SamplingConfig.from_env(period) if period > 0 else None
     if value is True:
         return SamplingConfig.from_env()

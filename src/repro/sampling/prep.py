@@ -54,7 +54,10 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 
 #: Process-wide prep-cache observability (thread-safe: the job server's
 #: executor threads run simulations — and therefore prep-cache loads —
-#: concurrently).  ``prep.stream_corrupt`` counts quarantined bundles.
+#: concurrently).  ``prep.stream_corrupt`` counts quarantined bundles;
+#: ``prep.snapshot_trains`` / ``prep.snapshot_hits`` count warm-snapshot
+#: builds versus clones served from the in-process cache (grouped sweeps
+#: drive the hit rate up — see ``REPRO_SWEEP_GROUP``).
 PREP_STATS = ThreadSafeStatsCollector()
 
 #: Bump to invalidate on-disk streams when the emulator/ISA changes shape.
@@ -324,6 +327,7 @@ def warm_from_snapshot(processor: "Processor", oracle,
     cache_key = (key, _warm_digest(processor.config))
     snapshot = _snapshots.get(cache_key)
     if snapshot is None:
+        PREP_STATS.add("prep.snapshot_trains")
         snapshot = _WarmSnapshot(processor.config, pin)
         state = WarmingState(_Donor(processor.config, snapshot))
         state.feed(oracle)
@@ -332,6 +336,7 @@ def warm_from_snapshot(processor: "Processor", oracle,
         if len(_snapshots) > _SNAPSHOT_CAP:
             _snapshots.popitem(last=False)
     else:
+        PREP_STATS.add("prep.snapshot_hits")
         _snapshots.move_to_end(cache_key)
 
     processor.adopt_warm_state(snapshot)

@@ -10,10 +10,12 @@ from repro.core.simulation import SimulationResult
 from repro.errors import SweepError
 from repro.experiments.runner import (
     CACHE_SCHEMA_VERSION,
+    GROUP_ENV,
     JobFailure,
     ResultCache,
     SweepJob,
     default_backoff,
+    default_group_streams,
     default_job_timeout,
     default_retries,
     default_workers,
@@ -245,6 +247,68 @@ class TestRunSweep:
     def test_empty_sweep(self, tmp_path):
         report = run_sweep([], cache=ResultCache(tmp_path, enabled=True))
         assert report.results == {} and report.executed == 0
+
+
+class TestStreamGrouping:
+    """Stream-sharing jobs scheduled as one group must change worker
+    placement only — never results, failures, or merge determinism."""
+
+    def test_grouped_identical_to_ungrouped(self, tmp_path):
+        jobs = [SweepJob(config, bench, LENGTH)
+                for config in ("w16", "tc") for bench in ("gzip", "mcf")]
+        grouped = run_sweep(jobs, workers=2, group_streams=True,
+                            cache=ResultCache(tmp_path, enabled=True))
+        ungrouped = run_sweep(jobs, workers=2, group_streams=False,
+                              cache=ResultCache(tmp_path / "x",
+                                                enabled=False))
+        assert not grouped.failures and not ungrouped.failures
+        # Two benchmarks at one length -> two stream groups of two jobs.
+        assert int(grouped.stats.get("sweep.stream_groups")) == 2
+        assert int(ungrouped.stats.get("sweep.stream_groups")) == 0
+        for job in jobs:
+            assert grouped.results[job] == ungrouped.results[job]
+
+    def test_grouped_identical_to_serial(self, tmp_path):
+        jobs = [SweepJob(config, "gzip", LENGTH)
+                for config in ("w16", "tc", "pf-2x8w")]
+        grouped = run_sweep(jobs, workers=2, group_streams=True,
+                            cache=ResultCache(tmp_path, enabled=True))
+        # One benchmark -> one group -> the pool clamps to one worker.
+        assert int(grouped.stats.get("sweep.stream_groups")) == 1
+        assert int(grouped.stats.get("sweep.workers")) == 1
+        serial = run_sweep(jobs, workers=1, group_streams=False,
+                           cache=ResultCache(tmp_path / "x", enabled=False))
+        for job in jobs:
+            assert grouped.results[job] == serial.results[job]
+
+    def test_group_member_failure_recovers_inline(self, tmp_path,
+                                                  monkeypatch):
+        """A failing job inside a group must not poison its siblings:
+        its error comes back per-job and only it is retried."""
+        monkeypatch.setenv(faults.FAULTS_ENV,
+                           "worker_exception match=w16 attempts=0")
+        jobs = [SweepJob("w16", "gzip", LENGTH),
+                SweepJob("tc", "gzip", LENGTH),
+                SweepJob("tc", "mcf", LENGTH)]
+        report = run_sweep(jobs, workers=2, backoff=0.0, group_streams=True,
+                           cache=ResultCache(tmp_path, enabled=True))
+        # Two groups -> real pool fan-out; only the faulted member of the
+        # gzip group retries.
+        assert int(report.stats.get("sweep.stream_groups")) == 2
+        assert not report.failures
+        assert len(report.results) == len(jobs)
+        assert int(report.stats.get("sweep.worker_errors")) == 1
+        assert int(report.stats.get("sweep.recovered")) == 1
+
+    def test_default_group_streams_parsing(self, monkeypatch):
+        monkeypatch.delenv(GROUP_ENV, raising=False)
+        assert default_group_streams()
+        for value in ("0", "false", "NO", " off "):
+            monkeypatch.setenv(GROUP_ENV, value)
+            assert not default_group_streams(), value
+        for value in ("1", "yes", ""):
+            monkeypatch.setenv(GROUP_ENV, value)
+            assert default_group_streams(), value
 
 
 class TestFaultTolerance:

@@ -315,6 +315,27 @@ class TestSamplingConfig:
         monkeypatch.setenv(sampling_engine.SAMPLE_ENV, "0")
         assert resolve_sampling(None) is None
 
+    def test_falsy_env_values_fall_back(self, monkeypatch):
+        """Regression: ``REPRO_SAMPLE=0`` is the documented "off"
+        spelling, but the string ``"0"`` is truthy, so the old
+        ``int(env or default)`` parsed it to a literal 0 and an
+        explicit ``sampling=True`` run then *crashed* in config
+        validation instead of using the default period."""
+        monkeypatch.setenv(sampling_engine.SAMPLE_ENV, "0")
+        monkeypatch.setenv(sampling_engine.UNIT_ENV, "0")
+        config = SamplingConfig.from_env()  # the REPRO_SAMPLE=0 crash
+        assert config.period == sampling_engine.DEFAULT_PERIOD
+        assert config.unit == sampling_engine.DEFAULT_UNIT
+        assert resolve_sampling(True).period == sampling_engine.DEFAULT_PERIOD
+        # Blank and whitespace-only values defer like unset ones.
+        monkeypatch.setenv(sampling_engine.SAMPLE_ENV, "  ")
+        assert resolve_sampling(None) is None
+        assert SamplingConfig.from_env().period \
+            == sampling_engine.DEFAULT_PERIOD
+        # warmup=0 is a *valid* value, not a falsy fallback case.
+        monkeypatch.setenv(sampling_engine.WARMUP_ENV, "0")
+        assert SamplingConfig.from_env().warmup == 0
+
 
 class TestRunSampled:
     def test_counter_contract(self):
