@@ -23,6 +23,13 @@ floor (within-record ratio, so machine speed cancels exactly)::
 
     PYTHONPATH=src python benchmarks/bench_perf.py --smoke --soa-gate
 
+``--cosim`` adds a section timing one co-simulated stream pass of the
+pinned paper-config matrix against N independent serial passes;
+``--cosim-gate`` fails the run unless the within-record speedup clears
+the floor::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py --smoke --cosim-gate
+
 See docs/PERFORMANCE.md for how to read the record.
 """
 
@@ -80,6 +87,25 @@ def main(argv=None) -> int:
                         help="speedup floor for --soa-gate (default: "
                              f"{perf.SOA_GATE_SPEEDUP}; the design "
                              f"target is {perf.SOA_TARGET_SPEEDUP})")
+    parser.add_argument("--cosim", action="store_true",
+                        help="add a 'cosim' section timing one "
+                             "co-simulated stream pass of the pinned "
+                             f"{len(perf.COSIM_CONFIGS)}-config matrix "
+                             "against N independent serial passes")
+    parser.add_argument("--cosim-gate", action="store_true",
+                        help="implies --cosim; exit 1 unless the co-sim "
+                             "pass beats the speedup floor vs serial "
+                             "within this same record")
+    parser.add_argument("--cosim-floor", type=float,
+                        default=perf.COSIM_GATE_SPEEDUP,
+                        help="speedup floor for --cosim-gate (default: "
+                             f"{perf.COSIM_GATE_SPEEDUP}; the design "
+                             f"target is {perf.COSIM_TARGET_SPEEDUP})")
+    parser.add_argument("--cosim-instructions", type=int, default=None,
+                        help="instructions for the cosim scenario "
+                             f"(default: {perf.SAMPLED_INSTRUCTIONS}, or "
+                             f"{perf.SMOKE_SAMPLED_INSTRUCTIONS} with "
+                             "--smoke)")
     parser.add_argument("--output", "-o", default="BENCH_perf.json",
                         help="record path (default: BENCH_perf.json)")
     parser.add_argument("--check", metavar="BASELINE",
@@ -103,13 +129,22 @@ def main(argv=None) -> int:
                                     if args.smoke
                                     else perf.SAMPLED_INSTRUCTIONS)
 
+    cosim_instructions = None
+    if args.cosim or args.cosim_gate:
+        cosim_instructions = args.cosim_instructions
+        if cosim_instructions is None:
+            cosim_instructions = (perf.SMOKE_SAMPLED_INSTRUCTIONS
+                                  if args.smoke
+                                  else perf.SAMPLED_INSTRUCTIONS)
+
     record = perf.run_matrix(configs=args.configs,
                              benchmark=args.benchmark,
                              instructions=instructions,
                              repeats=args.repeats,
                              phase_breakdown=not args.no_phases,
                              sampled_instructions=sampled_instructions,
-                             soa=args.soa or args.soa_gate)
+                             soa=args.soa or args.soa_gate,
+                             cosim_instructions=cosim_instructions)
     perf.write_record(record, args.output)
 
     header = (f"{'config':10s} {'cycles/s':>12s} {'uops/s':>12s} "
@@ -141,6 +176,14 @@ def main(argv=None) -> int:
                   f"{entry['speedup']:7.2f}x "
                   f"{entry['ipc_rel_error'] * 100:7.2f}% "
                   f"{entry['ipc_ci_rel'] * 100:7.2f}%")
+    if "cosim" in record:
+        entry = record["cosim"][0]
+        print(f"\nco-sim: one stream pass, {len(entry['configs'])} timing "
+              f"models ({entry['instructions']} instructions):")
+        print(f"  serial {entry['serial_wall_seconds']:.3f}s  "
+              f"cosim {entry['wall_seconds']:.3f}s  "
+              f"speedup {entry['speedup_vs_serial']:.2f}x  "
+              f"({entry['sim_cycles_per_sec']:.0f} agg sim cycles/s)")
     print(f"calibration {record['calibration_score']:.0f} spins/s; "
           f"record written to {args.output}")
 
@@ -164,6 +207,17 @@ def main(argv=None) -> int:
                 print(f"  {failure}", file=sys.stderr)
             return 1
         print(f"SoA gate (>= {args.soa_floor}x vs tier 1): OK")
+
+    if args.cosim_gate:
+        failures = perf.check_cosim_speedup(record,
+                                            target=args.cosim_floor)
+        if failures:
+            print(f"\nCO-SIM GATE FAILED (floor {args.cosim_floor}x):",
+                  file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"co-sim gate (>= {args.cosim_floor}x vs serial): OK")
     return 0
 
 

@@ -341,6 +341,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     sweep = functools.partial(
         run_sweep, jobs, workers=args.workers, cache=cache,
         progress=progress, retries=args.retries, timeout=args.timeout,
+        cosim=False if args.no_cosim else None,
         observer=None if fleet is None else fleet.observe)
     if args.attach:
         report = _attach_sweep(sweep, fleet, progress_out)
@@ -714,6 +715,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: REPRO_SWEEP_WORKERS or CPU count)")
     sweep_p.add_argument("--no-cache", action="store_true",
                          help="bypass the on-disk result cache")
+    sweep_p.add_argument("--no-cosim", action="store_true",
+                         help="run grouped jobs back to back instead of "
+                              "co-simulating them over one shared stream "
+                              "(REPRO_COSIM=0 does the same)")
     sweep_p.add_argument("--clear-cache", action="store_true",
                          help="delete every cached result and exit")
     sweep_p.add_argument("--retries", type=int, default=None,

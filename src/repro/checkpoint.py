@@ -58,7 +58,7 @@ from pathlib import Path
 from typing import Callable, List, Optional, Tuple
 
 from repro import faults
-from repro.config import ConfigError, ProcessorConfig
+from repro.config import ConfigError, ProcessorConfig, env_flag
 from repro.frontend.trace_cache import TraceCache
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.predictors.bimodal import BimodalPredictor
@@ -101,8 +101,8 @@ def resolve_checkpoint_every(value: object = None) -> Optional[int]:
     environments cannot skew result identity).
     """
     if value is None:
-        raw = os.environ.get(CHECKPOINT_ENV, "")
-        if not raw.strip():
+        raw = os.environ.get(CHECKPOINT_ENV, "").strip()
+        if not raw or not env_flag(CHECKPOINT_ENV):
             return None
         try:
             every = int(raw)

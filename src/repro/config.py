@@ -267,6 +267,31 @@ class BackEndConfig:
             raise ConfigError("dispatch latency cannot be negative")
 
 
+#: Spellings of an environment value that mean "off".  Shared by every
+#: boolean knob via :func:`env_flag` so ``REPRO_FOO=0`` can never mean
+#: "on" again (the ``REPRO_SAMPLE=0`` crash class fixed in PR 9, and the
+#: ``bool("0")`` bugs this registry's test guards against).
+FALSY_ENV_VALUES: Tuple[str, ...] = ("0", "false", "no", "off")
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Parse the boolean environment knob *name*.
+
+    Unset or blank yields *default*.  ``0``/``false``/``no``/``off``
+    (any case, surrounding whitespace ignored) yield ``False``; any
+    other value yields ``True``.  Every on/off ``REPRO_*`` knob must go
+    through this helper — ``bool(os.environ.get(...))`` treats the
+    string ``"0"`` as true.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    text = raw.strip().lower()
+    if not text:
+        return default
+    return text not in FALSY_ENV_VALUES
+
+
 #: Environment knobs for :class:`ObservabilityConfig.from_env`.
 OBS_SAMPLE_ENV = "REPRO_OBS_SAMPLE"
 OBS_RING_ENV = "REPRO_OBS_RING"
@@ -296,6 +321,8 @@ ENV_KNOBS: Dict[str, str] = {
     "REPRO_SWEEP_WORKERS": "sweep runner worker processes",
     "REPRO_SWEEP_GROUP": "group stream-sharing sweep jobs per worker "
                          "(0 = scatter)",
+    "REPRO_COSIM": "co-simulate grouped sweep jobs over one shared "
+                   "stream (0 = per-config serial)",
     "REPRO_SWEEP_RETRIES": "sweep job retry attempts",
     "REPRO_SWEEP_BACKOFF": "base delay between sweep job retries",
     "REPRO_JOB_TIMEOUT": "per-job wall-clock timeout in sweeps",
@@ -323,6 +350,23 @@ ENV_KNOBS: Dict[str, str] = {
     "REPRO_LIVE_PATH": "live telemetry status-file path override",
     "REPRO_LIVE_EVERY": "live telemetry snapshot cadence in cycles",
 }
+
+#: The subset of :data:`ENV_KNOBS` with on/off semantics.  Every name
+#: here is parsed through :func:`env_flag` (or a falsy-aware equivalent),
+#: so the spellings in :data:`FALSY_ENV_VALUES` disable the feature
+#: exactly like unsetting the variable.  The registry-driven test
+#: (``tests/test_env_flags.py``) probes each entry both ways; new
+#: boolean knobs must be added here to inherit that coverage.
+FLAG_ENV_KNOBS: Tuple[str, ...] = (
+    "REPRO_SWEEP_GROUP",
+    "REPRO_COSIM",
+    "REPRO_NO_CACHE",
+    "REPRO_CHECKPOINT",
+    "REPRO_INVARIANT_CHECKS",
+    "REPRO_OBS_TRACE",
+    "REPRO_OBS_PROFILE",
+    "REPRO_LIVE",
+)
 
 
 @dataclass(frozen=True)
@@ -367,18 +411,24 @@ class ObservabilityConfig:
 
     @classmethod
     def from_env(cls) -> "ObservabilityConfig":
-        """Build from ``REPRO_OBS_*`` (all unset means disabled)."""
-        trace_value = os.environ.get(OBS_TRACE_ENV, "")
+        """Build from ``REPRO_OBS_*`` (all unset means disabled).
+
+        ``REPRO_OBS_TRACE`` doubles as a path: falsy spellings disable
+        tracing, truthy spellings (``1``/``true``/…) enable it without
+        an export path, and anything else is the export destination.
+        """
+        trace_value = os.environ.get(OBS_TRACE_ENV, "").strip()
+        trace = env_flag(OBS_TRACE_ENV)
         truthy = trace_value.lower() in ("1", "true", "yes", "on")
         return cls(
             sample_interval=int(os.environ.get(OBS_SAMPLE_ENV, 0) or 0),
             ring_capacity=int(
                 os.environ.get(OBS_RING_ENV, 0) or 0) or 4096,
-            trace=bool(trace_value),
+            trace=trace,
             trace_limit=int(
                 os.environ.get(OBS_TRACE_LIMIT_ENV, 0) or 0) or 200_000,
-            trace_path=None if (truthy or not trace_value) else trace_value,
-            profile=bool(os.environ.get(OBS_PROFILE_ENV)),
+            trace_path=trace_value if (trace and not truthy) else None,
+            profile=env_flag(OBS_PROFILE_ENV),
         )
 
 
@@ -413,8 +463,7 @@ class LiveConfig:
         ``REPRO_LIVE=1`` enables publishing to the default path;
         ``REPRO_LIVE_PATH`` both enables and overrides the destination.
         """
-        enabled = os.environ.get(LIVE_ENV, "").lower() in (
-            "1", "true", "yes", "on")
+        enabled = env_flag(LIVE_ENV)
         path = os.environ.get(LIVE_PATH_ENV) or None
         if not enabled and not path:
             return None

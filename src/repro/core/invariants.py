@@ -27,6 +27,7 @@ from __future__ import annotations
 import os
 from typing import TYPE_CHECKING, Optional
 
+from repro.config import env_flag
 from repro.core.uop import UopState
 from repro.errors import DeadlockError, InvariantError
 
@@ -136,14 +137,14 @@ class InvariantChecker:
 
     @classmethod
     def from_env(cls) -> Optional["InvariantChecker"]:
-        """Checker per ``REPRO_INVARIANT_CHECKS`` (unset/0 = disabled).
+        """Checker per ``REPRO_INVARIANT_CHECKS`` (unset/falsy = off).
 
         A value > 1 audits every N-th cycle, trading detection latency
         for speed.
         """
-        raw = os.environ.get(INVARIANTS_ENV, "").strip()
-        if not raw or raw == "0":
+        if not env_flag(INVARIANTS_ENV):
             return None
+        raw = os.environ.get(INVARIANTS_ENV, "").strip()
         interval = int(raw) if raw.isdigit() else 1
         return cls(interval=max(1, interval))
 

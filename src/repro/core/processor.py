@@ -33,7 +33,7 @@ from repro.config import ProcessorConfig
 from repro.core.invariants import InvariantChecker, PipelineWatchdog
 from repro.core.uop import DecodeCache, MicroOp, PlaceholderProducer, UopState
 from repro.perf import PerfConfig
-from repro.perf.soa import SoAState
+from repro.perf.soa import SharedStream, SoAState
 from repro.backend.core import OutOfOrderCore
 from repro.emulator.stream import DynamicInstruction
 from repro.errors import ConfigError, SimulationError
@@ -71,7 +71,8 @@ class Processor:
                  watchdog=_FROM_ENV, invariants=_FROM_ENV,
                  obs: Optional["Observability"] = None,
                  live: Optional["LiveTelemetry"] = None,
-                 perf: Optional[PerfConfig] = None):
+                 perf: Optional[PerfConfig] = None,
+                 shared: Optional[SharedStream] = None):
         self.config = config
         self.program = program
         self.stats = StatsCollector()
@@ -115,17 +116,33 @@ class Processor:
         self.engine = self._build_engine()
         self.core = OutOfOrderCore(config.backend, self.memory, self.stats)
         self.renamer = self._build_renamer()
-        #: Decoded-uop cache: recurring fragments reuse one immutable
-        #: :class:`~repro.core.uop.DecodedUop` per static instruction
-        #: instead of re-deriving operands/pool/latency every rename.
-        #: None under ``REPRO_FAST=0`` (the golden-parity reference loop).
-        self.decode_cache: Optional[DecodeCache] = (
-            DecodeCache() if self.perf.fast else None)
-        #: Tier-2 batched state (``REPRO_FAST=2``): flat oracle PCs plus
-        #: per-static-fragment metadata; None below tier 2.
-        self._soa: Optional[SoAState] = (
-            SoAState(self._oracle, self.decode_cache)
-            if self.perf.soa and self.decode_cache is not None else None)
+        # Co-simulation (repro.perf.cosim) injects one SharedStream per
+        # stream group: the decode cache and SoA tables below are pure
+        # per (stream, fragment config), so sibling processors on the
+        # same stream share them without perturbing result identity.
+        # Ignored at tier 0, where the reference loop has neither.
+        if shared is not None and self.perf.fast:
+            if len(shared.oracle_pcs) != len(self._oracle):
+                raise SimulationError(
+                    "shared stream does not match this oracle stream")
+            self.decode_cache = shared.decode_cache
+            self._soa = (
+                SoAState(self._oracle, self.decode_cache,
+                         oracle_pcs=shared.oracle_pcs,
+                         meta=shared.meta_for(config.fragment))
+                if self.perf.soa else None)
+        else:
+            #: Decoded-uop cache: recurring fragments reuse one immutable
+            #: :class:`~repro.core.uop.DecodedUop` per static instruction
+            #: instead of re-deriving operands/pool/latency every rename.
+            #: None under ``REPRO_FAST=0`` (the golden-parity reference
+            #: loop).
+            self.decode_cache = DecodeCache() if self.perf.fast else None
+            #: Tier-2 batched state (``REPRO_FAST=2``): flat oracle PCs
+            #: plus per-static-fragment metadata; None below tier 2.
+            self._soa = (
+                SoAState(self._oracle, self.decode_cache)
+                if self.perf.soa and self.decode_cache is not None else None)
         #: Fetch-time oracle tagger (the SoA tier swaps in the batched
         #: slice-compare variant; both produce identical ``records``).
         self._tagger = (self._tag_fragment_soa if self._soa is not None

@@ -218,6 +218,90 @@ class WarmingState:
         self.processor.trace_predictor.restore_history(())
 
 
+def warm_donor_group(donors: Sequence["Processor"],
+                     stream: Sequence[DynamicInstruction]) -> None:
+    """Warm every donor in *donors* with one pass over *stream*.
+
+    The co-simulation path's warming amortization: N warm-snapshot
+    builds over the same stream share the stream walk, fragment carving
+    and live-out computation, which depend only on the stream and the
+    (shared) fragment config — never on the donor.  Each donor's own
+    structures (bimodal counters, predictor tables, cache LRU state,
+    trace cache) observe exactly the update sequence a solo
+    :func:`warm_processor` pass would apply, so the end state is
+    bit-identical per donor (asserted by the parity tests).
+
+    All donors must share one :class:`~repro.config.FragmentConfig`;
+    callers group by it (:func:`repro.sampling.prep.warm_group_snapshots`).
+    Like :meth:`WarmingState.finish`, this resets each donor's stats and
+    speculative history afterwards.
+    """
+    if not donors:
+        return
+    config = donors[0].config.fragment
+    for donor in donors[1:]:
+        if donor.config.fragment != config:
+            raise ValueError(
+                "warm_donor_group requires one shared fragment config")
+
+    def train_group(fragment: DynamicFragment) -> None:
+        liveouts = compute_liveouts([r.inst for r in fragment.records])
+        for donor in donors:
+            donor.trace_predictor.train(fragment.key)
+            donor.liveout_predictor.train(fragment.key, liveouts)
+            if donor.trace_cache is not None:
+                donor.trace_cache.insert(fragment.key)
+            prewarm = getattr(donor, "prewarm_fragment_key", None)
+            if prewarm is not None:
+                prewarm(fragment.key)
+
+    memories = [donor.memory for donor in donors]
+    bimodals = [donor.bimodal for donor in donors]
+    records: List[DynamicInstruction] = []
+    directions: List[bool] = []
+    seen_line = -1
+    for record in stream:
+        line = record.pc >> 6
+        if line != seen_line:
+            for memory in memories:
+                memory.l2.fill(record.pc)
+                memory.l1i.fill(record.pc)
+            seen_line = line
+        if record.ea is not None:
+            for memory in memories:
+                memory.l2.fill(record.ea)
+                memory.l1d.fill(record.ea)
+
+        inst = record.inst
+        if inst.is_nop:
+            continue
+        if inst.is_cond_branch:
+            for bimodal in bimodals:
+                bimodal.train(record.pc, record.taken)
+            directions.append(record.taken)
+
+        records.append(record)
+        reason = should_terminate(inst, len(records), config)
+        if reason is not None:
+            key = FragmentKey(records[0].pc, tuple(directions))
+            next_pc = (None if reason in (TerminationReason.INDIRECT,
+                                          TerminationReason.HALT)
+                       else record.next_pc)
+            train_group(DynamicFragment(key, records, reason, next_pc))
+            records = []
+            directions = []
+
+    if records:
+        key = FragmentKey(records[0].pc, tuple(directions))
+        train_group(DynamicFragment(key, records,
+                                    TerminationReason.STREAM_END,
+                                    records[-1].next_pc))
+
+    for donor in donors:
+        donor.stats.reset()
+        donor.trace_predictor.restore_history(())
+
+
 def warm_processor(processor: "Processor",
                    stream: Sequence[DynamicInstruction],
                    chunk_size: Optional[int] = None) -> None:

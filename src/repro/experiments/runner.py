@@ -71,7 +71,7 @@ from typing import (
 )
 
 from repro import faults
-from repro.config import ProcessorConfig, frontend_config
+from repro.config import ProcessorConfig, env_flag, frontend_config
 from repro.core.simulation import SimulationResult, run_simulation
 from repro.sampling.engine import SamplingConfig
 from repro.errors import SweepError
@@ -88,6 +88,7 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 NO_CACHE_ENV = "REPRO_NO_CACHE"
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 GROUP_ENV = "REPRO_SWEEP_GROUP"
+COSIM_ENV = "REPRO_COSIM"
 RETRIES_ENV = "REPRO_SWEEP_RETRIES"
 TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
 BACKOFF_ENV = "REPRO_SWEEP_BACKOFF"
@@ -314,7 +315,7 @@ class ResultCache:
             directory = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
         self.directory = Path(directory)
         if enabled is None:
-            enabled = not os.environ.get(NO_CACHE_ENV)
+            enabled = not env_flag(NO_CACHE_ENV)
         self.enabled = enabled
         #: Max total bytes of live entries (None = unlimited); explicit
         #: argument wins over ``REPRO_CACHE_BUDGET``.
@@ -620,18 +621,95 @@ def _pool_task(task: Tuple[SweepJob, int]) -> Tuple:
         return ("error", type(exc).__name__, str(exc))
 
 
-def _pool_group_task(tasks: Sequence[Tuple[SweepJob, int]]) -> List[Tuple]:
+def _cosim_batch(tasks: Sequence[Tuple[SweepJob, int]]
+                 ) -> Tuple[List[Tuple], Dict[str, float]]:
+    """Co-simulate one batch of stream-sibling jobs (worker-side).
+
+    Every job shares ``(benchmark, length, warm)`` *and* the same
+    sampling selector with no checkpointing (the caller partitions on
+    that), so the whole batch maps onto one
+    :func:`repro.perf.cosim.run_cosim` call.  Sampling is passed by
+    value from the jobs — never resolved from the environment — exactly
+    like :func:`_execute_job`, so cache keys keep matching what ran.
+    Returns per-job ``("ok", payload, seconds)`` outcomes in job order
+    (batch wall time split evenly — siblings share most of the work, so
+    per-job attribution is nominal) plus the savings counters.
+    """
+    from repro.perf import cosim as cosim_engine
+
+    jobs = [job for job, _ in tasks]
+    lead = jobs[0]
+    if lead.sampling is not None:
+        period, unit, warmup = lead.sampling
+        sampling: Any = SamplingConfig(period=period, unit=unit,
+                                       warmup=warmup)
+    else:
+        sampling = False
+    specs = [(job.build_config(), job.label or job.config_name)
+             for job in jobs]
+    start = time.perf_counter()
+    results, savings = cosim_engine.run_cosim(
+        specs, lead.benchmark, max_instructions=lead.length,
+        warm=lead.warm, sampling=sampling)
+    seconds = (time.perf_counter() - start) / len(jobs)
+    outcomes = [("ok", _result_to_payload(result), seconds)
+                for result in results]
+    return outcomes, savings
+
+
+def _pool_group_task(tasks: Sequence[Tuple[SweepJob, int]],
+                     cosim: bool = False
+                     ) -> Tuple[List[Tuple], Dict[str, float]]:
     """Worker entry point for a stream-sharing group of jobs.
 
     Every job in a group shares ``(benchmark, length, warm)``, so running
     the group sequentially inside one worker pays oracle-stream emulation
     and warm-snapshot training once for the whole group — the prep caches
     in :mod:`repro.sampling.prep` are process-local, and without grouping
-    each worker a job lands on rebuilds them independently.  Outcomes are
-    per-job, in job order, and never raise across the pipe: a failing job
-    yields its ``("error", ...)`` tuple without poisoning its neighbours.
+    each worker a job lands on rebuilds them independently.  With *cosim*
+    on, sub-batches of the group that also share a sampling selector
+    (and do not checkpoint) advance through the stream together in one
+    :func:`repro.perf.cosim.run_cosim` call, additionally sharing decode,
+    SoA metadata and functional gap fast-forwarding; leftovers run
+    per-job.  Fault-injection sweeps never co-simulate — the plan's
+    deterministic per-job ``on_execute`` hook must fire per job.
+
+    Returns ``(outcomes, group_stats)``: per-job outcomes in job order
+    (never raising across the pipe — a failing job or batch yields
+    ``("error", ...)`` tuples without poisoning its neighbours) and the
+    savings counters pool workers cannot report via process-global stats.
     """
-    return [_pool_task(task) for task in tasks]
+    tasks = list(tasks)
+    group_stats: Dict[str, float] = {}
+    outcomes: List[Optional[Tuple]] = [None] * len(tasks)
+    if cosim and faults.active_plan() is None:
+        batches: Dict[Tuple, List[int]] = {}
+        for index, (job, _attempt_no) in enumerate(tasks):
+            batches.setdefault((job.sampling, job.checkpoint),
+                               []).append(index)
+        for (_sampling, checkpoint), indices in batches.items():
+            if checkpoint is not None or len(indices) < 2:
+                continue  # nothing to share (or checkpointing: per-job)
+            try:
+                batch_outcomes, savings = _cosim_batch(
+                    [tasks[i] for i in indices])
+            except Exception as exc:
+                # The whole batch shares one engine call, so one failure
+                # taints every sibling: each re-runs individually inline.
+                failure = ("error", type(exc).__name__, str(exc))
+                for i in indices:
+                    outcomes[i] = failure
+                continue
+            for i, outcome in zip(indices, batch_outcomes):
+                outcomes[i] = outcome
+            group_stats["cosim.groups"] = (
+                group_stats.get("cosim.groups", 0.0) + 1.0)
+            for key, value in savings.items():
+                group_stats[key] = group_stats.get(key, 0.0) + value
+    for index, task in enumerate(tasks):
+        if outcomes[index] is None:
+            outcomes[index] = _pool_task(task)
+    return outcomes, group_stats
 
 
 def _make_pool(workers: int) -> Optional[multiprocessing.pool.Pool]:
@@ -693,10 +771,19 @@ def default_group_streams() -> bool:
     dominated by one benchmark and per-job parallelism matters more than
     shared prep work.
     """
-    raw = os.environ.get(GROUP_ENV)
-    if raw is None or raw == "":
-        return True
-    return raw.strip().lower() not in ("0", "false", "no", "off")
+    return env_flag(GROUP_ENV, default=True)
+
+
+def default_cosim() -> bool:
+    """Whether grouped sweeps co-simulate their groups (``REPRO_COSIM``).
+
+    On by default (it only takes effect while stream grouping is on);
+    ``REPRO_COSIM=0`` (or ``false``, ``no``, ``off``) falls back to
+    running each group's jobs back to back serially — the escape hatch
+    if co-simulation is ever suspected of perturbing a result (the
+    parity tests say it cannot).
+    """
+    return env_flag(COSIM_ENV, default=True)
 
 
 def default_retries() -> int:
@@ -802,6 +889,16 @@ class SweepReport:
             f"cache corrupt {int(stats.get('sweep.cache_corrupt'))}",
             f"failures      {len(self.failures)}",
         ]
+        if stats.get("sweep.cosim_groups"):
+            lines.append(
+                f"cosim groups  {int(stats.get('sweep.cosim_groups'))} "
+                f"({int(stats.get('sweep.cosim_jobs'))} jobs)")
+            lines.append(
+                f"cosim shared  "
+                f"decode={int(stats.get('sweep.cosim_shared_decode'))} "
+                f"gap_insts={int(stats.get('sweep.cosim_gap_insts_shared'))} "
+                f"warm_trains_saved="
+                f"{int(stats.get('prep.snapshot_group_shared'))}")
         if stats.get("sweep.degraded"):
             lines.append("degraded      serial (multiprocessing unavailable)")
         for failure in self.failures.values():
@@ -855,7 +952,8 @@ def run_sweep(jobs: Sequence[SweepJob],
               backoff: Optional[float] = None,
               observer: Optional[Callable[[str, SweepJob, dict],
                                           None]] = None,
-              group_streams: Optional[bool] = None
+              group_streams: Optional[bool] = None,
+              cosim: Optional[bool] = None
               ) -> SweepReport:
     """Run every job, fanning cache misses out over a process pool.
 
@@ -880,6 +978,17 @@ def run_sweep(jobs: Sequence[SweepJob],
     identical reports (the test suite asserts this).  Group sizes are
     reported as ``sweep.stream_groups``; a group's wait bound scales
     with its size so grouping cannot starve the per-job *timeout*.
+
+    With grouping on, a group's jobs that also share a sampling selector
+    (and do not checkpoint) are *co-simulated*: one
+    :func:`repro.perf.cosim.run_cosim` call advances all of their timing
+    models over one shared stream, sharing decode, SoA metadata,
+    warm-snapshot training and functional gap fast-forwarding
+    (*cosim*, default from ``REPRO_COSIM``, on unless set falsy; it has
+    no effect while grouping is off).  Co-simulation is bit-identical to
+    running the group's jobs back to back — the parity tests assert
+    it — and its savings surface as ``sweep.cosim_*`` counters in the
+    report.  A failed co-sim batch degrades to per-job inline retries.
 
     Execution is fault tolerant: a job whose pool attempt raises, times
     out (*timeout* seconds of wall clock waiting on its result, env
@@ -934,6 +1043,8 @@ def run_sweep(jobs: Sequence[SweepJob],
 
     group_streams = (default_group_streams() if group_streams is None
                      else group_streams)
+    cosim = ((default_cosim() if cosim is None else bool(cosim))
+             and group_streams)
     groups: List[List[SweepJob]] = []
     if group_streams:
         by_stream: Dict[Tuple[str, int, bool], List[SweepJob]] = {}
@@ -975,14 +1086,50 @@ def run_sweep(jobs: Sequence[SweepJob],
         if progress is not None:
             progress(job, result, seconds)
 
+    def fold_group_stats(group_stats: Dict[str, float]) -> None:
+        """Fold a group task's counters into the sweep stats.
+
+        Pool workers are separate processes, so co-sim/prep savings
+        travel back in the group task's return value; ``cosim.*`` keys
+        land under ``sweep.cosim_*``, prep deltas keep their names.
+        """
+        for key, value in group_stats.items():
+            if key.startswith("cosim."):
+                key = "sweep.cosim_" + key[len("cosim."):]
+            stats.add(key, value)
+
+    def run_group_inline(group: List[SweepJob]) -> None:
+        """One group, executed in-process (serial path, no timeout)."""
+        for job in group:
+            attempts[job] = 1
+        outcomes, group_stats = _pool_group_task(
+            [(job, 0) for job in group], cosim)
+        fold_group_stats(group_stats)
+        for job, outcome in zip(group, outcomes):
+            if outcome[0] == "ok":
+                merge(job, outcome[1], outcome[2])
+            else:
+                stats.add("sweep.worker_errors")
+                last_error[job] = (outcome[1], outcome[2])
+                retry_queue.append(job)
+
     if pending:
         pool = _make_pool(workers) if workers > 1 else None
         if workers > 1 and pool is None:
             stats.set("sweep.degraded", 1)
         if pool is None:
-            # Serial (or degraded) path: every job goes through the
-            # inline attempt loop below, first attempt included.
-            retry_queue = list(pending)
+            if timeout is None:
+                # Serial (or degraded) path: groups still run as groups
+                # — sharing prep work and co-simulating exactly like a
+                # pool worker would — so single-stream sweeps (where the
+                # worker clamp lands on 1) get the same savings.
+                for group in groups:
+                    run_group_inline(group)
+            else:
+                # A timeout needs per-job kill-able pools: every job
+                # goes through the inline attempt loop below, first
+                # attempt included.
+                retry_queue = list(pending)
         else:
             # The pool is context-managed: __exit__ calls terminate(),
             # so an error path (or a worker still chewing on a hung or
@@ -997,7 +1144,8 @@ def run_sweep(jobs: Sequence[SweepJob],
                 handles = [
                     (group,
                      pool.apply_async(_pool_group_task,
-                                      ([(job, 0) for job in group],)))
+                                      ([(job, 0) for job in group],
+                                       cosim)))
                     for group in groups]
                 for group, handle in handles:
                     for job in group:
@@ -1006,7 +1154,8 @@ def run_sweep(jobs: Sequence[SweepJob],
                     # wait bound scales with the group size: each job
                     # still gets its full per-job budget.
                     try:
-                        outcomes = handle.get(wait * len(group))
+                        outcomes, group_stats = handle.get(
+                            wait * len(group))
                     except multiprocessing.TimeoutError:
                         # Either a job overran its budget or the worker
                         # died and the result will never arrive; every
@@ -1030,6 +1179,7 @@ def run_sweep(jobs: Sequence[SweepJob],
                                                str(exc))
                             retry_queue.append(job)
                         continue
+                    fold_group_stats(group_stats)
                     for job, outcome in zip(group, outcomes):
                         if outcome[0] == "ok":
                             merge(job, outcome[1], outcome[2])

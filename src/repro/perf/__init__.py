@@ -23,6 +23,9 @@ Three related jobs live in this package:
 
 from repro.config import PERF_FAST_ENV
 from repro.perf.bench import (
+    COSIM_CONFIGS,
+    COSIM_GATE_SPEEDUP,
+    COSIM_TARGET_SPEEDUP,
     PINNED_BENCHMARK,
     PINNED_CONFIGS,
     PINNED_INSTRUCTIONS,
@@ -33,10 +36,12 @@ from repro.perf.bench import (
     SOA_GATE_SPEEDUP,
     SOA_TARGET_SPEEDUP,
     calibrate,
+    check_cosim_speedup,
     check_soa_speedup,
     compare_records,
     load_record,
     run_benchmark,
+    run_cosim_benchmark,
     run_matrix,
     run_sampled_benchmark,
     write_record,
@@ -49,6 +54,9 @@ from repro.perf.knobs import (
 )
 
 __all__ = [
+    "COSIM_CONFIGS",
+    "COSIM_GATE_SPEEDUP",
+    "COSIM_TARGET_SPEEDUP",
     "PERF_FAST_ENV",
     "PINNED_BENCHMARK",
     "PINNED_CONFIGS",
@@ -61,12 +69,14 @@ __all__ = [
     "SOA_TARGET_SPEEDUP",
     "PerfConfig",
     "calibrate",
+    "check_cosim_speedup",
     "check_soa_speedup",
     "compare_records",
     "fast_level",
     "fast_paths_enabled",
     "load_record",
     "run_benchmark",
+    "run_cosim_benchmark",
     "run_matrix",
     "run_sampled_benchmark",
     "soa_enabled",

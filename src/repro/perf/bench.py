@@ -67,6 +67,26 @@ SOA_TARGET_SPEEDUP = 1.5
 #: floor of 1.15x still catches any real loss of the batching win.
 SOA_GATE_SPEEDUP = 1.15
 
+#: The pinned co-simulation matrix: the paper's full config column (the
+#: Figs 4-10 sweep shape) over one benchmark stream.  Fixed so ``cosim``
+#: sections stay comparable across PRs.
+COSIM_CONFIGS: Tuple[str, ...] = ("w16", "tc", "tc2x", "pf-2x8w",
+                                  "pf-4x4w", "pr-2x8w", "pr-4x4w")
+
+#: The aggregate-throughput speedup co-simulation aims for over N
+#: independent stream passes on the pinned matrix (the design target;
+#: measured standing is in the committed baselines and
+#: docs/PERFORMANCE.md).
+COSIM_TARGET_SPEEDUP = 2.0
+
+#: The co-sim speedup floor CI enforces (``bench_perf.py --cosim-gate``).
+#: Below :data:`COSIM_TARGET_SPEEDUP` for the same reason as
+#: :data:`SOA_GATE_SPEEDUP`: the measured standing is ~2.1x at the full
+#: pinned size (higher at smoke sizes, where shared prep is a larger
+#: fraction), and wall-clock jitter should not flake the gate; 1.5x
+#: still catches any real loss of the sharing win.
+COSIM_GATE_SPEEDUP = 1.5
+
 
 def calibrate(target_seconds: float = 0.05) -> float:
     """A machine-speed score in spin-loop iterations per second.
@@ -268,13 +288,92 @@ def run_sampled_benchmark(config_name: str,
     }
 
 
+def run_cosim_benchmark(configs: Sequence[str] = COSIM_CONFIGS,
+                        benchmark: str = PINNED_BENCHMARK,
+                        instructions: int = SAMPLED_INSTRUCTIONS,
+                        repeats: int = 1) -> Dict[str, object]:
+    """Time one co-simulated stream pass against N independent passes.
+
+    The serial side runs every config through :func:`run_simulation`
+    from fully cold per-process caches (prep *and* suite stream caches
+    cleared per config) — what each job costs on an ungrouped
+    (``REPRO_SWEEP_GROUP=0``) sweep worker, and the literal reading of
+    the module headline: N configs, N stream passes.  The co-sim side
+    runs the same jobs through one :func:`repro.perf.cosim.run_cosim`
+    call from the same cold start: one stream pass, N timing models.
+    Both sides are sampled (the sweep's long-horizon operating point;
+    full-detail co-sim shares less because the detailed cycle loop —
+    the product — dominates).  ``speedup_vs_serial`` is the wall-clock
+    ratio, equal to the aggregate sim-cycles/sec ratio since co-sim
+    results are bit-identical (asserted here too).
+    """
+    from repro.core.simulation import run_simulation
+    from repro.perf.cosim import run_cosim
+    from repro.sampling import SamplingConfig, prep
+    from repro.workloads import suite
+
+    sampling = SamplingConfig.from_env()
+
+    def cold() -> None:
+        prep.clear_prep_caches()
+        suite.clear_caches()
+
+    serial_best = float("inf")
+    serial_cycles: List[int] = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        serial_results = []
+        for name in configs:
+            cold()  # every config pays its own stream pass
+            serial_results.append(run_simulation(
+                name, benchmark, max_instructions=instructions,
+                sampling=sampling))
+        serial_best = min(serial_best, time.perf_counter() - start)
+        serial_cycles = [r.cycles for r in serial_results]
+
+    cosim_best = float("inf")
+    savings: Dict[str, float] = {}
+    for _ in range(max(1, repeats)):
+        cold()
+        start = time.perf_counter()
+        results, savings = run_cosim(
+            [(name, None) for name in configs], benchmark,
+            max_instructions=instructions, sampling=sampling)
+        cosim_best = min(cosim_best, time.perf_counter() - start)
+        assert [r.cycles for r in results] == serial_cycles, \
+            "co-sim results diverged from serial reference"
+
+    agg_cycles = sum(serial_cycles)
+    serial_scps = agg_cycles / serial_best
+    cosim_scps = agg_cycles / cosim_best
+    return {
+        "config": "+".join(configs),
+        "configs": list(configs),
+        "benchmark": benchmark,
+        "instructions": instructions,
+        "period": sampling.period,
+        "unit": sampling.unit,
+        "warmup": sampling.warmup,
+        "serial_wall_seconds": round(serial_best, 6),
+        "wall_seconds": round(cosim_best, 6),
+        "agg_sim_cycles": agg_cycles,
+        "serial_sim_cycles_per_sec": round(serial_scps, 1),
+        "sim_cycles_per_sec": round(cosim_scps, 1),
+        "speedup_vs_serial": round(cosim_scps / serial_scps, 2),
+        "shared_decode": int(savings.get("cosim.shared_decode", 0)),
+        "gap_insts_shared": int(savings.get("cosim.gap_insts_shared", 0)),
+    }
+
+
 def run_matrix(configs: Sequence[str] = PINNED_CONFIGS,
                benchmark: str = PINNED_BENCHMARK,
                instructions: int = PINNED_INSTRUCTIONS,
                repeats: int = 1,
                phase_breakdown: bool = True,
                sampled_instructions: Optional[int] = None,
-               soa: bool = False) -> Dict[str, object]:
+               soa: bool = False,
+               cosim_instructions: Optional[int] = None
+               ) -> Dict[str, object]:
     """Run the benchmark matrix; returns the ``BENCH_perf.json`` record.
 
     With *sampled_instructions* set, the record also carries a
@@ -283,7 +382,11 @@ def run_matrix(configs: Sequence[str] = PINNED_CONFIGS,
     With *soa* set, the ``entries`` section is pinned to tier 1 and a
     ``soa`` section re-runs every config at ``REPRO_FAST=2``, annotating
     each entry with ``speedup_vs_fast`` — the ratio the CI gate asserts
-    against :data:`SOA_TARGET_SPEEDUP`.
+    against :data:`SOA_TARGET_SPEEDUP`.  With *cosim_instructions* set,
+    a ``cosim`` section runs the pinned :data:`COSIM_CONFIGS` matrix
+    through one co-simulated stream pass versus N serial passes (see
+    :func:`run_cosim_benchmark`); its ``speedup_vs_serial`` is what
+    ``--cosim-gate`` asserts against :data:`COSIM_GATE_SPEEDUP`.
     """
     entry_level = 1 if soa else None
     entries = [run_benchmark(name, benchmark, instructions,
@@ -321,6 +424,10 @@ def run_matrix(configs: Sequence[str] = PINNED_CONFIGS,
         record["sampled"] = [
             run_sampled_benchmark(name, benchmark, sampled_instructions)
             for name in configs]
+    if cosim_instructions is not None:
+        record["cosim"] = [
+            run_cosim_benchmark(COSIM_CONFIGS, benchmark,
+                                cosim_instructions, repeats=repeats)]
     return record
 
 
@@ -358,7 +465,7 @@ def compare_records(current: Dict[str, object],
     cur_cal = float(current.get("calibration_score", 0)) or 1.0
     base_cal = float(baseline.get("calibration_score", 0)) or 1.0
     for section, label in (("entries", ""), ("soa", "soa "),
-                           ("sampled", "sampled ")):
+                           ("sampled", "sampled "), ("cosim", "cosim ")):
         baseline_by_key = {
             (e["config"], e["benchmark"]): e
             for e in baseline.get(section, ())
@@ -405,4 +512,27 @@ def check_soa_speedup(record: Dict[str, object],
                 f"{speedup:.2f}x vs tier 1, need >= {target:.2f}x")
     if not record.get("soa"):
         failures.append("record has no 'soa' section (run with --soa)")
+    return failures
+
+
+def check_cosim_speedup(record: Dict[str, object],
+                        target: float = COSIM_GATE_SPEEDUP) -> List[str]:
+    """The co-sim gate: every ``cosim`` entry must hit *target*.
+
+    Like :func:`check_soa_speedup`, the ratio lives within one record —
+    serial and co-simulated passes timed in the same invocation on the
+    same machine — so no calibration normalisation is needed.  The
+    default *target* is the noise-tolerant :data:`COSIM_GATE_SPEEDUP`
+    floor, not the aspirational :data:`COSIM_TARGET_SPEEDUP`.  Returns
+    failure strings (empty = pass).
+    """
+    failures: List[str] = []
+    for entry in record.get("cosim", ()):
+        speedup = float(entry.get("speedup_vs_serial", 0.0))
+        if speedup < target:
+            failures.append(
+                f"cosim {entry['config']}/{entry['benchmark']}: "
+                f"{speedup:.2f}x vs serial passes, need >= {target:.2f}x")
+    if not record.get("cosim"):
+        failures.append("record has no 'cosim' section (run with --cosim)")
     return failures

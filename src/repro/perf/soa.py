@@ -93,6 +93,42 @@ class FragMeta:
         self.chunks: Dict[Tuple[int, int], Dict[int, Tuple[int, int]]] = {}
 
 
+class SharedStream:
+    """Config-independent per-stream state for co-simulated siblings.
+
+    The co-simulation engine (:mod:`repro.perf.cosim`) runs N timing
+    configs over one prepared stream; everything here is a pure function
+    of the stream (plus, for fragment metadata, the fragment config), so
+    one instance can back every sibling ``Processor`` without perturbing
+    result identity:
+
+    * one :class:`~repro.core.uop.DecodeCache` — decode is pure per PC
+      and instruction identity, and its hit/miss counters never reach
+      :class:`~repro.core.simulation.SimulationResult`;
+    * one flattened oracle-PC table (the ``SoAState.oracle_pcs`` mirror);
+    * one :class:`FragMeta` dict *per fragment config* — canonical keys
+      are only exact within one carving geometry, so metadata is scoped
+      by :class:`~repro.config.FragmentConfig`.
+    """
+
+    __slots__ = ("decode_cache", "oracle_pcs", "_meta_by_fragment")
+
+    def __init__(self, oracle: List[DynamicInstruction]):
+        self.decode_cache = DecodeCache()
+        #: PCs of the non-NOP records, matching ``Processor._oracle``.
+        self.oracle_pcs: List[int] = [
+            r.pc for r in oracle if not r.inst.is_nop]
+        self._meta_by_fragment: Dict[object, Dict[FragmentKey, FragMeta]] = {}
+
+    def meta_for(self, fragment_config: object) -> Dict[FragmentKey, FragMeta]:
+        """The shared metadata dict for one carving geometry."""
+        meta = self._meta_by_fragment.get(fragment_config)
+        if meta is None:
+            meta = {}
+            self._meta_by_fragment[fragment_config] = meta
+        return meta
+
+
 class SoAState:
     """Flat tier-2 state owned by one :class:`Processor` instance."""
 
@@ -103,11 +139,19 @@ class SoAState:
     _META_CAP = 8192
 
     def __init__(self, oracle: List[DynamicInstruction],
-                 decode_cache: DecodeCache):
+                 decode_cache: DecodeCache,
+                 oracle_pcs: Optional[List[int]] = None,
+                 meta: Optional[Dict[FragmentKey, FragMeta]] = None):
+        # The co-simulation engine (repro.perf.cosim) injects one shared
+        # PC table and FragMeta dict across sibling processors on the
+        # same stream; both are pure per (stream, fragment config, decode
+        # cache), so sharing is exact.  Solo processors build their own.
         #: PC of every oracle record, flattened for slice comparison.
-        self.oracle_pcs: List[int] = [r.pc for r in oracle]
+        self.oracle_pcs: List[int] = (
+            [r.pc for r in oracle] if oracle_pcs is None else oracle_pcs)
         self._cache = decode_cache
-        self._meta: Dict[FragmentKey, FragMeta] = {}
+        self._meta: Dict[FragmentKey, FragMeta] = (
+            {} if meta is None else meta)
 
     def meta_for(self, static: StaticFragment) -> FragMeta:
         """The (cached) batched metadata for *static*.

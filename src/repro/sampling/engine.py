@@ -150,6 +150,157 @@ def _cpi_stats(unit_cycles: Sequence[int],
     return cpi_mean, cpi_std, halfwidth
 
 
+def unit_geometry(oracle: Sequence[DynamicInstruction],
+                  sampling: SamplingConfig
+                  ) -> Tuple[List[int], int, int, List[int]]:
+    """Sampling-unit geometry over *oracle*.
+
+    Returns ``(raw_pos, total, total_units, measured_units)``: the
+    non-NOP→raw index map, the non-NOP instruction count, the unit
+    count, and the measured unit indices.  Pure per (stream, sampling
+    config) — the co-simulation engine computes it once per group.
+    """
+    raw_pos = [i for i, record in enumerate(oracle)
+               if not record.inst.is_nop]
+    total = len(raw_pos)
+    if total == 0:
+        raise ReproError("cannot sample an empty oracle stream")
+    unit = sampling.unit
+    total_units = (total + unit - 1) // unit
+    measured_units = [j for j in range(total_units)
+                      if j % sampling.period == sampling.period - 1]
+    if not measured_units:  # stream shorter than one period: measure last
+        measured_units = [total_units - 1]
+    return raw_pos, total, total_units, measured_units
+
+
+class SampleAccum:
+    """Mutable per-run sampling accumulators.
+
+    One instance per simulated config; :func:`run_sampled` owns a single
+    one, the co-simulation engine one per sibling.  Keeping the loop
+    state in one object is what lets both engines share
+    :func:`measure_unit` and :func:`finalize_sampled` — the bit-identity
+    contract between them is enforced by running the same code.
+    """
+
+    __slots__ = ("cursor", "gap_insts", "warmup_cycles", "warmup_insts",
+                 "timeouts", "unit_insts", "unit_cycles",
+                 "measured_counters")
+
+    def __init__(self) -> None:
+        self.cursor = 0
+        self.gap_insts = 0
+        self.warmup_cycles = 0
+        self.warmup_insts = 0
+        self.timeouts = 0
+        self.unit_insts: List[int] = []
+        self.unit_cycles: List[int] = []
+        self.measured_counters: Dict[str, float] = {}
+
+
+def measure_unit(processor: Processor, acc: SampleAccum,
+                 w_start: int, m_start: int, m_end: int) -> None:
+    """One detailed window: warm-up prefix then the measured unit.
+
+    Warm-up cycles are discarded; the measured unit's counter deltas
+    bracket exactly ``[m_start, m_end)`` and accumulate into *acc*.
+    """
+    processor.restart_at(w_start)
+    before = processor.now
+    if not processor.run_until(m_start):
+        acc.timeouts += 1
+    acc.warmup_cycles += processor.now - before
+    acc.warmup_insts += m_start - w_start
+
+    before = processor.now
+    snapshot = dict(processor.stats.as_dict())
+    if not processor.run_until(m_end):
+        acc.timeouts += 1
+    cycles = processor.now - before
+    measured = acc.measured_counters
+    for name, value in processor.stats.as_dict().items():
+        delta = value - snapshot.get(name, 0.0)
+        if delta:
+            measured[name] = measured.get(name, 0.0) + delta
+    acc.unit_insts.append(m_end - m_start)
+    acc.unit_cycles.append(cycles)
+    acc.cursor = m_end
+
+
+def finalize_sampled(processor: Processor, acc: SampleAccum,
+                     sampling: SamplingConfig, total: int,
+                     total_units: int, config_name: str, benchmark: str,
+                     observability=None, live=None) -> SimulationResult:
+    """Extrapolate a full-run :class:`SimulationResult` from *acc*.
+
+    SMARTS aggregation (CPI = mean of per-unit CPIs, 95% CLT interval),
+    counter scaling, ``sampling.*`` bookkeeping and the observability
+    fold-in — shared verbatim by :func:`run_sampled` and the
+    co-simulation engine.
+    """
+    k = len(acc.unit_cycles)
+    cpi_mean, cpi_std, halfwidth = _cpi_stats(acc.unit_cycles,
+                                              acc.unit_insts)
+    est_cycles = max(1, round(cpi_mean * total))
+    measured_insts = sum(acc.unit_insts)
+
+    scale = total / measured_insts
+    counters = {name: value * scale
+                for name, value in acc.measured_counters.items()}
+    counters["sim.cycles"] = float(est_cycles)
+    counters["sim.committed"] = float(total)
+    if acc.timeouts:
+        counters["sim.timeout"] = 1.0
+    counters.update({
+        "sampling.enabled": 1.0,
+        "sampling.period": float(sampling.period),
+        "sampling.unit": float(sampling.unit),
+        "sampling.warmup": float(sampling.warmup),
+        "sampling.units_total": float(total_units),
+        "sampling.units_measured": float(k),
+        "sampling.units_skipped": float(total_units - k),
+        "sampling.measured_insts": float(measured_insts),
+        "sampling.measured_cycles": float(sum(acc.unit_cycles)),
+        "sampling.warmup_insts": float(acc.warmup_insts),
+        "sampling.warmup_cycles_discarded": float(acc.warmup_cycles),
+        "sampling.gap_insts_warmed": float(acc.gap_insts),
+        "sampling.window_timeouts": float(acc.timeouts),
+        "sampling.cpi_mean": cpi_mean,
+        "sampling.cpi_std": cpi_std,
+        "sampling.cpi_halfwidth": halfwidth,
+        "sampling.ipc_halfwidth_rel": (halfwidth / cpi_mean
+                                       if cpi_mean else 0.0),
+    })
+    if observability is not None:
+        # run_until never finalises obs; fold the host-side summaries
+        # (exact measurements, not extrapolations) into the counters
+        # here.  Auto-export mirrors Observability.finalize.
+        obs_stats = StatsCollector()
+        if observability.profiler is not None:
+            observability.profiler.to_counters(obs_stats)
+        if observability.tracer is not None:
+            obs_stats.set("obs.trace.events",
+                          len(observability.tracer.events))
+            obs_stats.set("obs.trace.dropped", observability.tracer.dropped)
+        counters.update(obs_stats.as_dict())
+        if (observability.tracer is not None
+                and observability.config.trace_path):
+            observability.export_trace(
+                observability.config.trace_path,
+                process_name=processor.program.name,
+                sequencers=processor.config.frontend.sequencers)
+    if live is not None:
+        live.publish_final(processor)
+    return SimulationResult(
+        benchmark=benchmark,
+        config_name=config_name,
+        cycles=est_cycles,
+        committed=total,
+        counters=counters,
+    )
+
+
 def run_sampled(processor_config: ProcessorConfig,
                 program: Program,
                 oracle: Sequence[DynamicInstruction],
@@ -208,27 +359,12 @@ def run_sampled(processor_config: ProcessorConfig,
     # Unit geometry is over the non-NOP stream (the processor's commit
     # index space); raw_pos maps a non-NOP index back to the raw stream
     # so gap warming can still touch NOP fetch lines.
-    raw_pos = [i for i, record in enumerate(oracle)
-               if not record.inst.is_nop]
-    total = len(raw_pos)
-    if total == 0:
-        raise ReproError("cannot sample an empty oracle stream")
+    raw_pos, total, total_units, measured_units = unit_geometry(oracle,
+                                                                sampling)
     unit = sampling.unit
-    total_units = (total + unit - 1) // unit
-    measured_units = [j for j in range(total_units)
-                      if j % sampling.period == sampling.period - 1]
-    if not measured_units:  # stream shorter than one period: measure last
-        measured_units = [total_units - 1]
 
     warmer = WarmingState(processor)
-    cursor = 0
-    gap_insts = 0
-    warmup_cycles = 0
-    warmup_insts = 0
-    timeouts = 0
-    unit_insts: List[int] = []
-    unit_cycles: List[int] = []
-    measured_counters: Dict[str, float] = {}
+    acc = SampleAccum()
     start_ui = 0
     last_ckpt = 0
 
@@ -240,28 +376,28 @@ def run_sampled(processor_config: ProcessorConfig,
         snap.restore(processor)
         extra = snap.extra
         start_ui = extra["ui"]
-        cursor = extra["cursor"]
-        gap_insts = extra["gap_insts"]
-        warmup_cycles = extra["warmup_cycles"]
-        warmup_insts = extra["warmup_insts"]
-        timeouts = extra["timeouts"]
-        unit_insts = list(extra["unit_insts"])
-        unit_cycles = list(extra["unit_cycles"])
-        measured_counters = dict(extra["measured_counters"])
+        acc.cursor = extra["cursor"]
+        acc.gap_insts = extra["gap_insts"]
+        acc.warmup_cycles = extra["warmup_cycles"]
+        acc.warmup_insts = extra["warmup_insts"]
+        acc.timeouts = extra["timeouts"]
+        acc.unit_insts = list(extra["unit_insts"])
+        acc.unit_cycles = list(extra["unit_cycles"])
+        acc.measured_counters = dict(extra["measured_counters"])
         warmer._seen_line = extra["seen_line"]
-        last_ckpt = cursor
+        last_ckpt = acc.cursor
         ckpt.CHECKPOINT_STATS.add("checkpoint.resumed")
 
     for ui in range(start_ui, len(measured_units)):
         j = measured_units[ui]
         m_start = j * unit
         m_end = min(m_start + unit, total)
-        w_start = max(m_start - sampling.warmup, cursor)
+        w_start = max(m_start - sampling.warmup, acc.cursor)
 
         # Functional fast-forward of the gap (raw slice: NOPs included
         # for cache touches, exactly as pre-run warming would see them).
-        if w_start > cursor:
-            gap = oracle[raw_pos[cursor]:raw_pos[w_start]]
+        if w_start > acc.cursor:
+            gap = oracle[raw_pos[acc.cursor]:raw_pos[w_start]]
             t0 = profiler.start() if profiler is not None else 0.0
             if warm:
                 warmer.feed_caches(gap)
@@ -270,40 +406,21 @@ def run_sampled(processor_config: ProcessorConfig,
                 warmer.discard_partial()
             if profiler is not None:
                 profiler.stop("warm", t0)
-            gap_insts += w_start - cursor
+            acc.gap_insts += w_start - acc.cursor
 
-        # Detailed warm-up prefix: cycles discarded, structures trained
-        # by the commit carver like any detailed window.
-        processor.restart_at(w_start)
-        before = processor.now
-        if not processor.run_until(m_start):
-            timeouts += 1
-        warmup_cycles += processor.now - before
-        warmup_insts += m_start - w_start
-
-        # Measured unit: counter deltas bracket exactly this window.
-        before = processor.now
-        snapshot = dict(processor.stats.as_dict())
-        if not processor.run_until(m_end):
-            timeouts += 1
-        cycles = processor.now - before
-        for name, value in processor.stats.as_dict().items():
-            delta = value - snapshot.get(name, 0.0)
-            if delta:
-                measured_counters[name] = (
-                    measured_counters.get(name, 0.0) + delta)
-        unit_insts.append(m_end - m_start)
-        unit_cycles.append(cycles)
-        cursor = m_end
+        # Detailed warm-up prefix (cycles discarded, structures trained
+        # by the commit carver) then the measured unit: counter deltas
+        # bracket exactly that window.
+        measure_unit(processor, acc, w_start, m_start, m_end)
 
         if live is not None:
             # Unit boundaries are the natural progress ticks in sampled
             # mode; publish the rolling confidence alongside the gauges.
-            mean, _, halfwidth = _cpi_stats(unit_cycles, unit_insts)
+            mean, _, halfwidth = _cpi_stats(acc.unit_cycles, acc.unit_insts)
             live.note_sampling(
                 unit=ui + 1,
                 units_total=len(measured_units),
-                measured_insts=sum(unit_insts),
+                measured_insts=sum(acc.unit_insts),
                 cpi_mean=round(mean, 6),
                 cpi_halfwidth=round(halfwidth, 6),
                 ipc_halfwidth_rel=round(halfwidth / mean, 6) if mean
@@ -314,87 +431,30 @@ def run_sampled(processor_config: ProcessorConfig,
         # capture is read-only, so storing perturbs nothing.
         if (checkpoint_manager is not None and checkpoint_every
                 and ui + 1 < len(measured_units)
-                and cursor - last_ckpt >= checkpoint_every):
+                and acc.cursor - last_ckpt >= checkpoint_every):
             extra = {
                 "ui": ui + 1,
-                "cursor": cursor,
-                "gap_insts": gap_insts,
-                "warmup_cycles": warmup_cycles,
-                "warmup_insts": warmup_insts,
-                "timeouts": timeouts,
-                "unit_insts": list(unit_insts),
-                "unit_cycles": list(unit_cycles),
-                "measured_counters": dict(measured_counters),
+                "cursor": acc.cursor,
+                "gap_insts": acc.gap_insts,
+                "warmup_cycles": acc.warmup_cycles,
+                "warmup_insts": acc.warmup_insts,
+                "timeouts": acc.timeouts,
+                "unit_insts": list(acc.unit_insts),
+                "unit_cycles": list(acc.unit_cycles),
+                "measured_counters": dict(acc.measured_counters),
                 "seen_line": warmer._seen_line,
             }
             checkpoint_manager.store(
                 ckpt.ProcessorSnapshot.capture(
                     processor, checkpoint_manager.fingerprint, extra=extra),
-                ordinal=cursor // checkpoint_every)
-            last_ckpt = cursor
+                ordinal=acc.cursor // checkpoint_every)
+            last_ckpt = acc.cursor
             if live is not None:
-                live.note_checkpoint(cursor // checkpoint_every)
+                live.note_checkpoint(acc.cursor // checkpoint_every)
     # The trailing gap (after the last measured unit) warms nothing.
     if checkpoint_manager is not None:
         checkpoint_manager.clear()
 
-    # SMARTS aggregation: CPI = mean of per-unit CPIs; 95% CLT interval.
-    k = len(unit_cycles)
-    cpi_mean, cpi_std, halfwidth = _cpi_stats(unit_cycles, unit_insts)
-    est_cycles = max(1, round(cpi_mean * total))
-    measured_insts = sum(unit_insts)
-
-    scale = total / measured_insts
-    counters = {name: value * scale
-                for name, value in measured_counters.items()}
-    counters["sim.cycles"] = float(est_cycles)
-    counters["sim.committed"] = float(total)
-    if timeouts:
-        counters["sim.timeout"] = 1.0
-    counters.update({
-        "sampling.enabled": 1.0,
-        "sampling.period": float(sampling.period),
-        "sampling.unit": float(unit),
-        "sampling.warmup": float(sampling.warmup),
-        "sampling.units_total": float(total_units),
-        "sampling.units_measured": float(k),
-        "sampling.units_skipped": float(total_units - k),
-        "sampling.measured_insts": float(measured_insts),
-        "sampling.measured_cycles": float(sum(unit_cycles)),
-        "sampling.warmup_insts": float(warmup_insts),
-        "sampling.warmup_cycles_discarded": float(warmup_cycles),
-        "sampling.gap_insts_warmed": float(gap_insts),
-        "sampling.window_timeouts": float(timeouts),
-        "sampling.cpi_mean": cpi_mean,
-        "sampling.cpi_std": cpi_std,
-        "sampling.cpi_halfwidth": halfwidth,
-        "sampling.ipc_halfwidth_rel": (halfwidth / cpi_mean
-                                       if cpi_mean else 0.0),
-    })
-    if observability is not None:
-        # run_until never finalises obs; fold the host-side summaries
-        # (exact measurements, not extrapolations) into the counters
-        # here.  Auto-export mirrors Observability.finalize.
-        obs_stats = StatsCollector()
-        if profiler is not None:
-            profiler.to_counters(obs_stats)
-        if observability.tracer is not None:
-            obs_stats.set("obs.trace.events",
-                          len(observability.tracer.events))
-            obs_stats.set("obs.trace.dropped", observability.tracer.dropped)
-        counters.update(obs_stats.as_dict())
-        if (observability.tracer is not None
-                and observability.config.trace_path):
-            observability.export_trace(
-                observability.config.trace_path,
-                process_name=program.name,
-                sequencers=processor_config.frontend.sequencers)
-    if live is not None:
-        live.publish_final(processor)
-    return SimulationResult(
-        benchmark=benchmark,
-        config_name=config_name,
-        cycles=est_cycles,
-        committed=total,
-        counters=counters,
-    )
+    return finalize_sampled(processor, acc, sampling, total, total_units,
+                            config_name, benchmark,
+                            observability=observability, live=live)

@@ -32,7 +32,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
-from repro.config import ProcessorConfig
+from repro.config import ProcessorConfig, env_flag
 from repro.emulator.machine import Machine
 from repro.emulator.stream import ExecutionResult
 from repro.frontend.trace_cache import TraceCache
@@ -80,7 +80,7 @@ _SNAPSHOT_CAP = 8
 
 
 def _disk_enabled() -> bool:
-    return not os.environ.get(NO_CACHE_ENV)
+    return not env_flag(NO_CACHE_ENV)
 
 
 def _stream_dir() -> Path:
@@ -345,6 +345,59 @@ def warm_from_snapshot(processor: "Processor", oracle,
     # the explicit reset keeps the invariant obvious).
     processor.stats.reset()
     processor.trace_predictor.restore_history(())
+
+
+def warm_group_snapshots(configs, oracle, key: StreamKey,
+                         pin: object = None) -> None:
+    """Pre-train the warm snapshots for every config in one stream pass.
+
+    The co-simulation warming amortization: distinct warm digests in
+    *configs* that are not yet cached are trained together via
+    :func:`repro.core.warming.warm_donor_group` — one walk of *oracle*
+    per shared fragment config instead of one per digest.  Training is
+    bit-identical to the on-demand :func:`warm_from_snapshot` build
+    (each donor observes the same update sequence), so subsequent
+    ``warm_from_snapshot`` calls serve exact clones from the cache.
+
+    Counts ``prep.snapshot_trains`` per digest built (same as serial)
+    plus ``prep.snapshot_group_shared`` for every stream pass *saved*
+    by sharing (digests beyond the first in each group).
+    """
+    from repro.core.warming import warm_donor_group
+
+    pending: "OrderedDict[Tuple[StreamKey, str], ProcessorConfig]" = (
+        OrderedDict())
+    for config in configs:
+        cache_key = (key, _warm_digest(config))
+        if cache_key in pending:
+            continue
+        if cache_key in _snapshots:
+            _snapshots.move_to_end(cache_key)
+            continue
+        pending[cache_key] = config
+    if not pending:
+        return
+
+    # Fragment carving is config-dependent only through FragmentConfig,
+    # so only digests sharing one can share a stream pass.
+    by_fragment: Dict[object, list] = {}
+    for cache_key, config in pending.items():
+        by_fragment.setdefault(config.fragment, []).append(
+            (cache_key, config))
+
+    for group in by_fragment.values():
+        built = []
+        for cache_key, config in group:
+            PREP_STATS.add("prep.snapshot_trains")
+            snapshot = _WarmSnapshot(config, pin)
+            built.append((cache_key, snapshot, _Donor(config, snapshot)))
+        if len(built) > 1:
+            PREP_STATS.add("prep.snapshot_group_shared", len(built) - 1)
+        warm_donor_group([donor for _, _, donor in built], oracle)
+        for cache_key, snapshot, _ in built:
+            _snapshots[cache_key] = snapshot
+            if len(_snapshots) > _SNAPSHOT_CAP:
+                _snapshots.popitem(last=False)
 
 
 def clear_prep_caches() -> None:
